@@ -1,0 +1,85 @@
+// Command dardbench regenerates the paper's tables and figures. Each
+// experiment prints a paper-style text block; -list enumerates them,
+// -run selects a subset, and -scale picks the parameter set.
+//
+// Usage:
+//
+//	dardbench -list
+//	dardbench -run table4,figure15
+//	dardbench -scale quick            # smallest, seconds
+//	dardbench -scale default          # laptop scale (default)
+//	dardbench -scale paper            # close to paper scale (very slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dard/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dardbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dardbench", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list experiments and exit")
+	runIDs := fs.String("run", "", "comma-separated experiment IDs (default: all)")
+	scale := fs.String("scale", "default", "parameter scale: quick, default, paper")
+	seed := fs.Int64("seed", 0, "override the random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Description)
+		}
+		return nil
+	}
+
+	var params experiments.Params
+	switch *scale {
+	case "quick":
+		params = experiments.Quick()
+	case "default":
+		params = experiments.Default()
+	case "paper":
+		params = experiments.Paper()
+	default:
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+	if *seed != 0 {
+		params.Seed = *seed
+	}
+
+	var entries []experiments.Entry
+	if *runIDs == "" {
+		entries = experiments.All()
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			e, err := experiments.Find(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			entries = append(entries, e)
+		}
+	}
+
+	for _, e := range entries {
+		start := time.Now()
+		res, err := e.Run(params)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Printf("%s\n(%s in %.1fs)\n\n", res, e.ID, time.Since(start).Seconds())
+	}
+	return nil
+}

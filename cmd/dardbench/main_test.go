@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run([]string{"-scale", "quick", "-run", "table1,tables2-3,theorem2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-scale", "nosuch"}); err == nil {
+		t.Error("unknown scale should fail")
+	}
+	if err := run([]string{"-run", "nosuch"}); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}

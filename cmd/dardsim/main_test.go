@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestRunScenarios(t *testing.T) {
+	cases := [][]string{
+		{"-duration", "5", "-file-mb", "16", "-rate", "0.5"},
+		{"-scheduler", "ECMP", "-pattern", "random", "-duration", "5", "-file-mb", "16"},
+		{"-topo", "clos", "-d", "4", "-scheduler", "pVLB", "-duration", "5", "-file-mb", "16", "-cdf"},
+		{"-scheduler", "SimulatedAnnealing", "-pattern", "staggered", "-duration", "5", "-file-mb", "16"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunPacketEngine(t *testing.T) {
+	args := []string{
+		"-engine", "packet", "-capacity", "100e6", "-file-mb", "2",
+		"-rate", "0.3", "-duration", "3", "-scheduler", "TeXCP",
+	}
+	if err := run(args); err != nil {
+		t.Errorf("run(%v): %v", args, err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-scheduler", "nosuch"},
+		{"-pattern", "nosuch"},
+		{"-engine", "nosuch"},
+		{"-topo", "nosuch"},
+		{"-scheduler", "TeXCP"}, // flow engine
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

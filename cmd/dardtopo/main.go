@@ -1,0 +1,97 @@
+// Command dardtopo inspects DARD topologies: dimensions, hierarchical
+// addresses, per-switch uphill/downhill routing tables, and equal-cost
+// path sets.
+//
+// Usage:
+//
+//	dardtopo -kind fattree -p 4                      # summary
+//	dardtopo -kind fattree -p 4 -host E1             # a host's addresses
+//	dardtopo -kind fattree -p 4 -switch aggr1_1      # a switch's tables
+//	dardtopo -kind clos -d 8 -paths E1,E20           # path enumeration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dard"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dardtopo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dardtopo", flag.ContinueOnError)
+	kind := fs.String("kind", "fattree", "topology kind: fattree, clos, threetier")
+	p := fs.Int("p", 4, "fat-tree port count")
+	d := fs.Int("d", 4, "Clos D_I = D_A")
+	hostsPerToR := fs.Int("hosts-per-tor", 0, "override hosts per ToR (0 = family default)")
+	host := fs.String("host", "", "print this host's hierarchical addresses")
+	sw := fs.String("switch", "", "print this switch's routing tables")
+	flowTables := fs.String("flowtables", "", "print this switch's OpenFlow initialization program")
+	paths := fs.String("paths", "", "print equal-cost paths between two hosts, e.g. E1,E5")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	topo, err := dard.TopologySpec{
+		Kind:        dard.TopologyKind(*kind),
+		P:           *p,
+		D:           *d,
+		HostsPerToR: *hostsPerToR,
+	}.Build()
+	if err != nil {
+		return err
+	}
+
+	switch {
+	case *host != "":
+		addrs, err := topo.HostAddresses(*host)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s on %s has %d addresses (one per tree):\n", *host, topo.Name(), len(addrs))
+		for _, a := range addrs {
+			fmt.Println(" ", a)
+		}
+	case *sw != "":
+		tables, err := topo.RoutingTables(*sw)
+		if err != nil {
+			return err
+		}
+		fmt.Print(tables)
+	case *flowTables != "":
+		prog, err := topo.FlowTables(*flowTables)
+		if err != nil {
+			return err
+		}
+		fmt.Print(prog)
+		fmt.Printf("(network-wide: %d rules installed once at initialization)\n", topo.TotalFlowRules())
+	case *paths != "":
+		parts := strings.Split(*paths, ",")
+		if len(parts) != 2 {
+			return fmt.Errorf("-paths wants two comma-separated hosts, got %q", *paths)
+		}
+		out, err := topo.PathsBetween(parts[0], parts[1])
+		if err != nil {
+			return err
+		}
+		n, _ := topo.NumPaths(parts[0], parts[1])
+		fmt.Printf("%d equal-cost paths %s -> %s on %s:\n%s", n, parts[0], parts[1], topo.Name(), out)
+	default:
+		fmt.Printf("%s: %d hosts, %d switches\n", topo.Name(), topo.NumHosts(), topo.NumSwitches())
+		names := topo.HostNames()
+		limit := 8
+		if len(names) < limit {
+			limit = len(names)
+		}
+		fmt.Printf("hosts: %s ...\n", strings.Join(names[:limit], " "))
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package main
+
+import "testing"
+
+func TestRunVariants(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"-kind", "fattree", "-p", "4"},
+		{"-kind", "fattree", "-p", "4", "-host", "E1"},
+		{"-kind", "fattree", "-p", "4", "-switch", "aggr1_1"},
+		{"-kind", "fattree", "-p", "4", "-paths", "E1,E5"},
+		{"-kind", "clos", "-d", "4", "-paths", "E1,E9"},
+		{"-kind", "threetier", "-hosts-per-tor", "2"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-kind", "nosuch"},
+		{"-kind", "fattree", "-p", "3"},
+		{"-host", "nosuch"},
+		{"-switch", "nosuch"},
+		{"-switch", "E1"},
+		{"-paths", "E1"},
+		{"-paths", "E1,nosuch"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestFlowTablesFlag(t *testing.T) {
+	if err := run([]string{"-kind", "fattree", "-p", "4", "-flowtables", "aggr1_1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-flowtables", "nosuch"}); err == nil {
+		t.Error("unknown switch should fail")
+	}
+	if err := run([]string{"-flowtables", "E1"}); err == nil {
+		t.Error("host should fail")
+	}
+}

@@ -1,0 +1,350 @@
+// Package dard reproduces "DARD: Distributed Adaptive Routing for
+// Datacenter Networks" (Wu & Yang, ICDCS 2012): end hosts selfishly shift
+// elephant flows from overloaded to underloaded equal-cost paths using
+// only switch state they query themselves, with no central coordinator.
+//
+// The package is a facade over the internal substrates:
+//
+//   - internal/topology — fat-tree, Clos, and three-tier fabrics
+//   - internal/addressing — NIRA-style hierarchical addressing (§2.3)
+//   - internal/flowsim — flow-level max-min fluid simulator
+//   - internal/simnet + internal/tcp — packet-level simulator with
+//     TCP New Reno
+//   - internal/dard — DARD's detector, monitors, and Algorithm 1
+//   - internal/sched, internal/hedera, internal/texcp — the ECMP, pVLB,
+//     centralized simulated-annealing, and TeXCP baselines
+//   - internal/game — the congestion-game convergence model (Appendix B)
+//
+// A Scenario describes one experiment (topology x scheduler x traffic
+// pattern); Run executes it and returns a Report with the paper's
+// metrics: transfer times, path-switch counts, retransmission rates, and
+// control-plane overhead.
+//
+//	rep, err := dard.Scenario{
+//	    Topology:  dard.TopologySpec{Kind: dard.FatTree, P: 4},
+//	    Scheduler: dard.SchedulerDARD,
+//	    Pattern:   dard.PatternStride,
+//	    Duration:  30,
+//	}.Run()
+package dard
+
+import (
+	"fmt"
+
+	idard "dard/internal/dard"
+	"dard/internal/flowsim"
+	"dard/internal/hedera"
+	"dard/internal/psim"
+	"dard/internal/sched"
+	"dard/internal/tcp"
+	"dard/internal/texcp"
+	"dard/internal/workload"
+)
+
+// Scheduler names a flow scheduling strategy.
+type Scheduler string
+
+// The schedulers of the paper's evaluation (§4).
+const (
+	// SchedulerECMP is hash-based random flow-level scheduling.
+	SchedulerECMP Scheduler = "ECMP"
+	// SchedulerPVLB is periodical Valiant Load Balancing.
+	SchedulerPVLB Scheduler = "pVLB"
+	// SchedulerDARD is the paper's distributed adaptive routing.
+	SchedulerDARD Scheduler = "DARD"
+	// SchedulerAnnealing is the Hedera-style centralized controller
+	// (demand estimation + simulated annealing). Flow engine only.
+	SchedulerAnnealing Scheduler = "SimulatedAnnealing"
+	// SchedulerTeXCP is distributed per-packet traffic engineering.
+	// Packet engine only.
+	SchedulerTeXCP Scheduler = "TeXCP"
+)
+
+// Pattern names a traffic pattern (§4.1).
+type Pattern string
+
+// The paper's three traffic patterns.
+const (
+	PatternRandom    Pattern = "random"
+	PatternStaggered Pattern = "staggered"
+	PatternStride    Pattern = "stride"
+)
+
+// Engine selects the simulation substrate.
+type Engine string
+
+// Engines.
+const (
+	// EngineFlow is the max-min fluid simulator: fast, used for the
+	// large sweeps (Tables 4-7, Figures 4, 7-12, 15).
+	EngineFlow Engine = "flow"
+	// EnginePacket is the packet-level simulator with TCP New Reno:
+	// used for the TCP-sensitive results (Figures 5, 13, 14).
+	EnginePacket Engine = "packet"
+)
+
+// Tuning carries the DARD control-loop knobs (§3.1); zero values take
+// the paper's settings.
+type Tuning struct {
+	// QueryInterval is the monitor's switch-state polling period (s).
+	QueryInterval float64
+	// ScheduleInterval is the base selfish-scheduling period (s).
+	ScheduleInterval float64
+	// ScheduleJitter is the uniform random addition per round (s).
+	ScheduleJitter float64
+	// DisableJitter removes the randomization (ablation).
+	DisableJitter bool
+	// DeltaBps is Algorithm 1's δ threshold in bits/s.
+	DeltaBps float64
+	// PerFlowMonitors disables §2.4.1's monitor sharing (ablation).
+	PerFlowMonitors bool
+}
+
+func (t Tuning) options() idard.Options {
+	return idard.Options{
+		QueryInterval:    t.QueryInterval,
+		ScheduleInterval: t.ScheduleInterval,
+		ScheduleJitter:   t.ScheduleJitter,
+		DisableJitter:    t.DisableJitter,
+		Delta:            t.DeltaBps,
+		PerFlowMonitors:  t.PerFlowMonitors,
+	}
+}
+
+// LinkFailure schedules a duplex link failure (or repair) during a run,
+// identified by the two switch/host names it connects. Flow engine only.
+type LinkFailure struct {
+	// AtSec is the event time.
+	AtSec float64
+	// From and To name the endpoints, e.g. "aggr1_1" and "core1".
+	From, To string
+	// Repair restores the link instead of failing it.
+	Repair bool
+}
+
+// Scenario is one experiment: a topology, a scheduler, and a workload.
+type Scenario struct {
+	// Topology to build (zero value: p=8 fat-tree).
+	Topology TopologySpec
+	// Scheduler to run (default SchedulerDARD).
+	Scheduler Scheduler
+	// Pattern picks destinations (default PatternRandom).
+	Pattern Pattern
+	// RatePerHost is the Poisson flow arrival rate per host in flows/s
+	// (default 1).
+	RatePerHost float64
+	// Duration is the arrival window in seconds (default 30). The
+	// simulation continues until every flow drains.
+	Duration float64
+	// FileSizeMB is the elephant transfer size (default 128 MB, the
+	// paper's setting; scale down for quick runs).
+	FileSizeMB float64
+	// Seed makes the run deterministic (default 1).
+	Seed int64
+	// Engine selects flow-level or packet-level simulation (default
+	// EngineFlow).
+	Engine Engine
+	// DARD tunes the DARD control loop.
+	DARD Tuning
+	// VLBIntervalSec is pVLB's re-pick period (default 5 s).
+	VLBIntervalSec float64
+	// ElephantAgeSec is the detection threshold (default 1 s).
+	ElephantAgeSec float64
+	// MaxTimeSec aborts stuck runs (default: engine default).
+	MaxTimeSec float64
+	// LinkFailures schedules link failures and repairs (flow engine
+	// only): DARD reroutes around them, static schedulers strand.
+	LinkFailures []LinkFailure
+	// Topo, when non-nil, reuses a pre-built topology instead of
+	// building Topology (useful to share one across scenarios).
+	Topo *Topology
+}
+
+func (s Scenario) withDefaults() Scenario {
+	if s.Scheduler == "" {
+		s.Scheduler = SchedulerDARD
+	}
+	if s.Pattern == "" {
+		s.Pattern = PatternRandom
+	}
+	if s.RatePerHost == 0 {
+		s.RatePerHost = 1
+	}
+	if s.Duration == 0 {
+		s.Duration = 30
+	}
+	if s.FileSizeMB == 0 {
+		s.FileSizeMB = 128
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Engine == "" {
+		s.Engine = EngineFlow
+	}
+	return s
+}
+
+// Run builds the topology (unless Topo is set), generates the workload,
+// and executes the scenario.
+func (s Scenario) Run() (*Report, error) {
+	s = s.withDefaults()
+	topo := s.Topo
+	if topo == nil {
+		var err error
+		topo, err = s.Topology.Build()
+		if err != nil {
+			return nil, err
+		}
+	}
+	flows, err := s.generate(topo)
+	if err != nil {
+		return nil, err
+	}
+	switch s.Engine {
+	case EngineFlow:
+		return s.runFlow(topo, flows)
+	case EnginePacket:
+		return s.runPacket(topo, flows)
+	default:
+		return nil, fmt.Errorf("dard: unknown engine %q", s.Engine)
+	}
+}
+
+func (s Scenario) generate(topo *Topology) ([]workload.Flow, error) {
+	var pattern workload.Pattern
+	switch s.Pattern {
+	case PatternRandom:
+		pattern = workload.Random{L: topo.layout}
+	case PatternStaggered:
+		pattern = workload.NewStaggered(topo.layout)
+	case PatternStride:
+		pattern = workload.Stride{N: topo.layout.NumHosts, Step: topo.layout.HostsPerPod()}
+	default:
+		return nil, fmt.Errorf("dard: unknown pattern %q", s.Pattern)
+	}
+	return workload.Generate(topo.layout, workload.Config{
+		Pattern:     pattern,
+		RatePerHost: s.RatePerHost,
+		Duration:    s.Duration,
+		SizeBytes:   s.FileSizeMB * (1 << 20),
+		Seed:        s.Seed,
+	})
+}
+
+func (s Scenario) runFlow(topo *Topology, flows []workload.Flow) (*Report, error) {
+	var ctl flowsim.Controller
+	switch s.Scheduler {
+	case SchedulerECMP:
+		ctl = sched.ECMP{}
+	case SchedulerPVLB:
+		ctl = &sched.PVLB{Interval: s.VLBIntervalSec}
+	case SchedulerDARD:
+		ctl = idard.New(s.DARD.options())
+	case SchedulerAnnealing:
+		ctl = hedera.New(hedera.Options{})
+	case SchedulerTeXCP:
+		return nil, fmt.Errorf("dard: TeXCP requires Engine: EnginePacket (per-packet splitting)")
+	default:
+		return nil, fmt.Errorf("dard: unknown scheduler %q", s.Scheduler)
+	}
+	events, err := s.linkEvents(topo)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := flowsim.New(flowsim.Config{
+		Net:         topo.net,
+		Controller:  ctl,
+		Flows:       flows,
+		Seed:        s.Seed,
+		ElephantAge: s.ElephantAgeSec,
+		MaxTime:     s.MaxTimeSec,
+		LinkEvents:  events,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run()
+	if err != nil {
+		return nil, err
+	}
+	rep := flowReport(s, topo, res)
+	rep.Flows = len(flows)
+	if dc, ok := ctl.(*idard.Controller); ok {
+		rep.DARDShifts = dc.Shifts
+		rep.DARDRounds = dc.Rounds
+	}
+	return rep, nil
+}
+
+// linkEvents resolves the scenario's named link failures to directed
+// link events (both directions of each duplex link).
+func (s Scenario) linkEvents(topo *Topology) ([]flowsim.LinkEvent, error) {
+	if len(s.LinkFailures) == 0 {
+		return nil, nil
+	}
+	g := topo.net.Graph()
+	var events []flowsim.LinkEvent
+	for _, lf := range s.LinkFailures {
+		from, ok := g.FindNode(lf.From)
+		if !ok {
+			return nil, fmt.Errorf("dard: link failure references unknown node %q", lf.From)
+		}
+		to, ok := g.FindNode(lf.To)
+		if !ok {
+			return nil, fmt.Errorf("dard: link failure references unknown node %q", lf.To)
+		}
+		l, ok := g.LinkBetween(from.ID, to.ID)
+		if !ok {
+			return nil, fmt.Errorf("dard: no link between %q and %q", lf.From, lf.To)
+		}
+		events = append(events,
+			flowsim.LinkEvent{At: lf.AtSec, Link: l, Down: !lf.Repair},
+			flowsim.LinkEvent{At: lf.AtSec, Link: g.Reverse(l), Down: !lf.Repair},
+		)
+	}
+	return events, nil
+}
+
+func (s Scenario) runPacket(topo *Topology, flows []workload.Flow) (*Report, error) {
+	if len(s.LinkFailures) > 0 {
+		return nil, fmt.Errorf("dard: link failures are only supported on the flow engine")
+	}
+	var pol psim.Policy
+	switch s.Scheduler {
+	case SchedulerECMP:
+		pol = psim.ECMP{}
+	case SchedulerPVLB:
+		pol = &psim.PVLB{Interval: s.VLBIntervalSec}
+	case SchedulerDARD:
+		pol = psim.NewDARD(s.DARD.options())
+	case SchedulerTeXCP:
+		pol = texcp.New()
+	case SchedulerAnnealing:
+		return nil, fmt.Errorf("dard: the centralized scheduler runs on Engine: EngineFlow")
+	default:
+		return nil, fmt.Errorf("dard: unknown scheduler %q", s.Scheduler)
+	}
+	rt, err := psim.NewRuntime(psim.Config{
+		Topo:        topo.net,
+		Policy:      pol,
+		Flows:       flows,
+		Seed:        s.Seed,
+		ElephantAge: s.ElephantAgeSec,
+		MaxTime:     s.MaxTimeSec,
+		TCP:         tcp.Options{},
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := rt.Run()
+	if err != nil {
+		return nil, err
+	}
+	rep := packetReport(s, topo, res)
+	rep.Flows = len(flows)
+	if dp, ok := pol.(*psim.DARD); ok {
+		rep.DARDShifts = dp.Shifts
+	}
+	return rep, nil
+}

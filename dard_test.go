@@ -1,0 +1,226 @@
+package dard
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// quick returns a small fast scenario for facade tests.
+func quick(sch Scheduler, pat Pattern) Scenario {
+	return Scenario{
+		Topology:       TopologySpec{Kind: FatTree, P: 4},
+		Scheduler:      sch,
+		Pattern:        pat,
+		RatePerHost:    0.5,
+		Duration:       10,
+		FileSizeMB:     64,
+		Seed:           7,
+		ElephantAgeSec: 0.2,
+	}
+}
+
+func TestScenarioDefaults(t *testing.T) {
+	s := Scenario{}.withDefaults()
+	if s.Scheduler != SchedulerDARD || s.Pattern != PatternRandom || s.Engine != EngineFlow {
+		t.Errorf("defaults wrong: %+v", s)
+	}
+	if s.FileSizeMB != 128 {
+		t.Errorf("default file size = %g, want 128", s.FileSizeMB)
+	}
+}
+
+func TestFlowEngineAllSchedulers(t *testing.T) {
+	for _, sch := range []Scheduler{SchedulerECMP, SchedulerPVLB, SchedulerDARD, SchedulerAnnealing} {
+		t.Run(string(sch), func(t *testing.T) {
+			rep, err := quick(sch, PatternStride).Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Unfinished != 0 {
+				t.Fatalf("%d unfinished flows", rep.Unfinished)
+			}
+			if rep.Scheduler != string(sch) {
+				t.Errorf("scheduler = %q, want %q", rep.Scheduler, sch)
+			}
+			if len(rep.TransferTimes) == 0 {
+				t.Fatal("no transfer times")
+			}
+			if m := rep.MeanTransferTime(); math.IsNaN(m) || m <= 0 {
+				t.Errorf("mean transfer time = %g", m)
+			}
+		})
+	}
+}
+
+func TestPacketEngineSchedulers(t *testing.T) {
+	for _, sch := range []Scheduler{SchedulerECMP, SchedulerDARD, SchedulerTeXCP} {
+		t.Run(string(sch), func(t *testing.T) {
+			s := quick(sch, PatternStride)
+			s.Engine = EnginePacket
+			s.Topology.LinkCapacity = 100e6
+			s.FileSizeMB = 2
+			s.RatePerHost = 0.3
+			s.Duration = 5
+			rep, err := s.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Unfinished != 0 {
+				t.Fatalf("%d unfinished flows", rep.Unfinished)
+			}
+			if len(rep.RetxRates) == 0 {
+				t.Error("packet engine should report retransmission rates")
+			}
+		})
+	}
+}
+
+func TestEngineSchedulerMismatch(t *testing.T) {
+	s := quick(SchedulerTeXCP, PatternStride)
+	if _, err := s.Run(); err == nil {
+		t.Error("TeXCP on the flow engine should fail")
+	}
+	s = quick(SchedulerAnnealing, PatternStride)
+	s.Engine = EnginePacket
+	if _, err := s.Run(); err == nil {
+		t.Error("annealing on the packet engine should fail")
+	}
+}
+
+func TestUnknowns(t *testing.T) {
+	s := quick("nosuch", PatternStride)
+	if _, err := s.Run(); err == nil {
+		t.Error("unknown scheduler should fail")
+	}
+	s = quick(SchedulerECMP, "nosuch")
+	if _, err := s.Run(); err == nil {
+		t.Error("unknown pattern should fail")
+	}
+	s = quick(SchedulerECMP, PatternStride)
+	s.Engine = "nosuch"
+	if _, err := s.Run(); err == nil {
+		t.Error("unknown engine should fail")
+	}
+	if _, err := (TopologySpec{Kind: "nosuch"}).Build(); err == nil {
+		t.Error("unknown topology should fail")
+	}
+}
+
+func TestDARDImprovesOnECMPStride(t *testing.T) {
+	// The headline result (Fig. 4/7): under stride traffic DARD beats
+	// random flow-level scheduling.
+	ecmp, err := quick(SchedulerECMP, PatternStride).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd, err := quick(SchedulerDARD, PatternStride).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := dd.ImprovementOver(ecmp)
+	if imp <= 0 {
+		t.Errorf("DARD improvement over ECMP = %.1f%%, want > 0", 100*imp)
+	}
+}
+
+func TestTopologyFacade(t *testing.T) {
+	topo, err := TopologySpec{Kind: FatTree, P: 4}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumHosts() != 16 {
+		t.Errorf("NumHosts = %d", topo.NumHosts())
+	}
+	if topo.NumSwitches() != 20 {
+		t.Errorf("NumSwitches = %d, want 20", topo.NumSwitches())
+	}
+	if got := len(topo.HostNames()); got != 16 {
+		t.Errorf("HostNames = %d entries", got)
+	}
+	n, err := topo.NumPaths("E1", "E5")
+	if err != nil || n != 4 {
+		t.Errorf("NumPaths(E1,E5) = %d,%v want 4", n, err)
+	}
+	addrs, err := topo.HostAddresses("E1")
+	if err != nil || len(addrs) != 4 {
+		t.Fatalf("HostAddresses = %v, %v", addrs, err)
+	}
+	if !strings.Contains(addrs[0], "10.") {
+		t.Errorf("expected IPv4 encoding in %q", addrs[0])
+	}
+	tables, err := topo.RoutingTables("aggr1_1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"downhill table:", "uphill table:"} {
+		if !strings.Contains(tables, want) {
+			t.Errorf("RoutingTables missing %q", want)
+		}
+	}
+	if _, err := topo.RoutingTables("E1"); err == nil {
+		t.Error("RoutingTables on a host should fail")
+	}
+	if _, err := topo.RoutingTables("nosuch"); err == nil {
+		t.Error("RoutingTables on unknown switch should fail")
+	}
+	paths, err := topo.PathsBetween("E1", "E5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(paths, "core1") || !strings.Contains(paths, "->") {
+		t.Errorf("PathsBetween output unexpected:\n%s", paths)
+	}
+	if _, err := topo.NumPaths("E1", "nosuch"); err == nil {
+		t.Error("unknown host should fail")
+	}
+}
+
+func TestTopologyKinds(t *testing.T) {
+	for _, spec := range []TopologySpec{
+		{Kind: Clos, D: 4},
+		{Kind: ThreeTier, HostsPerToR: 2},
+		{}, // default fat-tree p=8
+	} {
+		topo, err := spec.Build()
+		if err != nil {
+			t.Fatalf("%+v: %v", spec, err)
+		}
+		if topo.NumHosts() < 2 {
+			t.Errorf("%s has %d hosts", topo.Name(), topo.NumHosts())
+		}
+	}
+}
+
+func TestSharedTopologyAcrossScenarios(t *testing.T) {
+	topo, err := TopologySpec{Kind: FatTree, P: 4}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := quick(SchedulerECMP, PatternRandom)
+	s.Topo = topo
+	r1, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.MeanTransferTime() != r2.MeanTransferTime() {
+		t.Error("same scenario on shared topology should be deterministic")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep, err := quick(SchedulerDARD, PatternStride).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.String()
+	for _, want := range []string{"DARD", "transfer time", "path switches", "control traffic"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Report.String missing %q:\n%s", want, out)
+		}
+	}
+}

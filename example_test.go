@@ -1,0 +1,44 @@
+package dard_test
+
+import (
+	"fmt"
+
+	"dard"
+)
+
+// ExampleTopologySpec_Build constructs the paper's Figure 2 fabric and
+// inspects its addressing.
+func ExampleTopologySpec_Build() {
+	topo, err := dard.TopologySpec{Kind: dard.FatTree, P: 4}.Build()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(topo.Name(), topo.NumHosts(), "hosts", topo.NumSwitches(), "switches")
+	n, _ := topo.NumPaths("E1", "E5")
+	fmt.Println("equal-cost paths E1 -> E5:", n)
+	addrs, _ := topo.HostAddresses("E1")
+	fmt.Println("E1's first address:", addrs[0])
+	// Output:
+	// fattree(p=4) 16 hosts 20 switches
+	// equal-cost paths E1 -> E5: 4
+	// E1's first address: (1,1,1,1) = 10.4.16.65
+}
+
+// ExampleScenario_Run runs the smallest deterministic scenario.
+func ExampleScenario_Run() {
+	rep, err := dard.Scenario{
+		Topology:    dard.TopologySpec{Kind: dard.FatTree, P: 4},
+		Scheduler:   dard.SchedulerECMP,
+		Pattern:     dard.PatternStride,
+		RatePerHost: 0.25,
+		Duration:    4,
+		FileSizeMB:  16,
+		Seed:        1,
+	}.Run()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(rep.Scheduler, "completed", len(rep.TransferTimes), "of", rep.Flows, "flows")
+	// Output:
+	// ECMP completed 13 of 13 flows
+}

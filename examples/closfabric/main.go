@@ -1,0 +1,70 @@
+// Closfabric runs the stride workload over a VL2-style Clos network — the
+// topology where a path needs both the uphill and the downhill
+// aggregation switch to be pinned down (§2.3), which is exactly why DARD
+// keeps two routing tables per switch. It compares the flow-level
+// schedulers and then shows one ToR pair's path set.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dard"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	topo, err := dard.TopologySpec{Kind: dard.Clos, D: 4, HostsPerToR: 2}.Build()
+	if err != nil {
+		return err
+	}
+	hosts := topo.HostNames()
+	first, last := hosts[0], hosts[len(hosts)-1]
+	n, err := topo.NumPaths(first, last)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d hosts, %d equal-cost paths between %s and %s\n\n",
+		topo.Name(), topo.NumHosts(), n, first, last)
+	pathText, err := topo.PathsBetween(first, last)
+	if err != nil {
+		return err
+	}
+	fmt.Println("each path is an (uphill aggr, intermediate, downhill aggr) triple:")
+	fmt.Print(pathText, "\n")
+
+	base := dard.Scenario{
+		Topo:        topo,
+		Pattern:     dard.PatternStride,
+		RatePerHost: 1.5,
+		Duration:    20,
+		FileSizeMB:  64,
+		Seed:        11,
+		DARD:        dard.Tuning{QueryInterval: 0.5, ScheduleInterval: 2.5, ScheduleJitter: 2.5},
+	}
+	var ecmpRep *dard.Report
+	for _, sch := range []dard.Scheduler{
+		dard.SchedulerECMP, dard.SchedulerPVLB, dard.SchedulerDARD, dard.SchedulerAnnealing,
+	} {
+		s := base
+		s.Scheduler = sch
+		rep, err := s.Run()
+		if err != nil {
+			return err
+		}
+		line := fmt.Sprintf("%-20s mean %.3fs  p90 %.3fs", rep.Scheduler,
+			rep.MeanTransferTime(), rep.TransferTimeQuantile(0.9))
+		if sch == dard.SchedulerECMP {
+			ecmpRep = rep
+		} else {
+			line += fmt.Sprintf("  (%+.1f%% vs ECMP)", 100*rep.ImprovementOver(ecmpRep))
+		}
+		fmt.Println(line)
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+// Elephanthunt compares all four schedulers on the staggered(0.5, 0.3)
+// workload of §4.1 — the intra-pod-dominant traffic mix where the paper
+// shows DARD matching or beating even the centralized scheduler — and
+// prints the stability statistics (path switches per flow) that argue
+// DARD introduces little path oscillation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"dard"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	topo, err := dard.TopologySpec{Kind: dard.FatTree, P: 8, HostsPerToR: 2}.Build()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("staggered(0.5, 0.3) on %s: most elephants stay inside their ToR or pod\n\n", topo.Name())
+
+	base := dard.Scenario{
+		Topo:        topo,
+		Pattern:     dard.PatternStaggered,
+		RatePerHost: 1.5,
+		Duration:    20,
+		FileSizeMB:  64,
+		Seed:        7,
+		DARD:        dard.Tuning{QueryInterval: 0.5, ScheduleInterval: 2.5, ScheduleJitter: 2.5},
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "scheduler\tmean(s)\tp90(s)\tmax(s)\tswitch p90\tswitch max")
+	for _, sch := range []dard.Scheduler{
+		dard.SchedulerECMP, dard.SchedulerPVLB, dard.SchedulerDARD, dard.SchedulerAnnealing,
+	} {
+		s := base
+		s.Scheduler = sch
+		rep, err := s.Run()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s\t%.3f\t%.3f\t%.3f\t%.0f\t%.0f\n",
+			rep.Scheduler,
+			rep.MeanTransferTime(),
+			rep.TransferTimeQuantile(0.9),
+			rep.TransferTimeQuantile(1),
+			rep.PathSwitchQuantile(0.9),
+			rep.PathSwitchQuantile(1))
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("\nWith intra-pod traffic dominant, the bottlenecks sit on host access")
+	fmt.Println("links that no scheduler can route around (§4.2), so the spread is")
+	fmt.Println("small — and DARD's flows rarely switch paths at all.")
+	return nil
+}

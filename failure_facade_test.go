@@ -1,0 +1,63 @@
+package dard
+
+import "testing"
+
+// TestLinkFailureFacade runs the failure-injection extension through the
+// public API: a fabric link dies mid-run; DARD completes every flow while
+// ECMP strands the ones hashed onto the dead link.
+func TestLinkFailureFacade(t *testing.T) {
+	base := Scenario{
+		Topology:       TopologySpec{Kind: FatTree, P: 4},
+		Pattern:        PatternStride,
+		RatePerHost:    0.5,
+		Duration:       8,
+		FileSizeMB:     64,
+		Seed:           9,
+		ElephantAgeSec: 0.25,
+		MaxTimeSec:     60,
+		DARD:           Tuning{QueryInterval: 0.25, ScheduleInterval: 0.5, ScheduleJitter: 0.5},
+		LinkFailures: []LinkFailure{
+			{AtSec: 2, From: "aggr1_1", To: "core1"},
+		},
+	}
+	ecmpScn := base
+	ecmpScn.Scheduler = SchedulerECMP
+	ecmp, err := ecmpScn.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dardScn := base
+	dardScn.Scheduler = SchedulerDARD
+	dd, err := dardScn.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dd.Unfinished != 0 {
+		t.Errorf("DARD stranded %d flows on the dead link", dd.Unfinished)
+	}
+	if ecmp.Unfinished == 0 {
+		t.Error("expected ECMP to strand at least one flow (hash onto the dead link)")
+	}
+}
+
+func TestLinkFailureValidation(t *testing.T) {
+	base := Scenario{
+		Topology:     TopologySpec{Kind: FatTree, P: 4},
+		Duration:     2,
+		RatePerHost:  0.5,
+		FileSizeMB:   8,
+		LinkFailures: []LinkFailure{{AtSec: 1, From: "nosuch", To: "core1"}},
+	}
+	if _, err := base.Run(); err == nil {
+		t.Error("unknown failure endpoint should fail")
+	}
+	base.LinkFailures = []LinkFailure{{AtSec: 1, From: "core1", To: "core2"}}
+	if _, err := base.Run(); err == nil {
+		t.Error("non-adjacent failure endpoints should fail")
+	}
+	base.LinkFailures = []LinkFailure{{AtSec: 1, From: "aggr1_1", To: "core1"}}
+	base.Engine = EnginePacket
+	if _, err := base.Run(); err == nil {
+		t.Error("failures on the packet engine should be rejected")
+	}
+}

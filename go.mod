@@ -1,0 +1,3 @@
+module dard
+
+go 1.22

@@ -1,0 +1,107 @@
+// Package addressing implements DARD's hierarchical addressing scheme
+// (paper §2.3). Each core (or intermediate) switch roots a tree and owns a
+// unique prefix; nonoverlapping subdivisions are allocated recursively down
+// the hierarchy, so every device receives one address per downward path
+// from each root. A source/destination address pair then uniquely encodes
+// an end-to-end path: the source address encodes the uphill segment and the
+// destination address the downhill segment, exactly as in NIRA.
+//
+// Addresses are tuples of four groups (root, port, port, host). The paper
+// packs them into the last 24 bits of a 10.0.0.0/8 IPv4 address using six
+// bits per group; that encoding is provided for topologies small enough to
+// fit, while the tuple form works at any scale.
+package addressing
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Groups is the fixed hierarchy depth: root, two switch levels, host.
+const Groups = 4
+
+// BitsPerGroup is the paper's IPv4 packing width: every 6 bits of the
+// address's last 24 bits represent one hierarchy level.
+const BitsPerGroup = 6
+
+// Address is a hierarchical address as a tuple of group values. Group 0 is
+// the root (core/intermediate) switch, groups 1..2 are the port choices
+// down the hierarchy, group 3 is the host. Group values are 1-based; zero
+// means "unallocated" and only appears in prefixes.
+type Address [Groups]uint16
+
+// String renders the tuple in the paper's decimal notation, e.g. "(1,1,1,2)".
+func (a Address) String() string {
+	parts := make([]string, Groups)
+	for i, g := range a {
+		parts[i] = fmt.Sprintf("%d", g)
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// IPv4 packs the address into the paper's 10.0.0.0/8 encoding with six bits
+// per group. It fails if any group exceeds 63.
+func (a Address) IPv4() (string, error) {
+	var v uint32
+	for i, g := range a {
+		if g >= 1<<BitsPerGroup {
+			return "", fmt.Errorf("group %d value %d does not fit in %d bits", i, g, BitsPerGroup)
+		}
+		v |= uint32(g) << (BitsPerGroup * (Groups - 1 - i))
+	}
+	return fmt.Sprintf("10.%d.%d.%d", (v>>16)&0xff, (v>>8)&0xff, v&0xff), nil
+}
+
+// Prefix is an address prefix: the first Len groups of Addr are
+// significant.
+type Prefix struct {
+	Addr Address
+	// Len is the number of significant groups, 0..Groups.
+	Len int
+}
+
+// Matches reports whether the address falls under the prefix.
+func (p Prefix) Matches(a Address) bool {
+	for i := 0; i < p.Len; i++ {
+		if a[i] != p.Addr[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether every address under q is also under p.
+func (p Prefix) Contains(q Prefix) bool {
+	return p.Len <= q.Len && p.Matches(q.Addr)
+}
+
+// String renders the prefix in the paper's notation, e.g. "(1,1,0,0)/2"
+// where the suffix counts significant groups.
+func (p Prefix) String() string {
+	return fmt.Sprintf("%v/%d", p.Addr, p.Len)
+}
+
+// IPv4 renders the prefix in CIDR form under the paper's 6-bit packing:
+// group length L maps to a /(8 + 6L) IPv4 prefix, so roots are /14, pods
+// /20, ToR subtrees /26.
+func (p Prefix) IPv4() (string, error) {
+	ip, err := p.Addr.IPv4()
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%s/%d", ip, 8+BitsPerGroup*p.Len), nil
+}
+
+// Extend returns the prefix one level deeper with the next group set to v.
+func (p Prefix) Extend(v uint16) (Prefix, error) {
+	if p.Len >= Groups {
+		return Prefix{}, fmt.Errorf("cannot extend full-length prefix %v", p)
+	}
+	if v == 0 {
+		return Prefix{}, fmt.Errorf("group values are 1-based; cannot extend %v with 0", p)
+	}
+	q := p
+	q.Addr[q.Len] = v
+	q.Len++
+	return q, nil
+}

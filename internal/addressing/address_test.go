@@ -1,0 +1,108 @@
+package addressing
+
+import "testing"
+
+func TestAddressString(t *testing.T) {
+	a := Address{1, 1, 1, 2}
+	if got := a.String(); got != "(1,1,1,2)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// TestIPv4PackingMatchesPaper checks the concrete encodings worked out in
+// §2.3: core1 owns 10.4.0.0/14, its pod subtrees get 10.4.16.0/20 and
+// 10.4.32.0/20, and aggr1 allocates 10.4.16.64/26 and 10.4.16.128/26.
+func TestIPv4PackingMatchesPaper(t *testing.T) {
+	tests := []struct {
+		pfx  Prefix
+		want string
+	}{
+		{Prefix{Address{1, 0, 0, 0}, 1}, "10.4.0.0/14"},
+		{Prefix{Address{1, 1, 0, 0}, 2}, "10.4.16.0/20"},
+		{Prefix{Address{1, 2, 0, 0}, 2}, "10.4.32.0/20"},
+		{Prefix{Address{1, 1, 1, 0}, 3}, "10.4.16.64/26"},
+		{Prefix{Address{1, 1, 2, 0}, 3}, "10.4.16.128/26"},
+		{Prefix{Address{2, 0, 0, 0}, 1}, "10.8.0.0/14"},
+	}
+	for _, tc := range tests {
+		got, err := tc.pfx.IPv4()
+		if err != nil {
+			t.Errorf("%v: %v", tc.pfx, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%v IPv4 = %s, want %s", tc.pfx, got, tc.want)
+		}
+	}
+
+	// A full host address: (1,1,1,2) -> 10.4.16.66.
+	ip, err := (Address{1, 1, 1, 2}).IPv4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip != "10.4.16.66" {
+		t.Errorf("host address IPv4 = %s, want 10.4.16.66", ip)
+	}
+}
+
+func TestIPv4Overflow(t *testing.T) {
+	if _, err := (Address{64, 0, 0, 0}).IPv4(); err == nil {
+		t.Error("group value 64 must not fit 6-bit packing")
+	}
+	if _, err := (Prefix{Address{64, 0, 0, 0}, 1}).IPv4(); err == nil {
+		t.Error("prefix with group 64 must not encode")
+	}
+}
+
+func TestPrefixMatches(t *testing.T) {
+	p := Prefix{Address{1, 2, 0, 0}, 2}
+	if !p.Matches(Address{1, 2, 3, 4}) {
+		t.Error("should match address under prefix")
+	}
+	if p.Matches(Address{1, 3, 3, 4}) {
+		t.Error("should not match address outside prefix")
+	}
+	if !(Prefix{}).Matches(Address{9, 9, 9, 9}) {
+		t.Error("zero-length prefix matches everything")
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	root := Prefix{Address{1, 0, 0, 0}, 1}
+	pod := Prefix{Address{1, 2, 0, 0}, 2}
+	other := Prefix{Address{2, 1, 0, 0}, 2}
+	if !root.Contains(pod) {
+		t.Error("root should contain its pod")
+	}
+	if pod.Contains(root) {
+		t.Error("pod should not contain its root")
+	}
+	if root.Contains(other) {
+		t.Error("root1 should not contain a root2 subtree")
+	}
+}
+
+func TestPrefixExtend(t *testing.T) {
+	p := Prefix{Address{1, 0, 0, 0}, 1}
+	q, err := p.Extend(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Len != 2 || q.Addr != (Address{1, 3, 0, 0}) {
+		t.Errorf("Extend = %v", q)
+	}
+	if _, err := q.Extend(0); err == nil {
+		t.Error("extending with 0 should fail (group values are 1-based)")
+	}
+	full := Prefix{Address{1, 1, 1, 1}, 4}
+	if _, err := full.Extend(1); err == nil {
+		t.Error("extending a full address should fail")
+	}
+}
+
+func TestPrefixString(t *testing.T) {
+	p := Prefix{Address{1, 1, 0, 0}, 2}
+	if got := p.String(); got != "(1,1,0,0)/2" {
+		t.Errorf("String = %q", got)
+	}
+}

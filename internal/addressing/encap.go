@@ -1,0 +1,105 @@
+package addressing
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The paper's prototype moves a flow between paths by IP-in-IP tunneling
+// (§3.1): the source encapsulates each packet with an outer header whose
+// source/destination addresses encode the chosen uphill/downhill path;
+// the destination decapsulates and hands the inner packet to the upper
+// layers. EncapHeader is that outer header in a compact fixed wire
+// format:
+//
+//	magic(2) | version(1) | reserved(1) | outerSrc(8) | outerDst(8) |
+//	flowID(4) | innerLen(4)
+//
+// Addresses serialize as four big-endian uint16 groups.
+
+// EncapHeaderLen is the wire length of an encapsulation header.
+const EncapHeaderLen = 2 + 1 + 1 + 8 + 8 + 4 + 4
+
+// encapMagic guards against decapsulating arbitrary bytes.
+const encapMagic = 0xDA4D
+
+// encapVersion is the current wire version.
+const encapVersion = 1
+
+// EncapHeader is the outer tunnel header carrying the path-selecting
+// address pair.
+type EncapHeader struct {
+	// OuterSrc encodes the uphill path; OuterDst the downhill path.
+	OuterSrc, OuterDst Address
+	// FlowID identifies the tunneled connection.
+	FlowID uint32
+	// InnerLen is the byte length of the encapsulated payload.
+	InnerLen uint32
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (h EncapHeader) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, EncapHeaderLen)
+	binary.BigEndian.PutUint16(buf[0:], encapMagic)
+	buf[2] = encapVersion
+	off := 4
+	for _, g := range h.OuterSrc {
+		binary.BigEndian.PutUint16(buf[off:], g)
+		off += 2
+	}
+	for _, g := range h.OuterDst {
+		binary.BigEndian.PutUint16(buf[off:], g)
+		off += 2
+	}
+	binary.BigEndian.PutUint32(buf[off:], h.FlowID)
+	binary.BigEndian.PutUint32(buf[off+4:], h.InnerLen)
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (h *EncapHeader) UnmarshalBinary(data []byte) error {
+	if len(data) < EncapHeaderLen {
+		return fmt.Errorf("encap: header needs %d bytes, have %d", EncapHeaderLen, len(data))
+	}
+	if m := binary.BigEndian.Uint16(data[0:]); m != encapMagic {
+		return fmt.Errorf("encap: bad magic %#04x", m)
+	}
+	if v := data[2]; v != encapVersion {
+		return fmt.Errorf("encap: unsupported version %d", v)
+	}
+	off := 4
+	for i := range h.OuterSrc {
+		h.OuterSrc[i] = binary.BigEndian.Uint16(data[off:])
+		off += 2
+	}
+	for i := range h.OuterDst {
+		h.OuterDst[i] = binary.BigEndian.Uint16(data[off:])
+		off += 2
+	}
+	h.FlowID = binary.BigEndian.Uint32(data[off:])
+	h.InnerLen = binary.BigEndian.Uint32(data[off+4:])
+	return nil
+}
+
+// Encapsulate prepends the header to a payload.
+func Encapsulate(h EncapHeader, payload []byte) ([]byte, error) {
+	h.InnerLen = uint32(len(payload))
+	hdr, err := h.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return append(hdr, payload...), nil
+}
+
+// Decapsulate splits a tunneled packet into its header and payload.
+func Decapsulate(packet []byte) (EncapHeader, []byte, error) {
+	var h EncapHeader
+	if err := h.UnmarshalBinary(packet); err != nil {
+		return h, nil, err
+	}
+	body := packet[EncapHeaderLen:]
+	if uint32(len(body)) < h.InnerLen {
+		return h, nil, fmt.Errorf("encap: truncated payload: header says %d bytes, have %d", h.InnerLen, len(body))
+	}
+	return h, body[:h.InnerLen], nil
+}

@@ -1,0 +1,120 @@
+package addressing
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dard/internal/topology"
+)
+
+// The paper's prototype initializes every OpenFlow switch once, through a
+// NOX component, with two static flow tables (§3.1): flow table 0 holds
+// the downhill entries (matched against the destination address) and flow
+// table 1 the uphill entries (matched against the source address); table
+// 0 is consulted first, giving downhill routes higher priority. All
+// entries are permanent — the controller is never consulted again, which
+// is the paper's argument that DARD does not depend on a centralized
+// controller at runtime.
+
+// FlowRule is one OpenFlow-style rule in the initialization program.
+type FlowRule struct {
+	// Table is 0 for downhill (destination-matched) rules, 1 for uphill
+	// (source-matched) rules.
+	Table int
+	// Priority orders rules within a table: longer prefixes match first.
+	Priority int
+	// Match is the prefix the rule matches (against the destination
+	// address in table 0, the source address in table 1).
+	Match Prefix
+	// OutPort is the 1-based exit port index at this switch.
+	OutPort int
+	// NextHop names the neighbor reached through OutPort.
+	NextHop string
+}
+
+// SwitchProgram is the complete initialization of one switch.
+type SwitchProgram struct {
+	Switch string
+	Rules  []FlowRule
+}
+
+// FlowTablePrograms compiles the plan's uphill/downhill tables into the
+// per-switch initialization programs the NOX component would install,
+// ordered by switch name.
+func (p *Plan) FlowTablePrograms() []SwitchProgram {
+	g := p.net.Graph()
+	var programs []SwitchProgram
+	for sw, tables := range p.tables {
+		node := g.Node(sw)
+		prog := SwitchProgram{Switch: node.Name}
+		portOf := portIndexer(g, sw)
+		for _, e := range tables.Downhill {
+			prog.Rules = append(prog.Rules, FlowRule{
+				Table:    0,
+				Priority: e.Prefix.Len,
+				Match:    e.Prefix,
+				OutPort:  portOf(e.Link),
+				NextHop:  g.Node(g.Link(e.Link).To).Name,
+			})
+		}
+		for _, e := range tables.Uphill {
+			prog.Rules = append(prog.Rules, FlowRule{
+				Table:    1,
+				Priority: e.Prefix.Len,
+				Match:    e.Prefix,
+				OutPort:  portOf(e.Link),
+				NextHop:  g.Node(g.Link(e.Link).To).Name,
+			})
+		}
+		sort.SliceStable(prog.Rules, func(i, j int) bool {
+			if prog.Rules[i].Table != prog.Rules[j].Table {
+				return prog.Rules[i].Table < prog.Rules[j].Table
+			}
+			return prog.Rules[i].Priority > prog.Rules[j].Priority
+		})
+		programs = append(programs, prog)
+	}
+	sort.Slice(programs, func(i, j int) bool { return programs[i].Switch < programs[j].Switch })
+	return programs
+}
+
+// portIndexer maps a switch's outgoing links to 1-based port indices in
+// adjacency order, the numbering the prefix allocation uses.
+func portIndexer(g *topology.Graph, sw topology.NodeID) func(topology.LinkID) int {
+	out := g.Out(sw)
+	idx := make(map[topology.LinkID]int, len(out))
+	for i, l := range out {
+		idx[l] = i + 1
+	}
+	return func(l topology.LinkID) int { return idx[l] }
+}
+
+// String renders the program in a readable ovs-ofctl-like form.
+func (sp SwitchProgram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "switch %s (%d rules)\n", sp.Switch, len(sp.Rules))
+	for _, r := range sp.Rules {
+		match := "ip_dst"
+		if r.Table == 1 {
+			match = "ip_src"
+		}
+		pfx := r.Match.String()
+		if ip, err := r.Match.IPv4(); err == nil {
+			pfx = ip
+		}
+		fmt.Fprintf(&b, "  table=%d priority=%d %s=%s actions=output:%d  # -> %s\n",
+			r.Table, r.Priority, match, pfx, r.OutPort, r.NextHop)
+	}
+	return b.String()
+}
+
+// TotalRules counts the rules the initializer installs network-wide — a
+// measure of the (one-time) configuration cost.
+func (p *Plan) TotalRules() int {
+	n := 0
+	for _, t := range p.tables {
+		n += len(t.Downhill) + len(t.Uphill)
+	}
+	return n
+}

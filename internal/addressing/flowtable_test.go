@@ -1,0 +1,123 @@
+package addressing
+
+import (
+	"strings"
+	"testing"
+
+	"dard/internal/topology"
+)
+
+func TestFlowTableProgramsFatTree(t *testing.T) {
+	ft, plan := buildFatTree(t, 4)
+	programs := plan.FlowTablePrograms()
+	// One program per switch: 4 cores + 8 aggrs + 8 ToRs.
+	if len(programs) != 20 {
+		t.Fatalf("programs = %d, want 20", len(programs))
+	}
+	byName := make(map[string]SwitchProgram, len(programs))
+	for _, p := range programs {
+		byName[p.Switch] = p
+	}
+
+	// Cores: downhill only (§2.3), one /2 rule per pod per... core1 has
+	// 4 pods' subtrees: 4 rules, all table 0.
+	core := byName["core1"]
+	if len(core.Rules) != 4 {
+		t.Errorf("core1 rules = %d, want 4", len(core.Rules))
+	}
+	for _, r := range core.Rules {
+		if r.Table != 0 {
+			t.Errorf("core rule in table %d, want 0 (downhill only)", r.Table)
+		}
+	}
+
+	// Aggrs: 4 downhill (table 0) + 2 uphill (table 1).
+	aggr := byName["aggr1_1"]
+	var t0, t1 int
+	for _, r := range aggr.Rules {
+		switch r.Table {
+		case 0:
+			t0++
+		case 1:
+			t1++
+		}
+	}
+	if t0 != 4 || t1 != 2 {
+		t.Errorf("aggr1_1 tables = %d/%d, want 4 downhill / 2 uphill", t0, t1)
+	}
+	// Table 0 comes first (downhill priority, §3.1) and longer prefixes
+	// have higher priority within a table.
+	lastTable, lastPrio := -1, 1<<30
+	for _, r := range aggr.Rules {
+		if r.Table < lastTable {
+			t.Error("rules not ordered by table")
+		}
+		if r.Table == lastTable && r.Priority > lastPrio {
+			t.Error("rules not ordered by priority within table")
+		}
+		if r.Table != lastTable {
+			lastPrio = 1 << 30
+		}
+		lastTable, lastPrio = r.Table, r.Priority
+	}
+	// Ports are 1-based and within the switch degree.
+	for _, r := range aggr.Rules {
+		if r.OutPort < 1 || r.OutPort > 4 {
+			t.Errorf("out port %d out of range", r.OutPort)
+		}
+	}
+
+	out := aggr.String()
+	for _, want := range []string{"table=0", "table=1", "ip_dst", "ip_src", "actions=output:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("program rendering missing %q:\n%s", want, out)
+		}
+	}
+
+	// Network-wide rule count: every allocation edge contributes one
+	// downhill rule and (for non-host children) one uphill rule.
+	if got := plan.TotalRules(); got <= 0 {
+		t.Fatalf("TotalRules = %d", got)
+	}
+	total := 0
+	for _, p := range programs {
+		total += len(p.Rules)
+	}
+	if total != plan.TotalRules() {
+		t.Errorf("program rules %d != TotalRules %d", total, plan.TotalRules())
+	}
+	_ = ft
+}
+
+func TestFlowTableProgramsClos(t *testing.T) {
+	cl, err := topology.NewClos(topology.ClosConfig{DI: 4, DA: 4, HostsPerToR: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Build(cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	programs := plan.FlowTablePrograms()
+	if len(programs) != 4+4+4 {
+		t.Fatalf("programs = %d, want 12", len(programs))
+	}
+	// ToRs in a Clos have two parents per tree: uphill rules for both.
+	for _, p := range programs {
+		if !strings.HasPrefix(p.Switch, "tor") {
+			continue
+		}
+		uphill := 0
+		for _, r := range p.Rules {
+			if r.Table == 1 {
+				uphill++
+			}
+		}
+		// Each ToR received 2 prefixes per intermediate (one via each
+		// aggr); uphill rules point at the parent's own prefixes: 2
+		// aggrs x 4 prefixes each = 8.
+		if uphill != 8 {
+			t.Errorf("%s uphill rules = %d, want 8", p.Switch, uphill)
+		}
+	}
+}

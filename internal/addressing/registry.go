@@ -1,0 +1,61 @@
+package addressing
+
+import (
+	"fmt"
+	"sort"
+
+	"dard/internal/topology"
+)
+
+// Registry is the DNS-like mapping from location-independent host IDs to
+// the host's underlying hierarchical addresses (§2.3). The paper keeps
+// this mapping in a configuration file cached at every end host; here it
+// is an in-memory index built from a Plan.
+type Registry struct {
+	byName map[string]topology.NodeID
+	byAddr map[Address]topology.NodeID
+	plan   *Plan
+}
+
+// NewRegistry indexes every host of the plan's topology.
+func NewRegistry(plan *Plan) *Registry {
+	r := &Registry{
+		byName: make(map[string]topology.NodeID),
+		byAddr: make(map[Address]topology.NodeID),
+		plan:   plan,
+	}
+	g := plan.Network().Graph()
+	for _, h := range plan.Network().Hosts() {
+		r.byName[g.Node(h).Name] = h
+		for _, a := range plan.AddressesOf(h) {
+			r.byAddr[a] = h
+		}
+	}
+	return r
+}
+
+// Resolve returns the host with the given location-independent name and
+// all of its addresses.
+func (r *Registry) Resolve(name string) (topology.NodeID, []Address, error) {
+	h, ok := r.byName[name]
+	if !ok {
+		return 0, nil, fmt.Errorf("unknown host ID %q", name)
+	}
+	return h, r.plan.AddressesOf(h), nil
+}
+
+// ReverseLookup maps an address back to its host.
+func (r *Registry) ReverseLookup(a Address) (topology.NodeID, bool) {
+	h, ok := r.byAddr[a]
+	return h, ok
+}
+
+// HostNames lists every registered host ID, sorted.
+func (r *Registry) HostNames() []string {
+	names := make([]string, 0, len(r.byName))
+	for n := range r.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

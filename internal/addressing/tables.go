@@ -1,0 +1,156 @@
+package addressing
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dard/internal/topology"
+)
+
+// Entry is one routing table row: a prefix and the outgoing link.
+type Entry struct {
+	Prefix Prefix
+	Link   topology.LinkID
+}
+
+// Tables holds a switch's two forwarding tables (§2.3): the downhill table
+// keeps the prefixes the switch allocated to downstream devices; the
+// uphill table keeps the prefixes allocated to it from upstream switches.
+// A core switch has an empty uphill table.
+type Tables struct {
+	Downhill []Entry
+	Uphill   []Entry
+}
+
+func appendEntry(entries []Entry, e Entry) []Entry {
+	for _, x := range entries {
+		if x.Prefix == e.Prefix && x.Link == e.Link {
+			return entries // dedupe identical rows
+		}
+	}
+	return append(entries, e)
+}
+
+// sort orders entries longest-prefix-first so a linear scan implements
+// longest-prefix matching.
+func (t *Tables) sort() {
+	byLen := func(entries []Entry) {
+		sort.SliceStable(entries, func(i, j int) bool {
+			if entries[i].Prefix.Len != entries[j].Prefix.Len {
+				return entries[i].Prefix.Len > entries[j].Prefix.Len
+			}
+			return less(entries[i].Prefix.Addr, entries[j].Prefix.Addr)
+		})
+	}
+	byLen(t.Downhill)
+	byLen(t.Uphill)
+}
+
+func less(a, b Address) bool {
+	for i := 0; i < Groups; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// LookupDownhill returns the longest downhill match for the address.
+func (t *Tables) LookupDownhill(a Address) (topology.LinkID, bool) {
+	return lookup(t.Downhill, a)
+}
+
+// LookupUphill returns the longest uphill match for the address.
+func (t *Tables) LookupUphill(a Address) (topology.LinkID, bool) {
+	return lookup(t.Uphill, a)
+}
+
+func lookup(entries []Entry, a Address) (topology.LinkID, bool) {
+	for _, e := range entries {
+		if e.Prefix.Matches(a) {
+			return e.Link, true
+		}
+	}
+	return 0, false
+}
+
+// Forward implements the paper's downhill-uphill-looking-up scheme: a
+// switch first looks the destination address up in the downhill table; on
+// a miss it looks the source address up in the uphill table.
+func (t *Tables) Forward(src, dst Address) (topology.LinkID, error) {
+	if l, ok := t.LookupDownhill(dst); ok {
+		return l, nil
+	}
+	if l, ok := t.LookupUphill(src); ok {
+		return l, nil
+	}
+	return 0, fmt.Errorf("no route: dst %v missed downhill, src %v missed uphill", dst, src)
+}
+
+// Format renders both tables in the paper's Table 2 style using IPv4
+// notation when the addresses fit the 6-bit packing, tuple notation
+// otherwise.
+func (t *Tables) Format(g *topology.Graph) string {
+	var b strings.Builder
+	render := func(name string, entries []Entry) {
+		fmt.Fprintf(&b, "%s table:\n", name)
+		for _, e := range entries {
+			pfx := e.Prefix.String()
+			if ip, err := e.Prefix.IPv4(); err == nil {
+				pfx = ip
+			}
+			fmt.Fprintf(&b, "  %-22s -> %s\n", pfx, g.Node(g.Link(e.Link).To).Name)
+		}
+	}
+	render("downhill", t.Downhill)
+	render("uphill", t.Uphill)
+	return b.String()
+}
+
+// FlatTable derives the single destination-only routing table that
+// suffices for fat-trees (paper Table 3): the downhill rows plus, for each
+// uphill prefix, a row keyed by that root prefix. It is not valid for
+// generic multi-rooted trees such as Clos networks.
+func (t *Tables) FlatTable() []Entry {
+	flat := make([]Entry, 0, len(t.Downhill)+len(t.Uphill))
+	flat = append(flat, t.Downhill...)
+	flat = append(flat, t.Uphill...)
+	sort.SliceStable(flat, func(i, j int) bool {
+		if flat[i].Prefix.Len != flat[j].Prefix.Len {
+			return flat[i].Prefix.Len > flat[j].Prefix.Len
+		}
+		return less(flat[i].Prefix.Addr, flat[j].Prefix.Addr)
+	})
+	return flat
+}
+
+// Route walks a packet with the given source/destination addresses from
+// the source host to the destination host, returning the sequence of links
+// traversed (including the host's first and last hop). It errors if a
+// switch has no matching table entry or if the walk exceeds the graph
+// diameter (a routing loop).
+func (p *Plan) Route(srcHost, dstHost topology.NodeID, src, dst Address) ([]topology.LinkID, error) {
+	g := p.net.Graph()
+	var links []topology.LinkID
+	first := p.net.HostUplink(srcHost)
+	links = append(links, first)
+	at := g.Link(first).To
+	const maxHops = 16
+	for hop := 0; hop < maxHops; hop++ {
+		if at == dstHost {
+			return links, nil
+		}
+		t := p.tables[at]
+		if t == nil {
+			return nil, fmt.Errorf("no tables at %s", g.Node(at).Name)
+		}
+		l, err := t.Forward(src, dst)
+		if err != nil {
+			return nil, fmt.Errorf("at %s: %w", g.Node(at).Name, err)
+		}
+		links = append(links, l)
+		at = g.Link(l).To
+	}
+	return nil, fmt.Errorf("routing loop: %v -> %v did not terminate in %d hops", src, dst, maxHops)
+}

@@ -1,0 +1,60 @@
+package ctlmsg
+
+import (
+	"fmt"
+
+	"dard/internal/topology"
+)
+
+// StateSource is the view of the network a switch agent answers queries
+// from. Both simulation engines implement it (flowsim.Sim natively;
+// psim.Runtime through its elephant counters).
+type StateSource interface {
+	// Topo returns the topology.
+	Topo() topology.Network
+	// ElephantsOnLink reports the elephant flows installed on a link.
+	ElephantsOnLink(l topology.LinkID) int
+	// LinkCapacity returns a link's effective bandwidth in bits/s.
+	LinkCapacity(l topology.LinkID) float64
+}
+
+// SwitchAgent answers state queries for one switch, the role OpenFlow's
+// aggregate flow statistics interface plays in the prototype (§3.1).
+type SwitchAgent struct {
+	src      StateSource
+	switchID topology.NodeID
+	out      []topology.LinkID
+}
+
+// NewSwitchAgent builds the agent for a switch.
+func NewSwitchAgent(src StateSource, switchID topology.NodeID) (*SwitchAgent, error) {
+	g := src.Topo().Graph()
+	if int(switchID) >= g.NumNodes() {
+		return nil, fmt.Errorf("ctlmsg: no such switch %d", switchID)
+	}
+	if g.Node(switchID).Kind == topology.Host {
+		return nil, fmt.Errorf("ctlmsg: %s is a host, not a switch", g.Node(switchID).Name)
+	}
+	return &SwitchAgent{src: src, switchID: switchID, out: g.Out(switchID)}, nil
+}
+
+// Serve handles one marshaled query and returns the marshaled reply with
+// the current state of every exit port.
+func (a *SwitchAgent) Serve(queryBytes []byte) ([]byte, error) {
+	var q Query
+	if err := q.UnmarshalBinary(queryBytes); err != nil {
+		return nil, err
+	}
+	if q.SwitchID != uint32(a.switchID) {
+		return nil, fmt.Errorf("ctlmsg: query for switch %d delivered to %d", q.SwitchID, a.switchID)
+	}
+	reply := Reply{SwitchID: q.SwitchID, SeqNo: q.SeqNo, Ports: make([]PortState, 0, len(a.out))}
+	for _, l := range a.out {
+		reply.Ports = append(reply.Ports, PortState{
+			LinkID:        uint32(l),
+			BandwidthMbps: uint32(a.src.LinkCapacity(l) / 1e6),
+			ElephantFlows: uint32(a.src.ElephantsOnLink(l)),
+		})
+	}
+	return reply.MarshalBinary()
+}

@@ -1,0 +1,122 @@
+package ctlmsg
+
+import (
+	"testing"
+
+	"dard/internal/flowsim"
+	"dard/internal/topology"
+	"dard/internal/workload"
+)
+
+// nullController keeps flowsim happy for agent tests.
+type nullController struct{}
+
+func (nullController) Name() string                               { return "null" }
+func (nullController) Start(*flowsim.Sim)                         {}
+func (nullController) AssignPath(*flowsim.Sim, *flowsim.Flow) int { return 0 }
+
+func testSim(t *testing.T) (*flowsim.Sim, *topology.FatTree) {
+	t.Helper()
+	ft, err := topology.NewFatTree(topology.FatTreeConfig{P: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := []workload.Flow{{ID: 0, Src: 0, Dst: 8, SizeBits: 5e9, Arrival: 0}}
+	s, err := flowsim.New(flowsim.Config{Net: ft, Controller: nullController{}, Flows: flows, ElephantAge: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, ft
+}
+
+func TestAgentServesPortStates(t *testing.T) {
+	ft, err := topology.NewFatTree(topology.FatTreeConfig{P: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Probe an aggregation switch mid-run, after the single flow has
+	// been classified as an elephant.
+	done := false
+	probeAt := func(sim *flowsim.Sim) {
+		aggr := ft.AggrsOfPod(0)[0]
+		agent, err := NewSwitchAgent(sim, aggr)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		qb, _ := Query{SwitchID: uint32(aggr), SeqNo: 7}.MarshalBinary()
+		rb, err := agent.Serve(qb)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		var reply Reply
+		if err := reply.UnmarshalBinary(rb); err != nil {
+			t.Error(err)
+			return
+		}
+		if reply.SeqNo != 7 {
+			t.Errorf("SeqNo = %d", reply.SeqNo)
+		}
+		// p=4 aggr has 4 exit ports (2 up, 2 down).
+		if len(reply.Ports) != 4 {
+			t.Errorf("ports = %d, want 4", len(reply.Ports))
+		}
+		total := uint32(0)
+		for _, p := range reply.Ports {
+			if p.BandwidthMbps != 1000 {
+				t.Errorf("port bandwidth = %d Mbps, want 1000", p.BandwidthMbps)
+			}
+			total += p.ElephantFlows
+		}
+		// The one elephant crosses this aggr (path 0 goes through it).
+		if total != 1 {
+			t.Errorf("aggr sees %d elephants, want 1", total)
+		}
+		done = true
+	}
+	flows := []workload.Flow{{ID: 0, Src: 0, Dst: 8, SizeBits: 5e9, Arrival: 0}}
+	sim, err := flowsim.New(flowsim.Config{
+		Net: ft, Controller: &probeController{probe: probeAt}, Flows: flows, ElephantAge: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("probe never ran")
+	}
+}
+
+type probeController struct {
+	probe func(*flowsim.Sim)
+}
+
+func (p *probeController) Name() string { return "probe" }
+func (p *probeController) Start(s *flowsim.Sim) {
+	s.After(1, func() { p.probe(s) })
+}
+func (p *probeController) AssignPath(*flowsim.Sim, *flowsim.Flow) int { return 0 }
+
+func TestAgentValidation(t *testing.T) {
+	s, ft := testSim(t)
+	if _, err := NewSwitchAgent(s, ft.Hosts()[0]); err == nil {
+		t.Error("host agent should fail")
+	}
+	if _, err := NewSwitchAgent(s, topology.NodeID(99999)); err == nil {
+		t.Error("unknown switch should fail")
+	}
+	agent, err := NewSwitchAgent(s, ft.Cores()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agent.Serve([]byte("junk")); err == nil {
+		t.Error("junk query should fail")
+	}
+	qb, _ := Query{SwitchID: uint32(ft.Cores()[1])}.MarshalBinary()
+	if _, err := agent.Serve(qb); err == nil {
+		t.Error("misdelivered query should fail")
+	}
+}

@@ -1,0 +1,50 @@
+package dard
+
+import (
+	"testing"
+
+	"dard/internal/flowsim"
+	"dard/internal/workload"
+)
+
+// TestDARDRoutesAroundFailure is the adaptivity extension: when a fabric
+// link dies mid-transfer, its BoNF collapses to zero, the monitor's next
+// round shifts the stranded elephant to a live path, and the flow
+// completes — while a static assignment strands forever (see
+// flowsim.TestLinkFailureStrandsStaticFlow).
+func TestDARDRoutesAroundFailure(t *testing.T) {
+	ft := fatTree(t)
+	flows := []workload.Flow{{ID: 0, Src: 0, Dst: 8, SizeBits: 4e9, Arrival: 0}}
+	path := ft.Paths(ft.ToROf(ft.Hosts()[0]), ft.ToROf(ft.Hosts()[8]))[0]
+	ctl := New(Options{QueryInterval: 0.25, ScheduleInterval: 0.5, ScheduleJitter: 0.5})
+	s, err := flowsim.New(flowsim.Config{
+		Net:         ft,
+		Controller:  path0Controller{ctl},
+		Flows:       flows,
+		Seed:        1,
+		ElephantAge: 0.25,
+		LinkEvents:  []flowsim.LinkEvent{{At: 1, Link: path.Links[1], Down: true}},
+		MaxTime:     30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Unfinished != 0 {
+		t.Fatal("DARD should have rerouted the stranded elephant")
+	}
+	f := r.Flows[0]
+	if f.PathSwitches == 0 {
+		t.Error("no path switch recorded despite the failure")
+	}
+	// 1s before the failure + <=1.5s detection/shift + 3s remaining.
+	if f.TransferTime > 6.5 {
+		t.Errorf("transfer time = %.2fs, rerouting took too long", f.TransferTime)
+	}
+	if f.FinalPathIdx == 0 {
+		t.Error("flow still ends on the failed path")
+	}
+}

@@ -1,0 +1,174 @@
+package dard
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dard/internal/ctlmsg"
+	"dard/internal/flowsim"
+	"dard/internal/topology"
+)
+
+// PathState is one entry of a monitor's path state vector PV (§2.5): the
+// state of the most congested switch-switch link along the path.
+type PathState struct {
+	// Bandwidth is the bottleneck link's capacity in bits/s.
+	Bandwidth float64
+	// Flows is the number of elephant flows on the bottleneck link.
+	Flows int
+	// BoNF is Bandwidth/Flows, +Inf when Flows is zero.
+	BoNF float64
+}
+
+// monitor tracks the BoNF of every equal-cost path between one
+// source-destination ToR pair on behalf of one source end host (§2.4).
+// Path state is assembled by exchanging marshaled ctlmsg queries and
+// replies with per-switch agents — the OpenFlow statistics interface of
+// the prototype — so control-byte accounting reflects real wire sizes.
+type monitor struct {
+	ctl            *Controller
+	srcHost        topology.NodeID
+	srcToR, dstToR topology.NodeID
+	paths          []topology.Path
+	// flows holds the host's elephant flows towards dstToR, by flow ID.
+	flows map[int]*flowsim.Flow
+	// pv is the path state vector assembled at the last query tick; nil
+	// until the first query completes.
+	pv []PathState
+	// switches are the devices covering every path (§2.4.2): the source
+	// ToR, the aggregation switches next to both ToRs, and the top tier.
+	switches []topology.NodeID
+	agents   map[topology.NodeID]*ctlmsg.SwitchAgent
+	seqNo    uint32
+	released bool
+}
+
+func newMonitor(s *flowsim.Sim, c *Controller, srcHost, srcToR, dstToR topology.NodeID) *monitor {
+	m := &monitor{
+		ctl:     c,
+		srcHost: srcHost,
+		srcToR:  srcToR,
+		dstToR:  dstToR,
+		paths:   s.Paths(srcToR, dstToR),
+		flows:   make(map[int]*flowsim.Flow),
+		agents:  make(map[topology.NodeID]*ctlmsg.SwitchAgent),
+	}
+	// The switches to query are the upstream endpoints of every path
+	// link: exactly the four groups of §2.4.2.
+	seen := make(map[topology.NodeID]bool)
+	g := s.Net().Graph()
+	for _, p := range m.paths {
+		for _, l := range p.Links {
+			seen[g.Link(l).From] = true
+		}
+	}
+	for sw := range seen {
+		m.switches = append(m.switches, sw)
+	}
+	sort.Slice(m.switches, func(i, j int) bool { return m.switches[i] < m.switches[j] })
+	return m
+}
+
+// scheduleQuery arms the periodic path-state assembly. The first query
+// fires after a uniform random fraction of the interval so monitors
+// across hosts are not synchronized.
+func (m *monitor) scheduleQuery(s *flowsim.Sim) {
+	first := s.Rand().Float64() * m.ctl.opts.QueryInterval
+	var tick func()
+	tick = func() {
+		if m.released {
+			return
+		}
+		if err := m.assemble(s); err != nil {
+			// A malformed control exchange is a bug, not an input error.
+			panic(fmt.Sprintf("dard: path state assembling: %v", err))
+		}
+		s.After(m.ctl.opts.QueryInterval, tick)
+	}
+	s.After(first, tick)
+}
+
+// assemble runs one round of Path State Assembling (§2.4.2): send one
+// state query to every covering switch, collect the marshaled replies,
+// and fold the per-port states into the path state vector.
+func (m *monitor) assemble(s *flowsim.Sim) error {
+	m.seqNo++
+	linkState := make(map[topology.LinkID]ctlmsg.PortState)
+	totalBytes := 0
+	for _, sw := range m.switches {
+		agent := m.agents[sw]
+		if agent == nil {
+			var err error
+			agent, err = ctlmsg.NewSwitchAgent(s, sw)
+			if err != nil {
+				return err
+			}
+			m.agents[sw] = agent
+		}
+		q := ctlmsg.Query{
+			MonitorID:       uint64(m.srcHost)<<32 | uint64(m.dstToR),
+			SwitchID:        uint32(sw),
+			SeqNo:           m.seqNo,
+			TimestampMicros: uint64(s.Now() * 1e6),
+		}
+		qb, err := q.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		rb, err := agent.Serve(qb)
+		if err != nil {
+			return err
+		}
+		totalBytes += len(qb) + len(rb)
+		var reply ctlmsg.Reply
+		if err := reply.UnmarshalBinary(rb); err != nil {
+			return err
+		}
+		if reply.SeqNo != m.seqNo {
+			return fmt.Errorf("reply sequence %d for query %d", reply.SeqNo, m.seqNo)
+		}
+		for _, p := range reply.Ports {
+			linkState[topology.LinkID(p.LinkID)] = p
+		}
+	}
+	s.RecordControl(float64(totalBytes))
+
+	pv := make([]PathState, len(m.paths))
+	for i, p := range m.paths {
+		st := PathState{Bandwidth: math.Inf(1), BoNF: math.Inf(1)}
+		for _, l := range p.Links {
+			port, ok := linkState[l]
+			if !ok {
+				return fmt.Errorf("no switch reported state for link %d", l)
+			}
+			capacity := float64(port.BandwidthMbps) * 1e6
+			n := int(port.ElephantFlows)
+			bonf := math.Inf(1)
+			switch {
+			case capacity == 0:
+				bonf = 0 // failed link
+			case n > 0:
+				bonf = capacity / float64(n)
+			}
+			if bonf < st.BoNF || (math.IsInf(st.BoNF, 1) && capacity < st.Bandwidth) {
+				st = PathState{Bandwidth: capacity, Flows: n, BoNF: bonf}
+			}
+		}
+		pv[i] = st
+	}
+	m.pv = pv
+	return nil
+}
+
+// flowVector builds FV: the number of the monitor's elephant flows on
+// each path (§2.5).
+func (m *monitor) flowVector(n int) []int {
+	fv := make([]int, n)
+	for _, f := range m.flows {
+		if f.PathIdx >= 0 && f.PathIdx < n {
+			fv[f.PathIdx]++
+		}
+	}
+	return fv
+}

@@ -1,0 +1,52 @@
+package dard
+
+import (
+	"testing"
+
+	"dard/internal/flowsim"
+	"dard/internal/workload"
+)
+
+// TestPerFlowMonitorsAblation: per-flow monitors schedule the same shifts
+// but cost strictly more control traffic than shared per-ToR-pair
+// monitors — the justification for §2.4.1's sharing.
+func TestPerFlowMonitorsAblation(t *testing.T) {
+	ft := fatTree(t)
+	// Several concurrent elephants from one host to hosts under one
+	// remote ToR: sharing collapses them into a single monitor.
+	flows := []workload.Flow{
+		{ID: 0, Src: 0, Dst: 4, SizeBits: 8e9, Arrival: 0},
+		{ID: 1, Src: 0, Dst: 5, SizeBits: 8e9, Arrival: 0},
+		{ID: 2, Src: 0, Dst: 4, SizeBits: 8e9, Arrival: 0.1},
+		{ID: 3, Src: 0, Dst: 5, SizeBits: 8e9, Arrival: 0.1},
+	}
+	runMode := func(perFlow bool) float64 {
+		ctl := New(Options{
+			QueryInterval: 0.5, ScheduleInterval: 1, ScheduleJitter: 1,
+			PerFlowMonitors: perFlow,
+		})
+		s, err := flowsim.New(flowsim.Config{
+			Net: ft, Controller: ctl, Flows: flows, Seed: 4, ElephantAge: 0.25,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Unfinished != 0 {
+			t.Fatal("unfinished flows")
+		}
+		return r.ControlBytes
+	}
+	shared := runMode(false)
+	perFlow := runMode(true)
+	if shared <= 0 {
+		t.Fatal("no control bytes recorded")
+	}
+	// Four flows to one ToR pair: per-flow monitors poll ~4x as much.
+	if perFlow < shared*2 {
+		t.Errorf("per-flow monitors cost %.0fB, shared %.0fB: expected a clear multiple", perFlow, shared)
+	}
+}

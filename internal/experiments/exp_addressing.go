@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"dard/internal/addressing"
+	"dard/internal/topology"
+)
+
+// Tables2And3 regenerates the paper's routing-table examples (§2.3): the
+// downhill/uphill tables of an aggregation switch in the Figure 2
+// fat-tree, and the flat destination-only table that suffices for
+// fat-trees.
+func Tables2And3() (*Result, error) {
+	ft, err := topology.NewFatTree(topology.FatTreeConfig{P: 4})
+	if err != nil {
+		return nil, err
+	}
+	plan, err := addressing.Build(ft)
+	if err != nil {
+		return nil, err
+	}
+	g := ft.Graph()
+	aggr := ft.AggrsOfPod(0)[0]
+	tables := plan.TablesOf(aggr)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: %s's downhill and uphill routing tables\n", g.Node(aggr).Name)
+	b.WriteString(tables.Format(g))
+	b.WriteString("\nTable 3: ordinary (flat) routing table for the same switch\n")
+	for _, e := range tables.FlatTable() {
+		pfx := e.Prefix.String()
+		if ip, err := e.Prefix.IPv4(); err == nil {
+			pfx = ip
+		}
+		fmt.Fprintf(&b, "  %-22s -> %s\n", pfx, g.Node(g.Link(e.Link).To).Name)
+	}
+
+	// Show a host's full address set, as in Figure 2's caption.
+	host := ft.Hosts()[0]
+	fmt.Fprintf(&b, "\n%s's addresses (one per core-rooted tree):\n", g.Node(host).Name)
+	for _, a := range plan.AddressesOf(host) {
+		line := "  " + a.String()
+		if ip, err := a.IPv4(); err == nil {
+			line += " = " + ip
+		}
+		b.WriteString(line + "\n")
+	}
+
+	values := map[string]float64{
+		"downhillEntries": float64(len(tables.Downhill)),
+		"uphillEntries":   float64(len(tables.Uphill)),
+		"flatEntries":     float64(len(tables.FlatTable())),
+		"hostAddresses":   float64(len(plan.AddressesOf(host))),
+	}
+	return &Result{
+		ID:     "Tables 2-3",
+		Title:  "hierarchical addressing and the downhill-uphill tables",
+		Text:   b.String(),
+		Values: values,
+	}, nil
+}

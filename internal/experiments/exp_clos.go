@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dard"
+)
+
+// Figure9 reproduces the transfer-time CDFs on the large Clos network
+// (§4.3.2).
+func Figure9(p Params) (*Result, error) {
+	p = p.withDefaults()
+	topo, err := dard.TopologySpec{Kind: dard.Clos, D: p.BigD, HostsPerToR: p.HostsPerToR}.Build()
+	if err != nil {
+		return nil, err
+	}
+	reports, err := runMatrix(topo, fatTreeScenario(p), patterns, flowSchedulers)
+	if err != nil {
+		return nil, err
+	}
+	var text string
+	values := make(map[string]float64)
+	for _, pat := range patterns {
+		series := make(map[string][]float64)
+		for _, sch := range flowSchedulers {
+			rep := reports[key(pat, sch)]
+			series[string(sch)] = rep.TransferTimes
+			values[key(pat, sch)+"/mean"] = rep.MeanTransferTime()
+		}
+		text += cdfBlock(fmt.Sprintf("(%s) transfer time (s), %s", pat, topo.Name()), series) + "\n"
+	}
+	return &Result{
+		ID:     "Figure 9",
+		Title:  fmt.Sprintf("transfer time CDFs on %s", topo.Name()),
+		Text:   text,
+		Values: values,
+	}, nil
+}
+
+// Figure10 reproduces DARD's path-switch CDF on the large Clos network.
+func Figure10(p Params) (*Result, error) {
+	p = p.withDefaults()
+	topo, err := dard.TopologySpec{Kind: dard.Clos, D: p.BigD, HostsPerToR: p.HostsPerToR}.Build()
+	if err != nil {
+		return nil, err
+	}
+	series := make(map[string][]float64)
+	values := make(map[string]float64)
+	for _, pat := range patterns {
+		s := fatTreeScenario(p)
+		s.Topo = topo
+		s.Pattern = pat
+		s.Scheduler = dard.SchedulerDARD
+		rep, err := s.Run()
+		if err != nil {
+			return nil, err
+		}
+		series[string(pat)] = rep.PathSwitches
+		values[string(pat)+"/p90"] = rep.PathSwitchQuantile(0.9)
+		values[string(pat)+"/max"] = rep.PathSwitchQuantile(1)
+	}
+	return &Result{
+		ID:     "Figure 10",
+		Title:  fmt.Sprintf("path switch count CDF on %s", topo.Name()),
+		Text:   cdfBlock("path switches", series),
+		Values: values,
+	}, nil
+}
+
+// Table6 reproduces the average-transfer-time table across Clos sizes.
+func Table6(p Params) (*Result, error) {
+	p = p.withDefaults()
+	return sizeSweep(p, "Table 6", "average file transfer time (s) on Clos topologies",
+		p.ClosD, func(size int) (*dard.Topology, error) {
+			return dard.TopologySpec{Kind: dard.Clos, D: size, HostsPerToR: p.HostsPerToR}.Build()
+		}, func(size int) string { return fmt.Sprintf("D=%d", size) })
+}
+
+// Table7 reproduces DARD's path-switch percentiles on Clos topologies.
+func Table7(p Params) (*Result, error) {
+	p = p.withDefaults()
+	return switchSweep(p, "Table 7", "DARD 90th-percentile and max path switch times on Clos topologies",
+		p.ClosD, func(size int) (*dard.Topology, error) {
+			return dard.TopologySpec{Kind: dard.Clos, D: size, HostsPerToR: p.HostsPerToR}.Build()
+		}, func(size int) string { return fmt.Sprintf("D=%d", size) })
+}
+
+// Figure11 reproduces the transfer-time CDFs on the oversubscribed
+// 8-core-3-tier topology (§4.3.2): DARD beats the centralized scheduler
+// under intra-pod-dominant (staggered) traffic and tracks it closely
+// under stride.
+func Figure11(p Params) (*Result, error) {
+	p = p.withDefaults()
+	topo, err := dard.TopologySpec{Kind: dard.ThreeTier, HostsPerToR: threeTierHosts(p)}.Build()
+	if err != nil {
+		return nil, err
+	}
+	reports, err := runMatrix(topo, threeTierScenario(p), patterns, flowSchedulers)
+	if err != nil {
+		return nil, err
+	}
+	var text string
+	values := make(map[string]float64)
+	for _, pat := range patterns {
+		series := make(map[string][]float64)
+		for _, sch := range flowSchedulers {
+			rep := reports[key(pat, sch)]
+			series[string(sch)] = rep.TransferTimes
+			values[key(pat, sch)+"/mean"] = rep.MeanTransferTime()
+		}
+		text += cdfBlock(fmt.Sprintf("(%s) transfer time (s), %s", pat, topo.Name()), series) + "\n"
+	}
+	return &Result{
+		ID:     "Figure 11",
+		Title:  fmt.Sprintf("transfer time CDFs on %s (oversubscribed)", topo.Name()),
+		Text:   text,
+		Values: values,
+	}, nil
+}
+
+// threeTierHosts trims the three-tier edge for laptop-scale runs: 4
+// hosts per access switch unless the caller overrides.
+func threeTierHosts(p Params) int {
+	if p.HostsPerToR != 0 {
+		return p.HostsPerToR
+	}
+	return 4
+}
+
+// threeTierScenario divides the per-host arrival rate by the 2.5:1 access
+// oversubscription so the offered fabric load matches the fat-tree and
+// Clos sweeps instead of collapsing the access links.
+func threeTierScenario(p Params) dard.Scenario {
+	s := fatTreeScenario(p)
+	s.RatePerHost = p.RatePerHost / 2.5
+	return s
+}
+
+// Figure12 reproduces DARD's path-switch CDF on the three-tier topology.
+func Figure12(p Params) (*Result, error) {
+	p = p.withDefaults()
+	topo, err := dard.TopologySpec{Kind: dard.ThreeTier, HostsPerToR: threeTierHosts(p)}.Build()
+	if err != nil {
+		return nil, err
+	}
+	series := make(map[string][]float64)
+	values := make(map[string]float64)
+	for _, pat := range patterns {
+		s := threeTierScenario(p)
+		s.Topo = topo
+		s.Pattern = pat
+		s.Scheduler = dard.SchedulerDARD
+		rep, err := s.Run()
+		if err != nil {
+			return nil, err
+		}
+		series[string(pat)] = rep.PathSwitches
+		values[string(pat)+"/p90"] = rep.PathSwitchQuantile(0.9)
+		values[string(pat)+"/max"] = rep.PathSwitchQuantile(1)
+	}
+	return &Result{
+		ID:     "Figure 12",
+		Title:  fmt.Sprintf("path switch count CDF on %s", topo.Name()),
+		Text:   cdfBlock("path switches", series),
+		Values: values,
+	}, nil
+}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dard"
+	"dard/internal/metrics"
+)
+
+// fatTreeScenario is the shared base for the ns-2-style sweeps (§4.3.1):
+// 1 Gbps links, exponential arrivals, fixed-size elephants. When the
+// transfer size is scaled below the paper's 128 MB, every control-plane
+// timescale (elephant age, query/scheduling intervals, pVLB re-pick) is
+// scaled by the same factor so the control loops see proportionally the
+// same number of opportunities per flow; at FileSizeMB = 128 the values
+// are exactly the paper's.
+func fatTreeScenario(p Params) dard.Scenario {
+	scale := p.FileSizeMB / 128
+	if scale > 1 {
+		scale = 1
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+	return dard.Scenario{
+		RatePerHost:    p.RatePerHost,
+		Duration:       p.Duration,
+		FileSizeMB:     p.FileSizeMB,
+		Seed:           p.Seed,
+		ElephantAgeSec: 1 * scale,
+		VLBIntervalSec: 5 * scale,
+		DARD: dard.Tuning{
+			QueryInterval:    1 * scale,
+			ScheduleInterval: 5 * scale,
+			ScheduleJitter:   5 * scale,
+		},
+	}
+}
+
+// Figure7 reproduces the transfer-time CDFs on the large fat-tree for the
+// four schedulers under each traffic pattern.
+func Figure7(p Params) (*Result, error) {
+	p = p.withDefaults()
+	topo, err := dard.TopologySpec{Kind: dard.FatTree, P: p.BigP, HostsPerToR: p.HostsPerToR}.Build()
+	if err != nil {
+		return nil, err
+	}
+	reports, err := runMatrix(topo, fatTreeScenario(p), patterns, flowSchedulers)
+	if err != nil {
+		return nil, err
+	}
+	var text string
+	values := make(map[string]float64)
+	for _, pat := range patterns {
+		series := make(map[string][]float64)
+		for _, sch := range flowSchedulers {
+			rep := reports[key(pat, sch)]
+			series[string(sch)] = rep.TransferTimes
+			values[key(pat, sch)+"/mean"] = rep.MeanTransferTime()
+		}
+		text += cdfBlock(fmt.Sprintf("(%s) transfer time (s), %s", pat, topo.Name()), series) + "\n"
+	}
+	return &Result{
+		ID:     "Figure 7",
+		Title:  fmt.Sprintf("transfer time CDFs on %s, four schedulers x three patterns", topo.Name()),
+		Text:   text,
+		Values: values,
+	}, nil
+}
+
+// Figure8 reproduces DARD's path-switch CDF on the large fat-tree.
+func Figure8(p Params) (*Result, error) {
+	p = p.withDefaults()
+	topo, err := dard.TopologySpec{Kind: dard.FatTree, P: p.BigP, HostsPerToR: p.HostsPerToR}.Build()
+	if err != nil {
+		return nil, err
+	}
+	series := make(map[string][]float64)
+	values := make(map[string]float64)
+	for _, pat := range patterns {
+		s := fatTreeScenario(p)
+		s.Topo = topo
+		s.Pattern = pat
+		s.Scheduler = dard.SchedulerDARD
+		rep, err := s.Run()
+		if err != nil {
+			return nil, err
+		}
+		series[string(pat)] = rep.PathSwitches
+		values[string(pat)+"/p90"] = rep.PathSwitchQuantile(0.9)
+		values[string(pat)+"/max"] = rep.PathSwitchQuantile(1)
+	}
+	return &Result{
+		ID:     "Figure 8",
+		Title:  fmt.Sprintf("path switch count CDF on %s", topo.Name()),
+		Text:   cdfBlock("path switches", series),
+		Values: values,
+	}, nil
+}
+
+// Table4 reproduces the average-transfer-time table across fat-tree sizes,
+// patterns, and schedulers.
+func Table4(p Params) (*Result, error) {
+	p = p.withDefaults()
+	return sizeSweep(p, "Table 4", "average file transfer time (s) on fat-trees",
+		p.FatTreeP, func(size int) (*dard.Topology, error) {
+			return dard.TopologySpec{Kind: dard.FatTree, P: size, HostsPerToR: p.HostsPerToR}.Build()
+		}, func(size int) string { return fmt.Sprintf("p=%d", size) })
+}
+
+// Table5 reproduces DARD's 90th-percentile and maximum path-switch counts
+// on fat-trees.
+func Table5(p Params) (*Result, error) {
+	p = p.withDefaults()
+	return switchSweep(p, "Table 5", "DARD 90th-percentile and max path switch times on fat-trees",
+		p.FatTreeP, func(size int) (*dard.Topology, error) {
+			return dard.TopologySpec{Kind: dard.FatTree, P: size, HostsPerToR: p.HostsPerToR}.Build()
+		}, func(size int) string { return fmt.Sprintf("p=%d", size) })
+}
+
+// sizeSweep renders a Table-4-style matrix: topology size x pattern x
+// scheduler mean transfer times.
+func sizeSweep(p Params, id, title string, sizes []int,
+	build func(int) (*dard.Topology, error), label func(int) string) (*Result, error) {
+	tbl := metrics.NewTable(title, "size", "pattern", "ECMP", "pVLB", "DARD", "SimulatedAnnealing")
+	values := make(map[string]float64)
+	for _, size := range sizes {
+		topo, err := build(size)
+		if err != nil {
+			return nil, err
+		}
+		reports, err := runMatrix(topo, fatTreeScenario(p), patterns, flowSchedulers)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", label(size), err)
+		}
+		for _, pat := range patterns {
+			row := []interface{}{label(size), string(pat)}
+			for _, sch := range flowSchedulers {
+				mean := reports[key(pat, sch)].MeanTransferTime()
+				row = append(row, mean)
+				values[fmt.Sprintf("%s/%s/%s", label(size), pat, sch)] = mean
+			}
+			tbl.AddRowf(row...)
+		}
+	}
+	return &Result{ID: id, Title: title, Text: tbl.String(), Values: values}, nil
+}
+
+// switchSweep renders a Table-5-style matrix: DARD path-switch p90/max
+// per topology size and pattern.
+func switchSweep(p Params, id, title string, sizes []int,
+	build func(int) (*dard.Topology, error), label func(int) string) (*Result, error) {
+	tbl := metrics.NewTable(title, "size", "pattern", "90th-pct", "max")
+	values := make(map[string]float64)
+	for _, size := range sizes {
+		topo, err := build(size)
+		if err != nil {
+			return nil, err
+		}
+		for _, pat := range patterns {
+			s := fatTreeScenario(p)
+			s.Topo = topo
+			s.Pattern = pat
+			s.Scheduler = dard.SchedulerDARD
+			rep, err := s.Run()
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", label(size), pat, err)
+			}
+			p90 := rep.PathSwitchQuantile(0.9)
+			max := rep.PathSwitchQuantile(1)
+			tbl.AddRowf(label(size), string(pat), p90, max)
+			values[fmt.Sprintf("%s/%s/p90", label(size), pat)] = p90
+			values[fmt.Sprintf("%s/%s/max", label(size), pat)] = max
+		}
+	}
+	return &Result{ID: id, Title: title, Text: tbl.String(), Values: values}, nil
+}

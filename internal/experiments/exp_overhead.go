@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dard"
+	"dard/internal/metrics"
+)
+
+// Figure15 reproduces the control-overhead comparison (§4.3.4): control
+// traffic (MB/s) against the peak number of concurrent elephant flows on
+// a p=8 fat-tree, for DARD's distributed probing and the centralized
+// scheduler's reports/updates. DARD's overhead is bounded by the topology
+// (all-pairs probing in the worst case); the centralized overhead scales
+// with the number of flows.
+func Figure15(p Params) (*Result, error) {
+	p = p.withDefaults()
+	topo, err := dard.TopologySpec{Kind: dard.FatTree, P: 8, HostsPerToR: p.HostsPerToR}.Build()
+	if err != nil {
+		return nil, err
+	}
+	rates := []float64{0.1, 0.25, 0.5, 1.0, 2.0}
+	tbl := metrics.NewTable("control traffic vs workload (p=8 fat-tree)",
+		"rate", "peakElephants", "DARD MB/s", "Centralized MB/s")
+	values := make(map[string]float64)
+	for _, rate := range rates {
+		base := dard.Scenario{
+			Topo:           topo,
+			Pattern:        dard.PatternRandom,
+			RatePerHost:    rate,
+			Duration:       p.Duration,
+			FileSizeMB:     p.FileSizeMB,
+			Seed:           p.Seed,
+			ElephantAgeSec: 1,
+		}
+		dd := base
+		dd.Scheduler = dard.SchedulerDARD
+		dRep, err := dd.Run()
+		if err != nil {
+			return nil, err
+		}
+		sa := base
+		sa.Scheduler = dard.SchedulerAnnealing
+		sRep, err := sa.Run()
+		if err != nil {
+			return nil, err
+		}
+		peak := dRep.PeakElephants
+		tbl.AddRowf(fmt.Sprintf("%.2f", rate), peak, dRep.ControlMBps(), sRep.ControlMBps())
+		values[fmt.Sprintf("rate=%.2f/peakElephants", rate)] = float64(peak)
+		values[fmt.Sprintf("rate=%.2f/DARD_MBps", rate)] = dRep.ControlMBps()
+		values[fmt.Sprintf("rate=%.2f/Centralized_MBps", rate)] = sRep.ControlMBps()
+	}
+	return &Result{
+		ID:     "Figure 15",
+		Title:  "communication overhead: DARD vs centralized scheduling",
+		Text:   tbl.String(),
+		Values: values,
+	}, nil
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dard"
+	"dard/internal/metrics"
+)
+
+// testbedSpec is the DeterLab emulation fabric (§3.1): a p=4 fat-tree of
+// 100 Mbps links.
+func testbedSpec() dard.TopologySpec {
+	return dard.TopologySpec{Kind: dard.FatTree, P: 4, LinkCapacity: 100e6}
+}
+
+// Figure4 reproduces the testbed improvement curve: the relative
+// improvement of DARD over ECMP in average transfer time as the per-host
+// flow generating rate grows, for the three traffic patterns. The paper's
+// shape: flat near zero at low rates, a hump as cross-pod elephants
+// collide on fabric links, then shrinking again once host access links
+// saturate.
+func Figure4(p Params) (*Result, error) {
+	p = p.withDefaults()
+	topo, err := testbedSpec().Build()
+	if err != nil {
+		return nil, err
+	}
+	rates := []float64{0.1, 0.2, 0.4, 0.8, 1.6}
+	tbl := metrics.NewTable("Improvement of avg transfer time, DARD vs ECMP (flow engine, p=4 fat-tree @100Mbps)",
+		"rate(flows/s/host)", "random", "stag(.5,.3)", "stride")
+	values := make(map[string]float64)
+	for _, rate := range rates {
+		row := []interface{}{fmt.Sprintf("%.2f", rate)}
+		for _, pat := range patterns {
+			base := dard.Scenario{
+				Topo:           topo,
+				Pattern:        pat,
+				RatePerHost:    rate,
+				Duration:       20, // fixed window so each rate has enough flows
+				FileSizeMB:     8,  // ~0.67 s at the 100 Mbps line rate
+				Seed:           p.Seed,
+				ElephantAgeSec: 0.5,
+				VLBIntervalSec: 2,
+				DARD:           quickDARDTuning(),
+			}
+			ecmpScn := base
+			ecmpScn.Scheduler = dard.SchedulerECMP
+			ecmp, err := ecmpScn.Run()
+			if err != nil {
+				return nil, err
+			}
+			dardScn := base
+			dardScn.Scheduler = dard.SchedulerDARD
+			dd, err := dardScn.Run()
+			if err != nil {
+				return nil, err
+			}
+			imp := dd.ImprovementOver(ecmp)
+			row = append(row, fmt.Sprintf("%5.1f%%", 100*imp))
+			values[fmt.Sprintf("rate=%.2f/%s/improvement", rate, pat)] = imp
+		}
+		tbl.AddRowf(row...)
+	}
+	return &Result{
+		ID:     "Figure 4",
+		Title:  "file transfer improvement vs flow generating rate (testbed)",
+		Text:   tbl.String(),
+		Values: values,
+	}, nil
+}
+
+// Figure5 reproduces the testbed CDF of transfer times under stride
+// traffic for DARD, ECMP, and pVLB on the packet-level engine (TCP New
+// Reno over the p=4, 100 Mbps fabric).
+func Figure5(p Params) (*Result, error) {
+	p = p.withDefaults()
+	topo, err := testbedSpec().Build()
+	if err != nil {
+		return nil, err
+	}
+	series := make(map[string][]float64)
+	values := make(map[string]float64)
+	for _, sch := range []dard.Scheduler{dard.SchedulerECMP, dard.SchedulerPVLB, dard.SchedulerDARD} {
+		rep, err := dard.Scenario{
+			Topo:           topo,
+			Scheduler:      sch,
+			Pattern:        dard.PatternStride,
+			RatePerHost:    p.PacketRate,
+			Duration:       p.PacketDuration,
+			FileSizeMB:     p.PacketFileMB,
+			Seed:           p.Seed,
+			Engine:         dard.EnginePacket,
+			ElephantAgeSec: 0.5,
+			VLBIntervalSec: 1,
+			DARD:           quickDARDTuning(),
+		}.Run()
+		if err != nil {
+			return nil, err
+		}
+		series[string(sch)] = rep.TransferTimes
+		values[string(sch)+"/mean"] = rep.MeanTransferTime()
+		values[string(sch)+"/p90"] = rep.TransferTimeQuantile(0.9)
+	}
+	return &Result{
+		ID:     "Figure 5",
+		Title:  "transfer time CDF, p=4 fat-tree, stride (packet engine)",
+		Text:   cdfBlock("transfer time (s)", series),
+		Values: values,
+	}, nil
+}
+
+// Figure6 reproduces the testbed path-switch CDF: under staggered traffic
+// almost no flow moves; under stride most flows move at most a couple of
+// times; the maximum stays below the path count.
+func Figure6(p Params) (*Result, error) {
+	p = p.withDefaults()
+	topo, err := testbedSpec().Build()
+	if err != nil {
+		return nil, err
+	}
+	series := make(map[string][]float64)
+	values := make(map[string]float64)
+	for _, pat := range patterns {
+		rep, err := dard.Scenario{
+			Topo:           topo,
+			Scheduler:      dard.SchedulerDARD,
+			Pattern:        pat,
+			RatePerHost:    p.RatePerHost,
+			Duration:       p.Duration,
+			FileSizeMB:     p.FileSizeMB / 4,
+			Seed:           p.Seed,
+			ElephantAgeSec: 0.5,
+			DARD:           quickDARDTuning(),
+		}.Run()
+		if err != nil {
+			return nil, err
+		}
+		series[string(pat)] = rep.PathSwitches
+		values[string(pat)+"/p90"] = rep.PathSwitchQuantile(0.9)
+		values[string(pat)+"/max"] = rep.PathSwitchQuantile(1)
+	}
+	return &Result{
+		ID:     "Figure 6",
+		Title:  "path switch count CDF, p=4 fat-tree (DARD stability)",
+		Text:   cdfBlock("path switches", series),
+		Values: values,
+	}, nil
+}
+
+// quickDARDTuning shortens DARD's control loop for short scaled-down
+// runs: the same structure, proportionally faster.
+func quickDARDTuning() dard.Tuning {
+	return dard.Tuning{QueryInterval: 0.5, ScheduleInterval: 1, ScheduleJitter: 1}
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"dard"
+)
+
+// texcpRuns executes the DARD-vs-TeXCP comparison once (p=4 fat-tree,
+// stride, packet engine) and returns both reports; Figures 13 and 14 are
+// two views of the same experiment (§4.3.3).
+func texcpRuns(p Params) (dardRep, texcpRep *dard.Report, err error) {
+	topo, err := testbedSpec().Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	base := dard.Scenario{
+		Topo:           topo,
+		Pattern:        dard.PatternStride,
+		RatePerHost:    p.PacketRate,
+		Duration:       p.PacketDuration,
+		FileSizeMB:     p.PacketFileMB,
+		Seed:           p.Seed,
+		Engine:         dard.EnginePacket,
+		ElephantAgeSec: 0.5,
+		DARD:           quickDARDTuning(),
+	}
+	dd := base
+	dd.Scheduler = dard.SchedulerDARD
+	dardRep, err = dd.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	tx := base
+	tx.Scheduler = dard.SchedulerTeXCP
+	texcpRep, err = tx.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	return dardRep, texcpRep, nil
+}
+
+// Figure13 reproduces the DARD-vs-TeXCP transfer-time CDF under stride
+// traffic: both fill the bisection, DARD slightly ahead because its flows
+// keep segments in order.
+func Figure13(p Params) (*Result, error) {
+	p = p.withDefaults()
+	dd, tx, err := texcpRuns(p)
+	if err != nil {
+		return nil, err
+	}
+	series := map[string][]float64{
+		"DARD":  dd.TransferTimes,
+		"TeXCP": tx.TransferTimes,
+	}
+	values := map[string]float64{
+		"DARD/mean":      dd.MeanTransferTime(),
+		"TeXCP/mean":     tx.MeanTransferTime(),
+		"DARD/coreUtil":  dd.CoreUtilization,
+		"TeXCP/coreUtil": tx.CoreUtilization,
+	}
+	return &Result{
+		ID:     "Figure 13",
+		Title:  "DARD vs TeXCP transfer time CDF, p=4 fat-tree, stride (packet engine)",
+		Text:   cdfBlock("transfer time (s)", series),
+		Values: values,
+	}, nil
+}
+
+// Figure14 reproduces the retransmission-rate CDF: TeXCP's per-packet
+// splitting reorders segments and retransmits more than DARD.
+func Figure14(p Params) (*Result, error) {
+	p = p.withDefaults()
+	dd, tx, err := texcpRuns(p)
+	if err != nil {
+		return nil, err
+	}
+	series := map[string][]float64{
+		"DARD":  dd.RetxRates,
+		"TeXCP": tx.RetxRates,
+	}
+	values := map[string]float64{
+		"DARD/meanRetxRate":  dd.RetxRateMean(),
+		"TeXCP/meanRetxRate": tx.RetxRateMean(),
+	}
+	return &Result{
+		ID:     "Figure 14",
+		Title:  "DARD vs TeXCP TCP retransmission rate CDF (packet engine)",
+		Text:   cdfBlock("retransmission rate", series),
+		Values: values,
+	}, nil
+}

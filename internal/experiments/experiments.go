@@ -1,0 +1,221 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4). Each experiment builds its workload, runs the relevant
+// schedulers on the right engine, and renders a paper-style text block
+// plus a map of key metrics. Parameters default to laptop-scale versions
+// of the paper's settings (documented per experiment and in DESIGN.md);
+// cmd/dardbench can run them closer to paper scale.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dard"
+	"dard/internal/metrics"
+)
+
+// Result is one regenerated table or figure.
+type Result struct {
+	// ID names the artifact, e.g. "Table 4".
+	ID string
+	// Title describes it.
+	Title string
+	// Text is the rendered paper-style block.
+	Text string
+	// Values holds key metrics for tests and EXPERIMENTS.md, keyed by a
+	// stable "dimension/dimension" path.
+	Values map[string]float64
+}
+
+// String renders the result.
+func (r *Result) String() string {
+	return fmt.Sprintf("=== %s: %s ===\n%s", r.ID, r.Title, r.Text)
+}
+
+// Params scales the experiment suite. The zero value is laptop scale;
+// Paper() approaches the paper's settings (slow).
+type Params struct {
+	// FileSizeMB is the elephant transfer size for flow-engine
+	// experiments (paper: 128).
+	FileSizeMB float64
+	// RatePerHost is the Poisson arrival rate in flows/s/host (paper:
+	// 5, i.e. 0.2 s expected inter-arrival).
+	RatePerHost float64
+	// Duration is the arrival window in seconds (paper: 120).
+	Duration float64
+	// FatTreeP lists the fat-tree sizes for Tables 4-5 (paper: 8,16,32).
+	FatTreeP []int
+	// ClosD lists the Clos sizes for Tables 6-7 (paper: 4,8,16).
+	ClosD []int
+	// HostsPerToR scales the edge population down (0 = family default).
+	HostsPerToR int
+	// BigP is the fat-tree used for the Figure 7/8 CDFs (paper: 32).
+	BigP int
+	// BigD is the Clos used for the Figure 9/10 CDFs (paper: 16).
+	BigD int
+	// PacketFileMB is the transfer size for packet-engine experiments.
+	PacketFileMB float64
+	// PacketDuration is the packet-engine arrival window in seconds.
+	PacketDuration float64
+	// PacketRate is the packet-engine arrival rate in flows/s/host.
+	PacketRate float64
+	// Seed drives everything.
+	Seed int64
+}
+
+// Default returns laptop-scale parameters: every experiment finishes in
+// seconds while preserving the paper's qualitative shapes.
+func Default() Params {
+	return Params{
+		FileSizeMB:     64,
+		RatePerHost:    1.2,
+		Duration:       25,
+		FatTreeP:       []int{4, 8},
+		ClosD:          []int{4, 8},
+		BigP:           8,
+		BigD:           8,
+		PacketFileMB:   8,
+		PacketDuration: 8,
+		PacketRate:     0.6,
+		Seed:           1,
+	}
+}
+
+// Quick returns the smallest sensible parameters, used by the benchmark
+// harness.
+func Quick() Params {
+	p := Default()
+	p.FileSizeMB = 32
+	p.RatePerHost = 2
+	p.Duration = 12
+	p.FatTreeP = []int{4}
+	p.ClosD = []int{4}
+	p.BigP = 4
+	p.BigD = 4
+	p.PacketFileMB = 4
+	p.PacketDuration = 5
+	p.PacketRate = 0.5
+	return p
+}
+
+// Paper returns parameters close to the paper's (hours of CPU at p=32;
+// use from cmd/dardbench only).
+func Paper() Params {
+	return Params{
+		FileSizeMB:     128,
+		RatePerHost:    5,
+		Duration:       120,
+		FatTreeP:       []int{8, 16, 32},
+		ClosD:          []int{4, 8, 16},
+		HostsPerToR:    1, // even at paper scale the host edge is trimmed
+		BigP:           32,
+		BigD:           16,
+		PacketFileMB:   128,
+		PacketDuration: 300,
+		PacketRate:     1,
+		Seed:           1,
+	}
+}
+
+func (p Params) withDefaults() Params {
+	d := Default()
+	if p.FileSizeMB == 0 {
+		p.FileSizeMB = d.FileSizeMB
+	}
+	if p.RatePerHost == 0 {
+		p.RatePerHost = d.RatePerHost
+	}
+	if p.Duration == 0 {
+		p.Duration = d.Duration
+	}
+	if len(p.FatTreeP) == 0 {
+		p.FatTreeP = d.FatTreeP
+	}
+	if len(p.ClosD) == 0 {
+		p.ClosD = d.ClosD
+	}
+	if p.BigP == 0 {
+		p.BigP = d.BigP
+	}
+	if p.BigD == 0 {
+		p.BigD = d.BigD
+	}
+	if p.PacketFileMB == 0 {
+		p.PacketFileMB = d.PacketFileMB
+	}
+	if p.PacketDuration == 0 {
+		p.PacketDuration = d.PacketDuration
+	}
+	if p.PacketRate == 0 {
+		p.PacketRate = d.PacketRate
+	}
+	if p.Seed == 0 {
+		p.Seed = d.Seed
+	}
+	return p
+}
+
+// patterns lists the paper's three traffic patterns in presentation
+// order.
+var patterns = []dard.Pattern{dard.PatternRandom, dard.PatternStaggered, dard.PatternStride}
+
+// flowSchedulers lists the four approaches compared on the flow engine
+// (§4.3.1).
+var flowSchedulers = []dard.Scheduler{
+	dard.SchedulerECMP, dard.SchedulerPVLB, dard.SchedulerDARD, dard.SchedulerAnnealing,
+}
+
+// runMatrix executes every (pattern, scheduler) cell on one shared
+// topology and returns reports keyed "pattern/scheduler".
+func runMatrix(topo *dard.Topology, base dard.Scenario, pats []dard.Pattern, scheds []dard.Scheduler) (map[string]*dard.Report, error) {
+	out := make(map[string]*dard.Report)
+	for _, pat := range pats {
+		for _, sch := range scheds {
+			s := base
+			s.Topo = topo
+			s.Pattern = pat
+			s.Scheduler = sch
+			rep, err := s.Run()
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", pat, sch, err)
+			}
+			out[key(pat, sch)] = rep
+		}
+	}
+	return out, nil
+}
+
+func key(pat dard.Pattern, sch dard.Scheduler) string {
+	return fmt.Sprintf("%s/%s", pat, sch)
+}
+
+// cdfBlock renders labeled samples as a quantile table.
+func cdfBlock(title string, series map[string][]float64) string {
+	samples := make(map[string]*metrics.Sample, len(series))
+	for k, v := range series {
+		var s metrics.Sample
+		s.AddAll(v)
+		samples[k] = &s
+	}
+	return metrics.FormatCDFSeries(title, samples, 11)
+}
+
+// sortedKeys returns map keys in sorted order for deterministic output.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// renderValues renders a Values map as "key = value" lines.
+func renderValues(values map[string]float64) string {
+	var b strings.Builder
+	for _, k := range sortedKeys(values) {
+		fmt.Fprintf(&b, "%-40s %8.3f\n", k, values[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import "fmt"
+
+// Runner is one experiment entry point.
+type Runner func(Params) (*Result, error)
+
+// Entry describes one registered experiment.
+type Entry struct {
+	// ID is the paper artifact, e.g. "table4" or "figure13".
+	ID string
+	// Description summarizes what is reproduced.
+	Description string
+	// Run executes the experiment.
+	Run Runner
+}
+
+// All lists every experiment in paper order.
+func All() []Entry {
+	return []Entry{
+		{"table1", "toy example convergence (Fig. 1 / Table 1)", func(Params) (*Result, error) { return Table1() }},
+		{"tables2-3", "hierarchical addressing tables (Tables 2-3)", func(Params) (*Result, error) { return Tables2And3() }},
+		{"figure4", "improvement vs flow rate on the testbed fabric", Figure4},
+		{"figure5", "testbed transfer-time CDF (packet engine)", Figure5},
+		{"figure6", "testbed path-switch CDF", Figure6},
+		{"figure7", "large fat-tree transfer-time CDFs", Figure7},
+		{"figure8", "large fat-tree path-switch CDF", Figure8},
+		{"table4", "average transfer times on fat-trees", Table4},
+		{"table5", "DARD path-switch percentiles on fat-trees", Table5},
+		{"figure9", "large Clos transfer-time CDFs", Figure9},
+		{"figure10", "large Clos path-switch CDF", Figure10},
+		{"table6", "average transfer times on Clos topologies", Table6},
+		{"table7", "DARD path-switch percentiles on Clos topologies", Table7},
+		{"figure11", "three-tier transfer-time CDFs", Figure11},
+		{"figure12", "three-tier path-switch CDF", Figure12},
+		{"figure13", "DARD vs TeXCP transfer-time CDF", Figure13},
+		{"figure14", "DARD vs TeXCP retransmission-rate CDF", Figure14},
+		{"figure15", "control overhead vs workload", Figure15},
+		{"theorem2", "Nash convergence of selfish dynamics (Appendix B)", func(p Params) (*Result, error) {
+			return NashConvergence(50, p.Seed)
+		}},
+	}
+}
+
+// Find returns the experiment with the given ID.
+func Find(id string) (Entry, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Entry{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}

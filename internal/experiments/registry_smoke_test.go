@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRun executes every registered experiment end to end
+// at the quick scale — the same sweep as `dardbench -scale quick` — and
+// checks each produces non-empty output and values. Skipped under -short.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry sweep skipped in -short mode")
+	}
+	params := Quick()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res, err := e.Run(params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if strings.TrimSpace(res.Text) == "" {
+				t.Error("empty rendering")
+			}
+			if len(res.Values) == 0 {
+				t.Error("no values recorded")
+			}
+			if res.ID == "" || res.Title == "" {
+				t.Error("missing metadata")
+			}
+			if !strings.Contains(res.String(), res.ID) {
+				t.Error("String() missing ID")
+			}
+		})
+	}
+}

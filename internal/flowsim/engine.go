@@ -1,0 +1,428 @@
+package flowsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dard/internal/topology"
+	"dard/internal/workload"
+)
+
+// DefaultElephantAge is the detection threshold: a flow older than this is
+// an elephant (§3.1's Elephant Flow Detector).
+const DefaultElephantAge = 1.0
+
+// LinkEvent schedules a link failure or repair during the run: at time
+// At, the link's capacity drops to zero (Down) or returns to nominal.
+// Both directions of a duplex link are separate events. Failure injection
+// exercises DARD's adaptivity: a dead link's BoNF collapses to zero, so
+// monitors shift elephants off it within a scheduling round, while static
+// schedulers strand their flows.
+type LinkEvent struct {
+	At   float64
+	Link topology.LinkID
+	Down bool
+}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Net is the topology to simulate on.
+	Net topology.Network
+	// Controller is the flow scheduling strategy.
+	Controller Controller
+	// Flows is the workload, sorted by arrival time.
+	Flows []workload.Flow
+	// Seed drives every random choice the controller makes through
+	// Sim.Rand, making runs reproducible.
+	Seed int64
+	// ElephantAge is the elephant detection threshold in seconds. Zero
+	// means DefaultElephantAge; negative disables classification.
+	ElephantAge float64
+	// MaxTime aborts the run if simulated time exceeds it. Zero means
+	// 1e6 seconds.
+	MaxTime float64
+	// LinkEvents schedules link failures and repairs.
+	LinkEvents []LinkEvent
+}
+
+// Sim is one simulation run. Controllers receive it in their callbacks to
+// inspect state, reroute flows, and schedule timers.
+type Sim struct {
+	cfg Config
+	net topology.Network
+	g   *topology.Graph
+	rng *rand.Rand
+
+	now         float64
+	flows       []*Flow // by workload flow ID
+	active      []*Flow
+	pending     []workload.Flow
+	nextArrival int
+	timers      timerHeap
+	timerSeq    int64
+
+	ratesDirty bool
+
+	eleCounts    []int
+	eleVersion   uint64
+	stateVersion uint64
+
+	controlBytes  float64
+	curElephants  int
+	peakElephants int
+
+	linkDown []bool
+
+	// scratch buffers for the max-min computation
+	residual  []float64
+	unfrozen  []int
+	linkUsed  []topology.LinkID
+	linkFlows [][]*Flow
+	linkStamp []uint64
+	stamp     uint64
+}
+
+// New validates the configuration and prepares a run.
+func New(cfg Config) (*Sim, error) {
+	if cfg.Net == nil {
+		return nil, fmt.Errorf("flowsim: nil network")
+	}
+	if cfg.Controller == nil {
+		return nil, fmt.Errorf("flowsim: nil controller")
+	}
+	if cfg.ElephantAge == 0 {
+		cfg.ElephantAge = DefaultElephantAge
+	}
+	if cfg.MaxTime == 0 {
+		cfg.MaxTime = 1e6
+	}
+	for _, ev := range cfg.LinkEvents {
+		if ev.Link < 0 || int(ev.Link) >= cfg.Net.Graph().NumLinks() {
+			return nil, fmt.Errorf("flowsim: link event references link %d out of range", ev.Link)
+		}
+		if ev.At < 0 {
+			return nil, fmt.Errorf("flowsim: link event at negative time %g", ev.At)
+		}
+	}
+	hosts := cfg.Net.Hosts()
+	for _, wf := range cfg.Flows {
+		if wf.Src < 0 || wf.Src >= len(hosts) || wf.Dst < 0 || wf.Dst >= len(hosts) {
+			return nil, fmt.Errorf("flowsim: flow %d references host out of range", wf.ID)
+		}
+		if wf.Src == wf.Dst {
+			return nil, fmt.Errorf("flowsim: flow %d is a self-flow", wf.ID)
+		}
+		if wf.SizeBits <= 0 {
+			return nil, fmt.Errorf("flowsim: flow %d has non-positive size", wf.ID)
+		}
+	}
+	g := cfg.Net.Graph()
+	s := &Sim{
+		cfg:       cfg,
+		net:       cfg.Net,
+		g:         g,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		pending:   cfg.Flows,
+		flows:     make([]*Flow, len(cfg.Flows)),
+		eleCounts: make([]int, g.NumLinks()),
+		linkDown:  make([]bool, g.NumLinks()),
+		residual:  make([]float64, g.NumLinks()),
+		unfrozen:  make([]int, g.NumLinks()),
+		linkFlows: make([][]*Flow, g.NumLinks()),
+		linkStamp: make([]uint64, g.NumLinks()),
+	}
+	return s, nil
+}
+
+// Now returns the current simulation time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// Net returns the topology.
+func (s *Sim) Net() topology.Network { return s.net }
+
+// Topo returns the topology (alias satisfying ctlmsg.StateSource).
+func (s *Sim) Topo() topology.Network { return s.net }
+
+// Rand returns the run's deterministic random source.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Seed returns the run's configured seed. Path policies hash it with the
+// flow identity so initial assignments are identical across controllers
+// given the same seed — the paired-comparison property the evaluation
+// relies on.
+func (s *Sim) Seed() int64 { return s.cfg.Seed }
+
+// Paths returns the equal-cost ToR-to-ToR path set of a flow.
+func (s *Sim) Paths(srcToR, dstToR topology.NodeID) []topology.Path {
+	return s.net.Paths(srcToR, dstToR)
+}
+
+// Active returns the currently active flows. The slice is owned by the
+// simulator and only valid until the next event.
+func (s *Sim) Active() []*Flow { return s.active }
+
+// Flow returns the flow with the given workload ID (nil if not yet
+// arrived).
+func (s *Sim) Flow(id int) *Flow {
+	if id < 0 || id >= len(s.flows) {
+		return nil
+	}
+	return s.flows[id]
+}
+
+// IsActive reports whether the flow is still transferring.
+func (s *Sim) IsActive(f *Flow) bool { return f.active }
+
+// After schedules fn to run d seconds from now. Timers fire in timestamp
+// order (FIFO among equal timestamps) and are dropped once the workload
+// has drained.
+func (s *Sim) After(d float64, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.timerSeq++
+	s.timers.push(&timer{at: s.now + d, seq: s.timerSeq, fn: fn})
+}
+
+// RecordControl accounts control-plane message bytes (probes, replies,
+// controller updates) for the overhead comparison of Figure 15.
+func (s *Sim) RecordControl(bytes float64) { s.controlBytes += bytes }
+
+// ControlBytes returns the control bytes recorded so far.
+func (s *Sim) ControlBytes() float64 { return s.controlBytes }
+
+// SetPath moves a flow to another path in its equal-cost set. A change to
+// a different index counts as one path switch; re-selecting the current
+// path is a no-op.
+func (s *Sim) SetPath(f *Flow, pathIdx int) error {
+	paths := s.Paths(f.SrcToR, f.DstToR)
+	if pathIdx < 0 || pathIdx >= len(paths) {
+		return fmt.Errorf("flowsim: path index %d out of range [0,%d)", pathIdx, len(paths))
+	}
+	if pathIdx == f.PathIdx {
+		return nil
+	}
+	f.PathIdx = pathIdx
+	s.buildRoute(f, paths[pathIdx])
+	f.PathSwitches++
+	s.markStateChanged()
+	return nil
+}
+
+func (s *Sim) buildRoute(f *Flow, p topology.Path) {
+	links := make([]topology.LinkID, 0, len(p.Links)+2)
+	links = append(links, s.net.HostUplink(f.Src))
+	links = append(links, p.Links...)
+	links = append(links, s.net.HostDownlink(f.Dst))
+	f.links = links
+}
+
+func (s *Sim) markStateChanged() {
+	s.ratesDirty = true
+	s.stateVersion++
+}
+
+// ElephantsOnLink returns the number of active elephant flows currently
+// traversing the link: the "flow_numbers" half of the switch state the
+// paper's monitors query (§2.4.2).
+func (s *Sim) ElephantsOnLink(l topology.LinkID) int {
+	if s.eleVersion != s.stateVersion {
+		for i := range s.eleCounts {
+			s.eleCounts[i] = 0
+		}
+		for _, f := range s.active {
+			if !f.Elephant {
+				continue
+			}
+			for _, fl := range f.links {
+				s.eleCounts[fl]++
+			}
+		}
+		s.eleVersion = s.stateVersion
+	}
+	return s.eleCounts[l]
+}
+
+// LinkCapacity returns a link's effective capacity: zero while failed,
+// nominal otherwise. This is the bandwidth half of the switch state the
+// monitors query.
+func (s *Sim) LinkCapacity(l topology.LinkID) float64 {
+	if s.linkDown[l] {
+		return 0
+	}
+	return s.g.Link(l).Capacity
+}
+
+// LinkBoNF returns the Bandwidth over Number of elephant Flows of one
+// link; +Inf when the link carries no elephants (§2.2), zero while the
+// link is down.
+func (s *Sim) LinkBoNF(l topology.LinkID) float64 {
+	if s.linkDown[l] {
+		return 0
+	}
+	n := s.ElephantsOnLink(l)
+	if n == 0 {
+		return math.Inf(1)
+	}
+	return s.g.Link(l).Capacity / float64(n)
+}
+
+// SetLinkDown fails or repairs a link immediately.
+func (s *Sim) SetLinkDown(l topology.LinkID, down bool) {
+	if s.linkDown[l] == down {
+		return
+	}
+	s.linkDown[l] = down
+	s.markStateChanged()
+}
+
+// Run executes the simulation until every flow completes or MaxTime is
+// exceeded, then reports per-flow statistics.
+func (s *Sim) Run() (*Results, error) {
+	for _, ev := range s.cfg.LinkEvents {
+		ev := ev
+		s.After(ev.At-s.now, func() { s.SetLinkDown(ev.Link, ev.Down) })
+	}
+	s.cfg.Controller.Start(s)
+	for {
+		if s.nextArrival >= len(s.pending) && len(s.active) == 0 {
+			break
+		}
+		if s.ratesDirty {
+			s.recomputeRates()
+		}
+
+		// Earliest of: next completion, next arrival, next timer.
+		const none = math.MaxFloat64
+		tComplete, completing := none, (*Flow)(nil)
+		for _, f := range s.active {
+			if f.Rate <= 0 {
+				continue
+			}
+			t := s.now + f.Remaining/f.Rate
+			if t < tComplete {
+				tComplete, completing = t, f
+			}
+		}
+		tArrival := none
+		if s.nextArrival < len(s.pending) {
+			tArrival = s.pending[s.nextArrival].Arrival
+		}
+		tTimer := none
+		if !s.timers.empty() {
+			tTimer = s.timers.nextAt()
+		}
+
+		t := math.Min(tComplete, math.Min(tArrival, tTimer))
+		if t == none {
+			// Every remaining flow is rate-zero (stranded on failed
+			// links) and no events are pending: end the run; the flows
+			// are reported unfinished.
+			break
+		}
+		if t > s.cfg.MaxTime {
+			break
+		}
+		if dt := t - s.now; dt > 0 {
+			for _, f := range s.active {
+				f.Remaining -= f.Rate * dt
+				if f.Remaining < 0 {
+					f.Remaining = 0
+				}
+			}
+			s.now = t
+		}
+
+		switch {
+		case tComplete <= tArrival && tComplete <= tTimer:
+			completing.Remaining = 0
+			s.complete(completing)
+		case tArrival <= tTimer:
+			s.arrive(s.pending[s.nextArrival])
+			s.nextArrival++
+		default:
+			tm := s.timers.pop()
+			tm.fn()
+		}
+	}
+	return s.collectResults(), nil
+}
+
+func (s *Sim) arrive(wf workload.Flow) {
+	hosts := s.net.Hosts()
+	f := &Flow{
+		ID:        wf.ID,
+		Src:       hosts[wf.Src],
+		Dst:       hosts[wf.Dst],
+		SizeBits:  wf.SizeBits,
+		Remaining: wf.SizeBits,
+		Arrival:   s.now,
+		Finish:    math.NaN(),
+		active:    true,
+	}
+	f.SrcToR = s.net.ToROf(f.Src)
+	f.DstToR = s.net.ToROf(f.Dst)
+	s.flows[wf.ID] = f
+
+	paths := s.Paths(f.SrcToR, f.DstToR)
+	idx := s.cfg.Controller.AssignPath(s, f)
+	if idx < 0 || idx >= len(paths) {
+		idx = 0
+	}
+	f.PathIdx = idx
+	s.buildRoute(f, paths[idx])
+	s.active = append(s.active, f)
+	s.markStateChanged()
+
+	if s.cfg.ElephantAge >= 0 {
+		if s.cfg.ElephantAge == 0 {
+			s.classifyElephant(f)
+		} else {
+			s.After(s.cfg.ElephantAge, func() {
+				if f.active {
+					s.classifyElephant(f)
+				}
+			})
+		}
+	}
+	if obs, ok := s.cfg.Controller.(FlowObserver); ok {
+		obs.OnArrival(s, f)
+	}
+}
+
+func (s *Sim) classifyElephant(f *Flow) {
+	if f.Elephant {
+		return
+	}
+	f.Elephant = true
+	s.curElephants++
+	if s.curElephants > s.peakElephants {
+		s.peakElephants = s.curElephants
+	}
+	s.stateVersion++ // elephant link counts changed
+	if obs, ok := s.cfg.Controller.(ElephantObserver); ok {
+		obs.OnElephant(s, f)
+	}
+}
+
+func (s *Sim) complete(f *Flow) {
+	f.Finish = s.now
+	f.active = false
+	if f.Elephant {
+		s.curElephants--
+	}
+	for i, a := range s.active {
+		if a == f {
+			last := len(s.active) - 1
+			s.active[i] = s.active[last]
+			s.active[last] = nil
+			s.active = s.active[:last]
+			break
+		}
+	}
+	s.markStateChanged()
+	if obs, ok := s.cfg.Controller.(FlowObserver); ok {
+		obs.OnDepart(s, f)
+	}
+}

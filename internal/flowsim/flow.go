@@ -1,0 +1,87 @@
+// Package flowsim is a flow-level fluid simulator for datacenter
+// topologies. Active flows share link bandwidth max-min fairly (computed
+// by progressive filling), the allocation the paper's Appendix A assumes
+// TCP with fair queuing approximates. Time advances event by event: flow
+// arrivals, flow completions, and control-plane timers.
+//
+// The simulator carries DARD's control-plane hooks: controllers assign and
+// re-assign per-flow paths, register timers, observe flow lifecycle
+// events, query per-link elephant-flow state (the paper's switch state
+// interface), and account control-message bytes.
+package flowsim
+
+import (
+	"math"
+
+	"dard/internal/topology"
+)
+
+// Flow is the runtime state of one transfer.
+type Flow struct {
+	// ID is the workload flow ID.
+	ID int
+	// Src and Dst are host node IDs.
+	Src, Dst topology.NodeID
+	// SrcToR and DstToR are the attachment ToRs.
+	SrcToR, DstToR topology.NodeID
+	// SizeBits is the total transfer size.
+	SizeBits float64
+	// Remaining is the unsent portion in bits.
+	Remaining float64
+	// PathIdx indexes the equal-cost path set between SrcToR and DstToR.
+	PathIdx int
+	// Rate is the current max-min allocation in bits/s.
+	Rate float64
+	// Arrival and Finish are simulation timestamps; Finish is NaN while
+	// the flow is active.
+	Arrival, Finish float64
+	// PathSwitches counts how many times the flow changed paths after
+	// its initial assignment (the paper's stability metric).
+	PathSwitches int
+	// Elephant reports whether the flow has been classified as an
+	// elephant (a TCP connection older than the detection threshold).
+	Elephant bool
+
+	links  []topology.LinkID // current route incl. host first/last hop
+	active bool
+}
+
+// TransferTime returns Finish-Arrival, or NaN if unfinished.
+func (f *Flow) TransferTime() float64 {
+	if math.IsNaN(f.Finish) {
+		return math.NaN()
+	}
+	return f.Finish - f.Arrival
+}
+
+// Links returns the flow's current route including the host's first and
+// last hop. The slice is owned by the simulator; callers must not modify
+// it.
+func (f *Flow) Links() []topology.LinkID { return f.links }
+
+// Controller is a flow scheduling strategy: ECMP, pVLB, DARD, or Hedera.
+type Controller interface {
+	// Name identifies the strategy in results and tables.
+	Name() string
+	// Start is called once before the first event; controllers install
+	// their periodic timers here.
+	Start(s *Sim)
+	// AssignPath picks the initial path index for a new flow from the
+	// equal-cost set s.Paths(f.SrcToR, f.DstToR).
+	AssignPath(s *Sim, f *Flow) int
+}
+
+// FlowObserver is an optional Controller extension notified of flow
+// lifecycle events.
+type FlowObserver interface {
+	// OnArrival runs after the flow's initial path assignment.
+	OnArrival(s *Sim, f *Flow)
+	// OnDepart runs when the flow completes.
+	OnDepart(s *Sim, f *Flow)
+}
+
+// ElephantObserver is an optional Controller extension notified when a
+// flow crosses the elephant detection threshold.
+type ElephantObserver interface {
+	OnElephant(s *Sim, f *Flow)
+}

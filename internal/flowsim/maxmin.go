@@ -1,0 +1,93 @@
+package flowsim
+
+import "dard/internal/topology"
+
+// recomputeRates assigns every active flow its max-min fair share by
+// progressive filling: repeatedly find the link with the smallest residual
+// fair share, freeze its unfrozen flows at that rate, subtract their
+// allocation from every link they cross, and continue until all flows are
+// frozen.
+//
+// The computation keeps per-link flow lists so each flow is visited a
+// constant number of times: building the lists is O(F x pathlen), and the
+// bottleneck search is O(active links) per iteration with at most one
+// iteration per distinct bottleneck link.
+func (s *Sim) recomputeRates() {
+	s.ratesDirty = false
+	if len(s.active) == 0 {
+		return
+	}
+
+	// Stamp the links in use this round, reset their accumulators, and
+	// build the per-link membership lists.
+	s.stamp++
+	s.linkUsed = s.linkUsed[:0]
+	for _, f := range s.active {
+		f.Rate = -1 // unfrozen
+		for _, l := range f.links {
+			if s.linkStamp[l] != s.stamp {
+				s.linkStamp[l] = s.stamp
+				s.residual[l] = s.LinkCapacity(l)
+				s.unfrozen[l] = 0
+				if int(l) >= len(s.linkFlows) {
+					s.growLinkFlows(int(l) + 1)
+				}
+				s.linkFlows[l] = s.linkFlows[l][:0]
+				s.linkUsed = append(s.linkUsed, l)
+			}
+			s.unfrozen[l]++
+			s.linkFlows[l] = append(s.linkFlows[l], f)
+		}
+	}
+
+	remaining := len(s.active)
+	for remaining > 0 {
+		// Bottleneck link: smallest residual fair share.
+		var bottleneck topology.LinkID = -1
+		best := 0.0
+		for _, l := range s.linkUsed {
+			if s.unfrozen[l] == 0 {
+				continue
+			}
+			share := s.residual[l] / float64(s.unfrozen[l])
+			if bottleneck < 0 || share < best {
+				bottleneck, best = l, share
+			}
+		}
+		if bottleneck < 0 {
+			// Unreachable: every flow crosses at least its host links.
+			for _, f := range s.active {
+				if f.Rate < 0 {
+					f.Rate = 0
+				}
+			}
+			return
+		}
+		if best < 0 {
+			best = 0
+		}
+		// Freeze every unfrozen flow crossing the bottleneck. Once its
+		// unfrozen count reaches zero the link is never selected again,
+		// so each membership list is consumed at most once.
+		for _, f := range s.linkFlows[bottleneck] {
+			if f.Rate >= 0 {
+				continue
+			}
+			f.Rate = best
+			remaining--
+			for _, l := range f.links {
+				s.residual[l] -= best
+				if s.residual[l] < 0 {
+					s.residual[l] = 0
+				}
+				s.unfrozen[l]--
+			}
+		}
+	}
+}
+
+func (s *Sim) growLinkFlows(n int) {
+	for len(s.linkFlows) < n {
+		s.linkFlows = append(s.linkFlows, nil)
+	}
+}

@@ -1,0 +1,40 @@
+package flowsim
+
+import "container/heap"
+
+// timer is one scheduled control-plane callback.
+type timer struct {
+	at  float64
+	seq int64 // tie-breaker for deterministic ordering
+	fn  func()
+}
+
+// timerHeap is a min-heap on (at, seq).
+type timerHeap []*timer
+
+func (h timerHeap) Len() int { return len(h) }
+
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h timerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(*timer)) }
+
+func (h *timerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}
+
+func (h *timerHeap) push(t *timer)  { heap.Push(h, t) }
+func (h *timerHeap) pop() *timer    { return heap.Pop(h).(*timer) }
+func (h timerHeap) nextAt() float64 { return h[0].at }
+func (h timerHeap) empty() bool     { return len(h) == 0 }

@@ -1,0 +1,141 @@
+package game
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Dynamics runs asynchronous selfish scheduling on a game: one flow moves
+// at a time (no synchronized shifting, the premise of Theorem 2), using
+// DARD's acceptance rule — move to the route that maximizes the flow's
+// post-move bottleneck BoNF if that improves on the current one by more
+// than δ.
+type Dynamics struct {
+	G *Game
+	S Strategy
+	// Steps counts accepted moves.
+	Steps int
+
+	loads []int
+}
+
+// NewDynamics starts dynamics from the given strategy.
+func NewDynamics(g *Game, start Strategy) (*Dynamics, error) {
+	if err := g.Validate(start); err != nil {
+		return nil, err
+	}
+	d := &Dynamics{G: g, S: start.Clone()}
+	d.loads = g.LinkLoads(d.S)
+	return d, nil
+}
+
+// BestResponse attempts one selfish move for flow f. It returns whether
+// the flow moved and the route it moved to.
+func (d *Dynamics) BestResponse(f int) (moved bool, to int) {
+	g := d.G
+	cur := d.S[f]
+	curBoNF := g.RouteBoNF(d.loads, f, cur)
+
+	// Temporarily remove f to evaluate alternatives exactly.
+	for _, l := range g.Routes[f][cur] {
+		d.loads[l]--
+	}
+	bestRoute, bestBoNF := cur, curBoNF
+	for r := range g.Routes[f] {
+		if r == cur {
+			continue
+		}
+		// Post-move bottleneck with f placed on r.
+		bonf := d.postMoveBoNF(f, r)
+		if bonf > bestBoNF {
+			bestBoNF, bestRoute = bonf, r
+		}
+	}
+	if bestRoute == cur || bestBoNF-curBoNF <= g.Delta {
+		for _, l := range g.Routes[f][cur] {
+			d.loads[l]++
+		}
+		return false, cur
+	}
+	for _, l := range g.Routes[f][bestRoute] {
+		d.loads[l]++
+	}
+	d.S[f] = bestRoute
+	d.Steps++
+	return true, bestRoute
+}
+
+// postMoveBoNF computes flow f's bottleneck BoNF if placed on route r,
+// given loads that exclude f.
+func (d *Dynamics) postMoveBoNF(f, r int) float64 {
+	g := d.G
+	bonf := 0.0
+	first := true
+	for _, l := range g.Routes[f][r] {
+		b := g.Capacities[l] / float64(d.loads[l]+1)
+		if first || b < bonf {
+			bonf = b
+			first = false
+		}
+	}
+	return bonf
+}
+
+// IsLocallyOptimal reports whether flow f has no accepted move (the local
+// optimality condition of Appendix B, with the δ threshold).
+func (d *Dynamics) IsLocallyOptimal(f int) bool {
+	save := d.S[f]
+	saveSteps := d.Steps
+	moved, _ := d.BestResponse(f)
+	if moved {
+		// Undo.
+		for _, l := range d.G.Routes[f][d.S[f]] {
+			d.loads[l]--
+		}
+		for _, l := range d.G.Routes[f][save] {
+			d.loads[l]++
+		}
+		d.S[f] = save
+		d.Steps = saveSteps
+	}
+	return !moved
+}
+
+// IsNash reports whether every flow is locally optimal.
+func (d *Dynamics) IsNash() bool {
+	for f := range d.G.Routes {
+		if !d.IsLocallyOptimal(f) {
+			return false
+		}
+	}
+	return true
+}
+
+// RunAsync repeatedly sweeps flows in random order, applying one selfish
+// move at a time, until a full sweep makes no move (a Nash equilibrium)
+// or maxSteps moves were taken. It returns the number of accepted moves.
+func (d *Dynamics) RunAsync(rng *rand.Rand, maxSteps int) (int, error) {
+	if maxSteps <= 0 {
+		maxSteps = 100 * (d.G.NumFlows() + 1)
+	}
+	order := make([]int, d.G.NumFlows())
+	for i := range order {
+		order[i] = i
+	}
+	for d.Steps < maxSteps {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		movedAny := false
+		for _, f := range order {
+			if d.Steps >= maxSteps {
+				break
+			}
+			if moved, _ := d.BestResponse(f); moved {
+				movedAny = true
+			}
+		}
+		if !movedAny {
+			return d.Steps, nil
+		}
+	}
+	return d.Steps, fmt.Errorf("game: dynamics did not converge within %d moves", maxSteps)
+}

@@ -1,0 +1,70 @@
+package game
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dard/internal/topology"
+)
+
+// TestFromNetworkClos builds a game over a Clos fabric, where paths share
+// more links than the fat-tree case, and checks dynamics still converge
+// with a monotone minimum BoNF.
+func TestFromNetworkClos(t *testing.T) {
+	cl, err := topology.NewClos(topology.ClosConfig{DI: 4, DA: 4, HostsPerToR: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tors := cl.Graph().NodesOfKind(topology.ToR)
+	var flows [][2]topology.NodeID
+	for i := 0; i < len(tors); i++ {
+		for j := 0; j < 2; j++ {
+			dst := tors[(i+1+j)%len(tors)]
+			if dst != tors[i] {
+				flows = append(flows, [2]topology.NodeID{tors[i], dst})
+			}
+		}
+	}
+	g, links, err := FromNetwork(cl, flows, 0.05e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumFlows() != len(flows) {
+		t.Fatalf("flows = %d, want %d", g.NumFlows(), len(flows))
+	}
+	if len(links) != g.NumLinks() {
+		t.Fatalf("link mapping size mismatch")
+	}
+	// Cross-pair flows get 16 routes, intra-pair 2.
+	for f, pair := range flows {
+		want := 16
+		if cl.Graph().Node(pair[0]).Pod == cl.Graph().Node(pair[1]).Pod {
+			want = 2
+		}
+		if got := len(g.Routes[f]); got != want {
+			t.Errorf("flow %d has %d routes, want %d", f, got, want)
+		}
+	}
+
+	start := make(Strategy, g.NumFlows()) // everyone on route 0
+	d, err := NewDynamics(g, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := g.MinBoNF(d.S)
+	steps, err := d.RunAsync(rand.New(rand.NewSource(9)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.IsNash() {
+		t.Error("terminal state not Nash")
+	}
+	after := g.MinBoNF(d.S)
+	if after < before-1e-6 {
+		t.Errorf("min BoNF decreased: %g -> %g", before, after)
+	}
+	if steps == 0 && math.Abs(after-before) > 1e-6 {
+		t.Error("state changed without steps")
+	}
+}

@@ -1,0 +1,182 @@
+// Package game is an executable model of the paper's Appendix B: DARD's
+// flow scheduling as an atomic congestion game (F, G, {r^f}). It provides
+// the state-vector ordering used in the convergence proof, asynchronous
+// selfish (best-response) dynamics with DARD's δ-threshold acceptance
+// rule, and Nash-equilibrium checking. The package's property tests
+// validate Theorem 2 empirically: dynamics terminate in finitely many
+// steps, the terminal strategy is a Nash equilibrium, the global minimum
+// BoNF never decreases, and the population of links at the minimum level
+// never grows.
+package game
+
+import (
+	"fmt"
+	"math"
+
+	"dard/internal/topology"
+)
+
+// Game is a congestion game instance: links with capacities and flows,
+// each with a set of candidate routes (link subsets).
+type Game struct {
+	// Capacities holds each link's bandwidth.
+	Capacities []float64
+	// Routes[f][r] lists the links of flow f's r-th candidate route.
+	Routes [][][]int
+	// Delta is DARD's δ: a move is accepted only if it improves the
+	// mover's bottleneck BoNF by more than Delta. It is also the state
+	// vector's bucket width.
+	Delta float64
+}
+
+// New validates and builds a game.
+func New(capacities []float64, routes [][][]int, delta float64) (*Game, error) {
+	if len(capacities) == 0 {
+		return nil, fmt.Errorf("game: no links")
+	}
+	for l, c := range capacities {
+		if c <= 0 {
+			return nil, fmt.Errorf("game: link %d has non-positive capacity %g", l, c)
+		}
+	}
+	if delta < 0 {
+		return nil, fmt.Errorf("game: negative delta %g", delta)
+	}
+	for f, rs := range routes {
+		if len(rs) == 0 {
+			return nil, fmt.Errorf("game: flow %d has no routes", f)
+		}
+		for r, links := range rs {
+			if len(links) == 0 {
+				return nil, fmt.Errorf("game: flow %d route %d is empty", f, r)
+			}
+			for _, l := range links {
+				if l < 0 || l >= len(capacities) {
+					return nil, fmt.Errorf("game: flow %d route %d references link %d out of range", f, r, l)
+				}
+			}
+		}
+	}
+	return &Game{Capacities: capacities, Routes: routes, Delta: delta}, nil
+}
+
+// NumFlows reports the number of players.
+func (g *Game) NumFlows() int { return len(g.Routes) }
+
+// NumLinks reports the number of links.
+func (g *Game) NumLinks() int { return len(g.Capacities) }
+
+// Strategy assigns each flow a route index.
+type Strategy []int
+
+// Clone copies the strategy.
+func (s Strategy) Clone() Strategy {
+	c := make(Strategy, len(s))
+	copy(c, s)
+	return c
+}
+
+// Validate checks the strategy against the game.
+func (g *Game) Validate(s Strategy) error {
+	if len(s) != g.NumFlows() {
+		return fmt.Errorf("game: strategy has %d entries for %d flows", len(s), g.NumFlows())
+	}
+	for f, r := range s {
+		if r < 0 || r >= len(g.Routes[f]) {
+			return fmt.Errorf("game: flow %d uses route %d of %d", f, r, len(g.Routes[f]))
+		}
+	}
+	return nil
+}
+
+// LinkLoads returns the number of flows on each link under s.
+func (g *Game) LinkLoads(s Strategy) []int {
+	loads := make([]int, g.NumLinks())
+	for f, r := range s {
+		for _, l := range g.Routes[f][r] {
+			loads[l]++
+		}
+	}
+	return loads
+}
+
+// LinkBoNF returns a link's BoNF given precomputed loads: capacity over
+// elephant flow count, +Inf for an empty link (§2.2).
+func (g *Game) LinkBoNF(loads []int, l int) float64 {
+	if loads[l] == 0 {
+		return math.Inf(1)
+	}
+	return g.Capacities[l] / float64(loads[l])
+}
+
+// RouteBoNF returns the bottleneck BoNF of flow f's route r under the
+// given loads (the route state S_r of Appendix B).
+func (g *Game) RouteBoNF(loads []int, f, r int) float64 {
+	bonf := math.Inf(1)
+	for _, l := range g.Routes[f][r] {
+		if b := g.LinkBoNF(loads, l); b < bonf {
+			bonf = b
+		}
+	}
+	return bonf
+}
+
+// FlowBoNF returns flow f's state S_f(s): the bottleneck BoNF of its
+// current route.
+func (g *Game) FlowBoNF(s Strategy, f int) float64 {
+	return g.RouteBoNF(g.LinkLoads(s), f, s[f])
+}
+
+// MinBoNF returns the system state S(s): the smallest BoNF over all links
+// that carry at least one flow (+Inf if the network is idle).
+func (g *Game) MinBoNF(s Strategy) float64 {
+	loads := g.LinkLoads(s)
+	minB := math.Inf(1)
+	for l := range g.Capacities {
+		if loads[l] > 0 {
+			if b := g.LinkBoNF(loads, l); b < minB {
+				minB = b
+			}
+		}
+	}
+	return minB
+}
+
+// FromNetwork builds a game from a topology and a list of (srcToR, dstToR)
+// flows: each flow's candidate routes are the equal-cost ToR-to-ToR paths
+// (switch-switch links only, matching the BoNF definition). It returns the
+// game plus the mapping from game link indices to topology links.
+func FromNetwork(net topology.Network, flows [][2]topology.NodeID, delta float64) (*Game, []topology.LinkID, error) {
+	g := net.Graph()
+	index := make(map[topology.LinkID]int)
+	var rev []topology.LinkID
+	routes := make([][][]int, len(flows))
+	for fi, pair := range flows {
+		paths := net.Paths(pair[0], pair[1])
+		if len(paths) == 1 && len(paths[0].Links) == 0 {
+			return nil, nil, fmt.Errorf("game: flow %d is same-ToR and has no routed path", fi)
+		}
+		for _, p := range paths {
+			route := make([]int, 0, len(p.Links))
+			for _, l := range p.Links {
+				li, ok := index[l]
+				if !ok {
+					li = len(rev)
+					index[l] = li
+					rev = append(rev, l)
+				}
+				route = append(route, li)
+			}
+			routes[fi] = append(routes[fi], route)
+		}
+	}
+	caps := make([]float64, len(rev))
+	for i, l := range rev {
+		caps[i] = g.Link(l).Capacity
+	}
+	gm, err := New(caps, routes, delta)
+	if err != nil {
+		return nil, nil, err
+	}
+	return gm, rev, nil
+}

@@ -1,0 +1,348 @@
+package game
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dard/internal/topology"
+)
+
+func mustGame(t *testing.T, caps []float64, routes [][][]int, delta float64) *Game {
+	t.Helper()
+	g, err := New(caps, routes, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGameValidation(t *testing.T) {
+	if _, err := New(nil, nil, 0); err == nil {
+		t.Error("no links should fail")
+	}
+	if _, err := New([]float64{1, -1}, nil, 0); err == nil {
+		t.Error("negative capacity should fail")
+	}
+	if _, err := New([]float64{1}, [][][]int{{}}, 0); err == nil {
+		t.Error("flow without routes should fail")
+	}
+	if _, err := New([]float64{1}, [][][]int{{{5}}}, 0); err == nil {
+		t.Error("out-of-range link should fail")
+	}
+	if _, err := New([]float64{1}, [][][]int{{{0}}}, -1); err == nil {
+		t.Error("negative delta should fail")
+	}
+	g := mustGame(t, []float64{1}, [][][]int{{{0}}}, 0)
+	if err := g.Validate(Strategy{0}); err != nil {
+		t.Errorf("valid strategy rejected: %v", err)
+	}
+	if err := g.Validate(Strategy{1}); err == nil {
+		t.Error("route index out of range should fail")
+	}
+	if err := g.Validate(Strategy{}); err == nil {
+		t.Error("wrong strategy length should fail")
+	}
+}
+
+func TestBoNFComputation(t *testing.T) {
+	// Two parallel links, two flows.
+	g := mustGame(t, []float64{1, 1}, [][][]int{
+		{{0}, {1}},
+		{{0}, {1}},
+	}, 0.01)
+	s := Strategy{0, 0}
+	loads := g.LinkLoads(s)
+	if loads[0] != 2 || loads[1] != 0 {
+		t.Fatalf("loads = %v", loads)
+	}
+	if got := g.LinkBoNF(loads, 0); got != 0.5 {
+		t.Errorf("link 0 BoNF = %g, want 0.5", got)
+	}
+	if got := g.LinkBoNF(loads, 1); !math.IsInf(got, 1) {
+		t.Errorf("idle link BoNF = %g, want +Inf", got)
+	}
+	if got := g.FlowBoNF(s, 0); got != 0.5 {
+		t.Errorf("flow BoNF = %g, want 0.5", got)
+	}
+	if got := g.MinBoNF(s); got != 0.5 {
+		t.Errorf("MinBoNF = %g, want 0.5", got)
+	}
+}
+
+func TestBestResponseMovesToEmptyLink(t *testing.T) {
+	g := mustGame(t, []float64{1, 1}, [][][]int{
+		{{0}, {1}},
+		{{0}, {1}},
+	}, 0.01)
+	d, err := NewDynamics(g, Strategy{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, to := d.BestResponse(0)
+	if !moved || to != 1 {
+		t.Fatalf("BestResponse = %v,%d, want move to 1", moved, to)
+	}
+	if !d.IsNash() {
+		t.Error("1-and-1 split should be Nash")
+	}
+	if d.Steps != 1 {
+		t.Errorf("Steps = %d, want 1", d.Steps)
+	}
+}
+
+func TestDeltaBlocksMarginalMoves(t *testing.T) {
+	// Moving from a 2-flow link (BoNF .5) to an empty slower link
+	// (BoNF .55) improves by only .05 < delta: stay.
+	g := mustGame(t, []float64{1, 0.55}, [][][]int{
+		{{0}, {1}},
+		{{0}},
+	}, 0.1)
+	d, err := NewDynamics(g, Strategy{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved, _ := d.BestResponse(0); moved {
+		t.Error("move below delta threshold accepted")
+	}
+	if !d.IsNash() {
+		t.Error("state should be Nash under delta")
+	}
+}
+
+// TestTable1ToyExample replays §2.2's toy example (Figure 1 / Table 1):
+// three elephants all through core1 of a p=4 fat-tree. Asynchronous
+// selfish scheduling converges in exactly two moves and lifts the global
+// minimum BoNF from 1/3 of a link to a full link.
+func TestTable1ToyExample(t *testing.T) {
+	ft, err := topology.NewFatTree(topology.FatTreeConfig{P: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flow 0: pod0/ToR0 -> pod1/ToR0; flow 1: pod0/ToR1 -> pod1/ToR1;
+	// flow 2: pod2/ToR0 -> pod1/ToR0. (The paper's E11->E21, E13->E24,
+	// E31->E22 up to renaming.)
+	tor := func(pod, idx int) topology.NodeID { return ft.ToRsOfPod(pod)[idx] }
+	flows := [][2]topology.NodeID{
+		{tor(0, 0), tor(1, 0)},
+		{tor(0, 1), tor(1, 1)},
+		{tor(2, 0), tor(1, 0)},
+	}
+	g, _, err := FromNetwork(ft, flows, 0.05e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := Strategy{0, 0, 0} // everyone on core1
+	if got := g.MinBoNF(start); math.Abs(got-1e9/3) > 1 {
+		t.Fatalf("initial MinBoNF = %g, want 1/3 Gbps", got)
+	}
+	d, err := NewDynamics(g, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps, err := d.RunAsync(rand.New(rand.NewSource(1)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 2 {
+		t.Errorf("converged in %d moves, want 2 (Table 1)", steps)
+	}
+	if !d.IsNash() {
+		t.Error("terminal state is not Nash")
+	}
+	if got := g.MinBoNF(d.S); math.Abs(got-1e9) > 1 {
+		t.Errorf("final MinBoNF = %g, want 1 Gbps", got)
+	}
+}
+
+func TestStateVectorSums(t *testing.T) {
+	g := mustGame(t, []float64{1, 1, 2}, [][][]int{
+		{{0, 2}, {1, 2}},
+	}, 0.25)
+	sv := g.StateVector(Strategy{0})
+	total := 0
+	for _, v := range sv {
+		total += v
+	}
+	if total != g.NumLinks() {
+		t.Errorf("state vector sums to %d, want %d", total, g.NumLinks())
+	}
+}
+
+func TestLessOrdering(t *testing.T) {
+	if !Less([]int{0, 2, 5}, []int{1, 0, 0}) {
+		t.Error("fewer min-bucket links should be Less")
+	}
+	if Less([]int{1, 0}, []int{1, 0}) {
+		t.Error("Less must be irreflexive")
+	}
+	if Less([]int{1, 0, 0}, []int{0, 9, 9}) {
+		t.Error("more min-bucket links cannot be Less")
+	}
+	if !Equal([]int{1, 2}, []int{1, 2}) || Equal([]int{1}, []int{1, 0}) {
+		t.Error("Equal broken")
+	}
+}
+
+// randomGame builds a small random congestion game.
+func randomGame(rng *rand.Rand) *Game {
+	nLinks := 4 + rng.Intn(10)
+	caps := make([]float64, nLinks)
+	for i := range caps {
+		caps[i] = 1 + float64(rng.Intn(3))
+	}
+	nFlows := 2 + rng.Intn(10)
+	routes := make([][][]int, nFlows)
+	for f := range routes {
+		nRoutes := 2 + rng.Intn(3)
+		for r := 0; r < nRoutes; r++ {
+			length := 1 + rng.Intn(3)
+			route := make([]int, 0, length)
+			seen := map[int]bool{}
+			for len(route) < length {
+				l := rng.Intn(nLinks)
+				if !seen[l] {
+					seen[l] = true
+					route = append(route, l)
+				}
+			}
+			routes[f] = append(routes[f], route)
+		}
+	}
+	g, err := New(caps, routes, 0.01)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// TestTheorem2Properties is the empirical validation of Appendix B: over
+// many random games and random initial strategies, asynchronous selfish
+// dynamics (1) terminate, (2) end in a Nash equilibrium, (3) never
+// decrease the global minimum BoNF, and (4) never grow the population of
+// links within δ of the old minimum.
+func TestTheorem2Properties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 150; trial++ {
+		g := randomGame(rng)
+		start := make(Strategy, g.NumFlows())
+		for f := range start {
+			start[f] = rng.Intn(len(g.Routes[f]))
+		}
+		d, err := NewDynamics(g, start)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		prevMin := g.MinBoNF(d.S)
+		prevCount := countAtMin(g, d.S, prevMin)
+		moves := 0
+		maxMoves := 200 * g.NumFlows()
+		for moves < maxMoves {
+			movedAny := false
+			for f := 0; f < g.NumFlows(); f++ {
+				if moved, _ := d.BestResponse(f); moved {
+					moves++
+					movedAny = true
+					minNow := g.MinBoNF(d.S)
+					if minNow < prevMin-1e-9 {
+						t.Fatalf("trial %d: global MinBoNF decreased %g -> %g", trial, prevMin, minNow)
+					}
+					if minNow <= prevMin+1e-9 {
+						// Minimum unchanged: the population at the old
+						// minimum level must not grow.
+						if c := countAtMin(g, d.S, prevMin); c > prevCount {
+							t.Fatalf("trial %d: links at min level grew %d -> %d", trial, prevCount, c)
+						}
+					}
+					prevMin = g.MinBoNF(d.S)
+					prevCount = countAtMin(g, d.S, prevMin)
+				}
+			}
+			if !movedAny {
+				break
+			}
+		}
+		if moves >= maxMoves {
+			t.Fatalf("trial %d: dynamics did not converge in %d moves", trial, maxMoves)
+		}
+		if !d.IsNash() {
+			t.Fatalf("trial %d: terminal state is not a Nash equilibrium", trial)
+		}
+	}
+}
+
+// countAtMin counts loaded links with BoNF within delta of the level m.
+func countAtMin(g *Game, s Strategy, m float64) int {
+	loads := g.LinkLoads(s)
+	n := 0
+	for l := range g.Capacities {
+		if loads[l] == 0 {
+			continue
+		}
+		if g.LinkBoNF(loads, l) <= m+g.Delta {
+			n++
+		}
+	}
+	return n
+}
+
+func TestRunAsyncDeterministicWithSeed(t *testing.T) {
+	g := randomGame(rand.New(rand.NewSource(7)))
+	start := make(Strategy, g.NumFlows())
+	d1, _ := NewDynamics(g, start)
+	d2, _ := NewDynamics(g, start)
+	s1, err1 := d1.RunAsync(rand.New(rand.NewSource(3)), 0)
+	s2, err2 := d2.RunAsync(rand.New(rand.NewSource(3)), 0)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if s1 != s2 {
+		t.Errorf("same seed, different step counts: %d vs %d", s1, s2)
+	}
+	for f := range d1.S {
+		if d1.S[f] != d2.S[f] {
+			t.Fatalf("same seed, different terminal strategies")
+		}
+	}
+}
+
+func TestFromNetworkRejectsSameToR(t *testing.T) {
+	ft, err := topology.NewFatTree(topology.FatTreeConfig{P: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tor := ft.ToRsOfPod(0)[0]
+	if _, _, err := FromNetwork(ft, [][2]topology.NodeID{{tor, tor}}, 0.01); err == nil {
+		t.Error("same-ToR flow should be rejected")
+	}
+}
+
+func TestStateVectorMonotoneUnderImprovement(t *testing.T) {
+	// For the toy example, the state vector after convergence must be
+	// Less than (or equal to) the initial one in the paper's ordering.
+	ft, err := topology.NewFatTree(topology.FatTreeConfig{P: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tor := func(pod, idx int) topology.NodeID { return ft.ToRsOfPod(pod)[idx] }
+	flows := [][2]topology.NodeID{
+		{tor(0, 0), tor(1, 0)},
+		{tor(0, 1), tor(1, 1)},
+		{tor(2, 0), tor(1, 0)},
+	}
+	g, _, err := FromNetwork(ft, flows, 0.05e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := Strategy{0, 0, 0}
+	d, _ := NewDynamics(g, start)
+	if _, err := d.RunAsync(rand.New(rand.NewSource(2)), 0); err != nil {
+		t.Fatal(err)
+	}
+	before := g.StateVector(start)
+	after := g.StateVector(d.S)
+	if !Less(after, before) {
+		t.Errorf("terminal SV %v not Less than initial %v", after, before)
+	}
+}

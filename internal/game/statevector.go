@@ -1,0 +1,72 @@
+package game
+
+import "math"
+
+// StateVector computes SV(s) from Appendix B: entry k counts the links
+// whose BoNF falls in [kδ, (k+1)δ). Idle links (BoNF = +Inf) land in the
+// final overflow bucket so that the entries always sum to the link count.
+func (g *Game) StateVector(s Strategy) []int {
+	delta := g.Delta
+	if delta <= 0 {
+		// Degenerate δ: bucket by exact capacity quantiles instead; use
+		// the smallest capacity over the largest plausible flow count.
+		delta = g.maxCapacity() / 1024
+	}
+	buckets := int(math.Ceil(g.maxCapacity()/delta)) + 1
+	sv := make([]int, buckets+1)
+	loads := g.LinkLoads(s)
+	for l := range g.Capacities {
+		b := g.LinkBoNF(loads, l)
+		k := buckets // overflow bucket for idle links
+		if !math.IsInf(b, 1) {
+			k = int(b / delta)
+			if k > buckets {
+				k = buckets
+			}
+		}
+		sv[k]++
+	}
+	return sv
+}
+
+func (g *Game) maxCapacity() float64 {
+	m := 0.0
+	for _, c := range g.Capacities {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Less implements the paper's state-vector ordering: s < s' when there is
+// some K with v_K(s) < v_K(s') and v_k(s) <= v_k(s') for every k < K.
+// Fewer links in low-BoNF buckets means a less congested network.
+func Less(a, b []int) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for k := 0; k < n; k++ {
+		switch {
+		case a[k] < b[k]:
+			return true
+		case a[k] > b[k]:
+			return false
+		}
+	}
+	return false
+}
+
+// Equal reports whether two state vectors agree on every bucket.
+func Equal(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,152 @@
+// Package hedera implements the centralized scheduling baseline the paper
+// compares DARD against (§4.3): Hedera's demand estimation plus simulated
+// annealing placement (Al-Fares et al., NSDI 2010), run by a central
+// controller every five seconds.
+package hedera
+
+import "sort"
+
+// Pair identifies a host pair with at least one elephant flow.
+type Pair struct {
+	Src, Dst int
+}
+
+// pairDemand is the estimator state for one host pair.
+type pairDemand struct {
+	flows     int
+	demand    float64 // per-flow natural demand, as a fraction of NIC rate
+	converged bool
+	recvLimit bool
+}
+
+// EstimateDemands runs Hedera's iterative max-min demand estimation for a
+// set of elephant flows given as (src, dst) host pairs. The result maps
+// each pair to its estimated per-flow natural demand as a fraction of the
+// host NIC rate: senders divide their NIC fairly among their flows,
+// receivers cap oversubscribed aggregates, repeated until fixpoint.
+func EstimateDemands(pairs map[Pair]int) map[Pair]float64 {
+	state := make(map[Pair]*pairDemand, len(pairs))
+	bySrc := make(map[int][]*pairDemand)
+	byDst := make(map[int][]*pairDemand)
+	// Insert pairs in sorted order so the estimator's per-endpoint lists
+	// (and with them any floating-point tie-breaks) are deterministic.
+	keys := make([]Pair, 0, len(pairs))
+	for k := range pairs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Src != keys[j].Src {
+			return keys[i].Src < keys[j].Src
+		}
+		return keys[i].Dst < keys[j].Dst
+	})
+	for _, k := range keys {
+		pd := &pairDemand{flows: pairs[k]}
+		state[k] = pd
+		bySrc[k.Src] = append(bySrc[k.Src], pd)
+		byDst[k.Dst] = append(byDst[k.Dst], pd)
+	}
+
+	const eps = 1e-9
+	for iter := 0; iter < 200; iter++ {
+		changed := false
+
+		// Sender phase: each source divides its unit NIC capacity among
+		// its unconverged flows after subtracting converged demand.
+		for _, pds := range bySrc {
+			var converged float64
+			unconverged := 0
+			for _, pd := range pds {
+				if pd.converged {
+					converged += pd.demand * float64(pd.flows)
+				} else {
+					unconverged += pd.flows
+				}
+			}
+			if unconverged == 0 {
+				continue
+			}
+			share := (1 - converged) / float64(unconverged)
+			if share < 0 {
+				share = 0
+			}
+			for _, pd := range pds {
+				if !pd.converged && absDiff(pd.demand, share) > eps {
+					pd.demand = share
+					changed = true
+				}
+			}
+		}
+
+		// Receiver phase: receivers with aggregate demand above their
+		// NIC rate cap the largest flows at the receiver fair share and
+		// mark them converged.
+		for _, pds := range byDst {
+			total := 0.0
+			for _, pd := range pds {
+				total += pd.demand * float64(pd.flows)
+			}
+			if total <= 1+eps {
+				continue
+			}
+			// Find the equal share: flows already below it keep their
+			// (sender-limited) demand.
+			surplus := 1.0
+			active := 0
+			for _, pd := range pds {
+				active += pd.flows
+			}
+			for {
+				if active == 0 {
+					break
+				}
+				share := surplus / float64(active)
+				removed := false
+				for _, pd := range pds {
+					if pd.recvLimit {
+						continue
+					}
+					if pd.demand < share-eps {
+						surplus -= pd.demand * float64(pd.flows)
+						active -= pd.flows
+						pd.recvLimit = true // below share: not receiver limited this round
+						removed = true
+					}
+				}
+				if !removed {
+					for _, pd := range pds {
+						if !pd.recvLimit && absDiff(pd.demand, share) > eps {
+							pd.demand = share
+							pd.converged = true
+							changed = true
+						} else if !pd.recvLimit && !pd.converged {
+							pd.converged = true
+							changed = true
+						}
+					}
+					break
+				}
+			}
+			for _, pd := range pds {
+				pd.recvLimit = false // reset scratch flag
+			}
+		}
+
+		if !changed {
+			break
+		}
+	}
+
+	out := make(map[Pair]float64, len(state))
+	for k, pd := range state {
+		out[k] = pd.demand
+	}
+	return out
+}
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

@@ -1,0 +1,260 @@
+package hedera
+
+import (
+	"math"
+
+	"dard/internal/flowsim"
+	"dard/internal/sched"
+	"dard/internal/topology"
+)
+
+// Control message sizes in bytes (§4.3.4): an elephant-flow report from a
+// ToR switch to the controller, and a flow-table update from the
+// controller to a switch.
+const (
+	ReportBytes = 80
+	UpdateBytes = 72
+)
+
+// DefaultInterval is the centralized scheduling period (§4.3.1).
+const DefaultInterval = 5.0
+
+// Options tunes the centralized controller.
+type Options struct {
+	// Interval is the scheduling period in seconds; zero means
+	// DefaultInterval.
+	Interval float64
+	// Iterations bounds the simulated annealing search per round; zero
+	// means 1000.
+	Iterations int
+	// InitialTemp is the starting Metropolis temperature; zero means 1.
+	InitialTemp float64
+	// Cooling is the per-iteration temperature decay; zero means 0.995.
+	Cooling float64
+}
+
+func (o *Options) applyDefaults() {
+	if o.Interval <= 0 {
+		o.Interval = DefaultInterval
+	}
+	if o.Iterations <= 0 {
+		o.Iterations = 1000
+	}
+	if o.InitialTemp <= 0 {
+		o.InitialTemp = 1
+	}
+	if o.Cooling <= 0 || o.Cooling >= 1 {
+		o.Cooling = 0.995
+	}
+}
+
+// Controller is the Hedera-style centralized scheduler: flows start on
+// their ECMP hash; every Interval the controller collects all elephant
+// flows, estimates their natural demands, anneals a destination-host ->
+// path-class assignment (a core switch in a fat-tree, an aggregation pair
+// slot plus intermediate in a Clos network, §4.3.2), and installs the
+// result.
+type Controller struct {
+	opts Options
+	ecmp sched.ECMP
+
+	// viaOf persists the per-destination-host path class between rounds
+	// so annealing refines rather than restarts (Hedera seeds each round
+	// with the previous assignment).
+	viaOf map[topology.NodeID]int
+
+	// Rounds and Moves count scheduling rounds and applied path changes.
+	Rounds int
+	Moves  int
+}
+
+var _ flowsim.Controller = (*Controller)(nil)
+
+// New creates a centralized simulated-annealing controller.
+func New(opts Options) *Controller {
+	opts.applyDefaults()
+	return &Controller{opts: opts, viaOf: make(map[topology.NodeID]int)}
+}
+
+// Name implements flowsim.Controller.
+func (c *Controller) Name() string { return "SimulatedAnnealing" }
+
+// Start installs the periodic scheduling round.
+func (c *Controller) Start(s *flowsim.Sim) {
+	var round func()
+	round = func() {
+		c.runRound(s)
+		s.After(c.opts.Interval, round)
+	}
+	s.After(c.opts.Interval, round)
+}
+
+// AssignPath implements flowsim.Controller with the ECMP default route.
+func (c *Controller) AssignPath(s *flowsim.Sim, f *flowsim.Flow) int {
+	return c.ecmp.AssignPath(s, f)
+}
+
+// runRound is one centralized scheduling pass.
+func (c *Controller) runRound(s *flowsim.Sim) {
+	c.Rounds++
+
+	// Collect elephants with path diversity; each is one ToR report.
+	var elephants []*flowsim.Flow
+	pairs := make(map[Pair]int)
+	hostIdx := make(map[topology.NodeID]int, len(s.Net().Hosts()))
+	for i, h := range s.Net().Hosts() {
+		hostIdx[h] = i
+	}
+	maxVia := 1
+	for _, f := range s.Active() {
+		if !f.Elephant || f.SrcToR == f.DstToR {
+			continue
+		}
+		elephants = append(elephants, f)
+		pairs[Pair{Src: hostIdx[f.Src], Dst: hostIdx[f.Dst]}]++
+		if n := len(s.Paths(f.SrcToR, f.DstToR)); n > maxVia {
+			maxVia = n
+		}
+	}
+	s.RecordControl(float64(len(elephants)) * ReportBytes)
+	if len(elephants) == 0 {
+		return
+	}
+
+	demands := EstimateDemands(pairs)
+
+	// Normalize demands to bits/s using each flow's host uplink rate.
+	g := s.Net().Graph()
+	demandOf := func(f *flowsim.Flow) float64 {
+		d := demands[Pair{Src: hostIdx[f.Src], Dst: hostIdx[f.Dst]}]
+		return d * g.Link(s.Net().HostUplink(f.Src)).Capacity
+	}
+
+	assignment := c.anneal(s, elephants, demandOf, maxVia)
+
+	// Install the assignment; re-routing a flow updates the flow table
+	// of every switch along its new path, one controller -> switch
+	// message each (§4.3.4).
+	for _, f := range elephants {
+		via, ok := assignment[f.Dst]
+		if !ok {
+			continue
+		}
+		paths := s.Paths(f.SrcToR, f.DstToR)
+		idx := via % len(paths)
+		if idx != f.PathIdx {
+			if err := s.SetPath(f, idx); err == nil {
+				c.Moves++
+				s.RecordControl(float64(len(paths[idx].Links)+1) * UpdateBytes)
+			}
+		}
+	}
+}
+
+// anneal searches for a destination-host -> path-class assignment that
+// minimizes estimated overload using Metropolis simulated annealing.
+func (c *Controller) anneal(s *flowsim.Sim, elephants []*flowsim.Flow, demandOf func(*flowsim.Flow) float64, maxVia int) map[topology.NodeID]int {
+	g := s.Net().Graph()
+	rng := s.Rand()
+
+	// Destinations receiving elephants, in deterministic order.
+	var dsts []topology.NodeID
+	seen := make(map[topology.NodeID]bool)
+	flowsByDst := make(map[topology.NodeID][]*flowsim.Flow)
+	for _, f := range elephants {
+		if !seen[f.Dst] {
+			seen[f.Dst] = true
+			dsts = append(dsts, f.Dst)
+		}
+		flowsByDst[f.Dst] = append(flowsByDst[f.Dst], f)
+	}
+
+	// Current assignment: keep previous round's choice, else the flow's
+	// current path class.
+	cur := make(map[topology.NodeID]int, len(dsts))
+	for _, d := range dsts {
+		if v, ok := c.viaOf[d]; ok {
+			cur[d] = v % maxVia
+		} else {
+			cur[d] = flowsByDst[d][0].PathIdx % maxVia
+		}
+	}
+
+	// Loads live in a dense slice and the energy scan walks a stable
+	// touched-link list: map iteration would make the floating-point
+	// accumulation order (and hence annealing decisions) vary run to run.
+	load := make([]float64, g.NumLinks())
+	var touched []topology.LinkID
+	touchedSet := make([]bool, g.NumLinks())
+	place := func(f *flowsim.Flow, via int, sign float64) {
+		paths := s.Paths(f.SrcToR, f.DstToR)
+		p := paths[via%len(paths)]
+		d := demandOf(f)
+		for _, l := range p.Links {
+			load[l] += sign * d
+			if !touchedSet[l] {
+				touchedSet[l] = true
+				touched = append(touched, l)
+			}
+		}
+	}
+	energyOf := func() float64 {
+		e := 0.0
+		for _, l := range touched {
+			if capacity := g.Link(l).Capacity; load[l] > capacity {
+				e += (load[l] - capacity) / capacity
+			}
+		}
+		return e
+	}
+	for _, f := range elephants {
+		place(f, cur[f.Dst], +1)
+	}
+	energy := energyOf()
+	best := make(map[topology.NodeID]int, len(cur))
+	for k, v := range cur {
+		best[k] = v
+	}
+	bestEnergy := energy
+
+	temp := c.opts.InitialTemp
+	for it := 0; it < c.opts.Iterations && bestEnergy > 0; it++ {
+		d := dsts[rng.Intn(len(dsts))]
+		oldVia := cur[d]
+		newVia := rng.Intn(maxVia)
+		if newVia == oldVia {
+			temp *= c.opts.Cooling
+			continue
+		}
+		for _, f := range flowsByDst[d] {
+			place(f, oldVia, -1)
+			place(f, newVia, +1)
+		}
+		newEnergy := energyOf()
+		accept := newEnergy <= energy
+		if !accept && temp > 1e-9 {
+			accept = rng.Float64() < math.Exp((energy-newEnergy)/temp)
+		}
+		if accept {
+			cur[d] = newVia
+			energy = newEnergy
+			if energy < bestEnergy {
+				bestEnergy = energy
+				for k, v := range cur {
+					best[k] = v
+				}
+			}
+		} else {
+			for _, f := range flowsByDst[d] {
+				place(f, newVia, -1)
+				place(f, oldVia, +1)
+			}
+		}
+		temp *= c.opts.Cooling
+	}
+
+	for k, v := range best {
+		c.viaOf[k] = v
+	}
+	return best
+}

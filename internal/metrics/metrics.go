@@ -1,0 +1,146 @@
+// Package metrics collects the measurements the paper reports: transfer
+// time distributions (means and CDFs), path-switch counts (90th percentile
+// and maximum), retransmission rates, and control-message overhead. It
+// also renders the paper-style text tables used by cmd/dardbench and
+// EXPERIMENTS.md.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Sample is an ordered collection of float64 observations. The zero value
+// is empty and ready to use.
+type Sample struct {
+	values []float64
+	sorted bool
+}
+
+// Add appends an observation.
+func (s *Sample) Add(v float64) {
+	s.values = append(s.values, v)
+	s.sorted = false
+}
+
+// AddAll appends many observations.
+func (s *Sample) AddAll(vs []float64) {
+	s.values = append(s.values, vs...)
+	s.sorted = false
+}
+
+// N reports the number of observations.
+func (s *Sample) N() int { return len(s.values) }
+
+// Mean returns the arithmetic mean, or NaN when empty.
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// Stddev returns the population standard deviation, or NaN when empty.
+func (s *Sample) Stddev() float64 {
+	if len(s.values) == 0 {
+		return math.NaN()
+	}
+	m := s.Mean()
+	ss := 0.0
+	for _, v := range s.values {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(s.values)))
+}
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.values)
+		s.sorted = true
+	}
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) using nearest-rank
+// interpolation, or NaN when empty.
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.values) == 0 {
+		return math.NaN()
+	}
+	s.sort()
+	if q <= 0 {
+		return s.values[0]
+	}
+	if q >= 1 {
+		return s.values[len(s.values)-1]
+	}
+	pos := q * float64(len(s.values)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.values[lo]
+	}
+	frac := pos - float64(lo)
+	return s.values[lo]*(1-frac) + s.values[hi]*frac
+}
+
+// Min returns the smallest observation, or NaN when empty.
+func (s *Sample) Min() float64 { return s.Quantile(0) }
+
+// Max returns the largest observation, or NaN when empty.
+func (s *Sample) Max() float64 { return s.Quantile(1) }
+
+// Values returns a copy of the observations in sorted order.
+func (s *Sample) Values() []float64 {
+	s.sort()
+	out := make([]float64, len(s.values))
+	copy(out, s.values)
+	return out
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	X float64 // observation value
+	F float64 // fraction of observations <= X
+}
+
+// CDF returns the empirical CDF as (value, fraction) pairs, one per
+// distinct value.
+func (s *Sample) CDF() []CDFPoint {
+	s.sort()
+	var pts []CDFPoint
+	n := float64(len(s.values))
+	for i := 0; i < len(s.values); {
+		j := i
+		for j < len(s.values) && s.values[j] == s.values[i] {
+			j++
+		}
+		pts = append(pts, CDFPoint{X: s.values[i], F: float64(j) / n})
+		i = j
+	}
+	return pts
+}
+
+// CDFAt returns the fraction of observations <= x.
+func (s *Sample) CDFAt(x float64) float64 {
+	if len(s.values) == 0 {
+		return math.NaN()
+	}
+	s.sort()
+	i := sort.SearchFloat64s(s.values, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(s.values))
+}
+
+// Improvement computes the paper's Equation 1: the relative improvement of
+// an approach over a baseline on a smaller-is-better metric,
+// (base - x) / base.
+func Improvement(base, x float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (base - x) / base
+}

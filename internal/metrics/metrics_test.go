@@ -1,0 +1,181 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	if !math.IsNaN(s.Mean()) || !math.IsNaN(s.Quantile(0.5)) || !math.IsNaN(s.Stddev()) {
+		t.Error("empty sample statistics should be NaN")
+	}
+	s.AddAll([]float64{3, 1, 2})
+	if s.N() != 3 {
+		t.Errorf("N = %d", s.N())
+	}
+	if got := s.Mean(); got != 2 {
+		t.Errorf("Mean = %g", got)
+	}
+	if got := s.Min(); got != 1 {
+		t.Errorf("Min = %g", got)
+	}
+	if got := s.Max(); got != 3 {
+		t.Errorf("Max = %g", got)
+	}
+	if got := s.Quantile(0.5); got != 2 {
+		t.Errorf("median = %g", got)
+	}
+	if got := s.Stddev(); math.Abs(got-math.Sqrt(2.0/3.0)) > 1e-12 {
+		t.Errorf("Stddev = %g", got)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	var s Sample
+	s.AddAll([]float64{0, 10})
+	if got := s.Quantile(0.25); got != 2.5 {
+		t.Errorf("Quantile(0.25) = %g, want 2.5", got)
+	}
+	if got := s.Quantile(-1); got != 0 {
+		t.Errorf("Quantile(-1) = %g, want clamp to min", got)
+	}
+	if got := s.Quantile(2); got != 10 {
+		t.Errorf("Quantile(2) = %g, want clamp to max", got)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	var s Sample
+	s.AddAll([]float64{1, 1, 2, 4})
+	pts := s.CDF()
+	want := []CDFPoint{{1, 0.5}, {2, 0.75}, {4, 1.0}}
+	if len(pts) != len(want) {
+		t.Fatalf("CDF has %d points, want %d", len(pts), len(want))
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Errorf("CDF[%d] = %+v, want %+v", i, pts[i], want[i])
+		}
+	}
+	if got := s.CDFAt(1); got != 0.5 {
+		t.Errorf("CDFAt(1) = %g, want 0.5", got)
+	}
+	if got := s.CDFAt(0.5); got != 0 {
+		t.Errorf("CDFAt(0.5) = %g, want 0", got)
+	}
+	if got := s.CDFAt(100); got != 1 {
+		t.Errorf("CDFAt(100) = %g, want 1", got)
+	}
+}
+
+func TestValuesCopies(t *testing.T) {
+	var s Sample
+	s.AddAll([]float64{2, 1})
+	v := s.Values()
+	if v[0] != 1 || v[1] != 2 {
+		t.Errorf("Values = %v, want sorted", v)
+	}
+	v[0] = 99
+	if s.Min() == 99 {
+		t.Error("Values must return a copy")
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	if got := Improvement(10, 8); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("Improvement(10,8) = %g, want 0.2", got)
+	}
+	if got := Improvement(0, 5); got != 0 {
+		t.Errorf("Improvement with zero base = %g, want 0", got)
+	}
+	if got := Improvement(10, 12); math.Abs(got+0.2) > 1e-12 {
+		t.Errorf("Improvement(10,12) = %g, want -0.2", got)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(vals []float64, a, b float64) bool {
+		var s Sample
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			s.Add(v)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		qa, qb := math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1))
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		va, vb := s.Quantile(qa), s.Quantile(qb)
+		return va <= vb && va >= s.Min() && vb <= s.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CDF is a valid distribution function over the sample.
+func TestCDFProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		var s Sample
+		n := 1 + rng.Intn(100)
+		for i := 0; i < n; i++ {
+			s.Add(float64(rng.Intn(20)))
+		}
+		pts := s.CDF()
+		last := 0.0
+		for _, p := range pts {
+			if p.F <= last {
+				t.Fatalf("CDF not strictly increasing: %+v", pts)
+			}
+			last = p.F
+		}
+		if math.Abs(last-1.0) > 1e-12 {
+			t.Fatalf("CDF does not reach 1: %g", last)
+		}
+		if !sort.SliceIsSorted(pts, func(i, j int) bool { return pts[i].X < pts[j].X }) {
+			t.Fatal("CDF x values not sorted")
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("Table 4: avg transfer time", "topo", "pattern", "ECMP", "DARD")
+	tbl.AddRowf("p=8", "stride", 12.345, 8.9)
+	tbl.AddRow("p=16", "random")
+	out := tbl.String()
+	for _, want := range []string{"Table 4", "topo", "12.35", "8.90", "p=16"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	if tbl.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tbl.NumRows())
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("table has %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestFormatCDFSeries(t *testing.T) {
+	a, b := &Sample{}, &Sample{}
+	a.AddAll([]float64{1, 2, 3})
+	b.AddAll([]float64{2, 4, 6})
+	out := FormatCDFSeries("fig", map[string]*Sample{"dard": a, "ecmp": b}, 3)
+	for _, want := range []string{"fig", "dard", "ecmp", "100%", "6.000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CDF series output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,321 @@
+package psim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dard/internal/ctlmsg"
+	"dard/internal/dard"
+	"dard/internal/sched"
+	"dard/internal/topology"
+)
+
+// ECMP is hash-based random path selection at packet level: a flow sticks
+// to one uniformly random path forever.
+type ECMP struct{}
+
+var _ Policy = ECMP{}
+
+// Name implements Policy.
+func (ECMP) Name() string { return "ECMP" }
+
+// Start implements Policy.
+func (ECMP) Start(*Runtime) {}
+
+// InitialPath implements Policy with the seeded flow hash shared by every
+// policy, so runs are paired across policies.
+func (ECMP) InitialPath(rt *Runtime, f *FlowState) int {
+	return sched.PathHash(rt.Seed(), 0xec3f, f.ID, int32(f.SrcHost), int32(f.DstHost),
+		len(rt.Paths(f.SrcToR, f.DstToR)))
+}
+
+// PVLB re-picks a random path every Interval seconds (§4.2).
+type PVLB struct {
+	// Interval is the re-pick period; zero means 5 s.
+	Interval float64
+}
+
+var _ Policy = (*PVLB)(nil)
+
+// Name implements Policy.
+func (*PVLB) Name() string { return "pVLB" }
+
+// Start implements Policy.
+func (*PVLB) Start(*Runtime) {}
+
+// InitialPath implements Policy (same hash as ECMP).
+func (*PVLB) InitialPath(rt *Runtime, f *FlowState) int {
+	return ECMP{}.InitialPath(rt, f)
+}
+
+// OnArrival installs the per-flow re-pick chain.
+func (v *PVLB) OnArrival(rt *Runtime, f *FlowState) {
+	interval := v.Interval
+	if interval <= 0 {
+		interval = 5
+	}
+	n := len(rt.Paths(f.SrcToR, f.DstToR))
+	if n <= 1 {
+		return
+	}
+	var repick func()
+	repick = func() {
+		if !rt.IsActive(f) {
+			return
+		}
+		if err := rt.SetPath(f, rt.Rand().Intn(n)); err == nil {
+			rt.After(interval, repick)
+		}
+	}
+	rt.After(interval, repick)
+}
+
+// OnDepart implements FlowObserver.
+func (*PVLB) OnDepart(*Runtime, *FlowState) {}
+
+// DARD is the end-host adaptive policy at packet level: the same
+// monitors, path-state assembling, and Algorithm 1 rule as the flow-level
+// controller (shared through dard.Decide), driving TCP connections over
+// source routes.
+type DARD struct {
+	Opts dard.Options
+
+	hosts  map[topology.NodeID]*dardHost
+	Shifts int
+}
+
+var _ Policy = (*DARD)(nil)
+
+type dardHost struct {
+	monitors    map[topology.NodeID]*dardMonitor
+	roundActive bool
+}
+
+type dardMonitor struct {
+	srcHost        topology.NodeID
+	srcToR, dstToR topology.NodeID
+	paths          []topology.Path
+	flows          map[int]*FlowState
+	pv             []dard.PathState
+	switches       []topology.NodeID
+	agents         map[topology.NodeID]*ctlmsg.SwitchAgent
+	seqNo          uint32
+	released       bool
+}
+
+// NewDARD builds the packet-level DARD policy.
+func NewDARD(opts dard.Options) *DARD {
+	d := &DARD{Opts: opts, hosts: make(map[topology.NodeID]*dardHost)}
+	d.Opts = normalizeOptions(opts)
+	return d
+}
+
+func normalizeOptions(o dard.Options) dard.Options {
+	// Reuse the flow-level defaulting by constructing a controller.
+	return dard.New(o).Options()
+}
+
+// Name implements Policy.
+func (*DARD) Name() string { return "DARD" }
+
+// Start implements Policy.
+func (*DARD) Start(*Runtime) {}
+
+// InitialPath uses the ECMP hash path (DARD's default routing, §2.4).
+func (*DARD) InitialPath(rt *Runtime, f *FlowState) int {
+	return ECMP{}.InitialPath(rt, f)
+}
+
+// OnElephant registers the flow with its host's monitor (created on
+// demand) and arms the host's scheduling round.
+func (d *DARD) OnElephant(rt *Runtime, f *FlowState) {
+	if f.SrcToR == f.DstToR {
+		return
+	}
+	h := d.hosts[f.SrcHost]
+	if h == nil {
+		h = &dardHost{monitors: make(map[topology.NodeID]*dardMonitor)}
+		d.hosts[f.SrcHost] = h
+	}
+	m := h.monitors[f.DstToR]
+	if m == nil {
+		m = &dardMonitor{
+			srcHost: f.SrcHost,
+			srcToR:  f.SrcToR,
+			dstToR:  f.DstToR,
+			paths:   rt.Paths(f.SrcToR, f.DstToR),
+			flows:   make(map[int]*FlowState),
+			agents:  make(map[topology.NodeID]*ctlmsg.SwitchAgent),
+		}
+		seen := make(map[topology.NodeID]bool)
+		g := rt.Topo().Graph()
+		for _, p := range m.paths {
+			for _, l := range p.Links {
+				seen[g.Link(l).From] = true
+			}
+		}
+		for sw := range seen {
+			m.switches = append(m.switches, sw)
+		}
+		sort.Slice(m.switches, func(i, j int) bool { return m.switches[i] < m.switches[j] })
+		h.monitors[f.DstToR] = m
+		d.scheduleQuery(rt, m)
+	}
+	m.flows[f.ID] = f
+	if !h.roundActive {
+		h.roundActive = true
+		d.scheduleRound(rt, h)
+	}
+}
+
+// OnArrival implements FlowObserver.
+func (*DARD) OnArrival(*Runtime, *FlowState) {}
+
+// OnDepart releases the flow from its monitor.
+func (d *DARD) OnDepart(rt *Runtime, f *FlowState) {
+	if !f.Elephant || f.SrcToR == f.DstToR {
+		return
+	}
+	h := d.hosts[f.SrcHost]
+	if h == nil {
+		return
+	}
+	m := h.monitors[f.DstToR]
+	if m == nil {
+		return
+	}
+	delete(m.flows, f.ID)
+	if len(m.flows) == 0 {
+		m.released = true
+		delete(h.monitors, f.DstToR)
+	}
+}
+
+func (d *DARD) scheduleQuery(rt *Runtime, m *dardMonitor) {
+	first := rt.Rand().Float64() * d.Opts.QueryInterval
+	var tick func()
+	tick = func() {
+		if m.released {
+			return
+		}
+		d.assemble(rt, m)
+		rt.After(d.Opts.QueryInterval, tick)
+	}
+	rt.After(first, tick)
+}
+
+// assemble exchanges marshaled state queries/replies with every covering
+// switch and folds the per-port records into the path state vector —
+// identical machinery to the flow-level monitor.
+func (d *DARD) assemble(rt *Runtime, m *dardMonitor) {
+	m.seqNo++
+	linkState := make(map[topology.LinkID]ctlmsg.PortState)
+	totalBytes := 0
+	for _, sw := range m.switches {
+		agent := m.agents[sw]
+		if agent == nil {
+			var err error
+			agent, err = ctlmsg.NewSwitchAgent(rt, sw)
+			if err != nil {
+				panic(fmt.Sprintf("psim: switch agent: %v", err))
+			}
+			m.agents[sw] = agent
+		}
+		q := ctlmsg.Query{
+			MonitorID:       uint64(m.srcHost)<<32 | uint64(m.dstToR),
+			SwitchID:        uint32(sw),
+			SeqNo:           m.seqNo,
+			TimestampMicros: uint64(rt.Now() * 1e6),
+		}
+		qb, err := q.MarshalBinary()
+		if err != nil {
+			panic(fmt.Sprintf("psim: marshal query: %v", err))
+		}
+		rb, err := agent.Serve(qb)
+		if err != nil {
+			panic(fmt.Sprintf("psim: serve query: %v", err))
+		}
+		totalBytes += len(qb) + len(rb)
+		var reply ctlmsg.Reply
+		if err := reply.UnmarshalBinary(rb); err != nil {
+			panic(fmt.Sprintf("psim: unmarshal reply: %v", err))
+		}
+		for _, p := range reply.Ports {
+			linkState[topology.LinkID(p.LinkID)] = p
+		}
+	}
+	rt.RecordControl(float64(totalBytes))
+
+	pv := make([]dard.PathState, len(m.paths))
+	for i, p := range m.paths {
+		st := dard.PathState{Bandwidth: math.Inf(1), BoNF: math.Inf(1)}
+		for _, l := range p.Links {
+			port := linkState[l]
+			capacity := float64(port.BandwidthMbps) * 1e6
+			n := int(port.ElephantFlows)
+			bonf := math.Inf(1)
+			if n > 0 {
+				bonf = capacity / float64(n)
+			}
+			if bonf < st.BoNF || (math.IsInf(st.BoNF, 1) && capacity < st.Bandwidth) {
+				st = dard.PathState{Bandwidth: capacity, Flows: n, BoNF: bonf}
+			}
+		}
+		pv[i] = st
+	}
+	m.pv = pv
+}
+
+func (d *DARD) scheduleRound(rt *Runtime, h *dardHost) {
+	delay := d.Opts.ScheduleInterval
+	if d.Opts.ScheduleJitter > 0 {
+		delay += rt.Rand().Float64() * d.Opts.ScheduleJitter
+	}
+	rt.After(delay, func() {
+		if len(h.monitors) == 0 {
+			h.roundActive = false
+			return
+		}
+		// Stable order: Go map iteration would make runs nondeterministic.
+		keys := make([]topology.NodeID, 0, len(h.monitors))
+		for k := range h.monitors {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			d.selfishSchedule(rt, h.monitors[k])
+		}
+		d.scheduleRound(rt, h)
+	})
+}
+
+func (d *DARD) selfishSchedule(rt *Runtime, m *dardMonitor) {
+	if m.pv == nil {
+		return
+	}
+	fv := make([]int, len(m.pv))
+	for _, f := range m.flows {
+		if f.PathIdx >= 0 && f.PathIdx < len(fv) {
+			fv[f.PathIdx]++
+		}
+	}
+	dec, ok := dard.Decide(m.pv, fv, d.Opts.Delta)
+	if !ok {
+		return
+	}
+	var victim *FlowState
+	for _, f := range m.flows {
+		if f.PathIdx == dec.From && rt.IsActive(f) {
+			if victim == nil || f.ID < victim.ID {
+				victim = f
+			}
+		}
+	}
+	if victim == nil {
+		return
+	}
+	if err := rt.SetPath(victim, dec.To); err == nil {
+		d.Shifts++
+	}
+}

@@ -1,0 +1,407 @@
+// Package psim runs workloads on the packet-level simulator: it couples
+// simnet links, TCP New Reno connections, and a path-selection policy
+// (ECMP, pVLB, DARD, or TeXCP) into one experiment, mirroring the
+// flow-level runner at packet granularity. It backs the paper's
+// testbed-style CDFs (Figure 5) and the TeXCP reordering comparison
+// (Figures 13-14).
+package psim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dard/internal/metrics"
+	"dard/internal/simnet"
+	"dard/internal/tcp"
+	"dard/internal/topology"
+	"dard/internal/workload"
+)
+
+// FlowState is a flow's runtime state visible to policies.
+type FlowState struct {
+	ID               int
+	SrcHost, DstHost topology.NodeID
+	SrcToR, DstToR   topology.NodeID
+	PathIdx          int
+	Elephant         bool
+	Arrival          float64
+	Conn             *tcp.Conn
+
+	active bool
+}
+
+// Policy selects paths for flows on the packet simulator.
+type Policy interface {
+	// Name identifies the policy in results.
+	Name() string
+	// Start runs before the first arrival.
+	Start(rt *Runtime)
+	// InitialPath picks the starting path index for a flow.
+	InitialPath(rt *Runtime, f *FlowState) int
+}
+
+// ElephantObserver is an optional Policy extension.
+type ElephantObserver interface {
+	OnElephant(rt *Runtime, f *FlowState)
+}
+
+// FlowObserver is an optional Policy extension.
+type FlowObserver interface {
+	OnArrival(rt *Runtime, f *FlowState)
+	OnDepart(rt *Runtime, f *FlowState)
+}
+
+// PacketRouter is an optional Policy extension for per-packet path
+// selection (TeXCP); when implemented, the returned picker overrides the
+// flow's sticky route.
+type PacketRouter interface {
+	PacketRoute(rt *Runtime, f *FlowState) func() []topology.LinkID
+}
+
+// Config parameterizes a packet-level run.
+type Config struct {
+	// Topo is the network.
+	Topo topology.Network
+	// Policy selects paths.
+	Policy Policy
+	// Flows is the workload.
+	Flows []workload.Flow
+	// Seed drives all policy randomness.
+	Seed int64
+	// ElephantAge is the detection threshold in seconds (0 means 1 s,
+	// negative disables).
+	ElephantAge float64
+	// BufferPackets sizes link queues (0 means simnet default).
+	BufferPackets int
+	// MaxTime stops the run (0 means 1e4 s).
+	MaxTime float64
+	// TCP tunes the endpoints.
+	TCP tcp.Options
+}
+
+// Runtime is the packet-level experiment state handed to policies.
+type Runtime struct {
+	cfg  Config
+	topo topology.Network
+	g    *topology.Graph
+	net  *simnet.Net
+	disp *tcp.Dispatcher
+	rng  *rand.Rand
+
+	flows     []*FlowState
+	remaining int
+
+	eleCounts    []int
+	controlBytes float64
+}
+
+// NewRuntime validates the config and builds the runtime.
+func NewRuntime(cfg Config) (*Runtime, error) {
+	if cfg.Topo == nil {
+		return nil, fmt.Errorf("psim: nil topology")
+	}
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("psim: nil policy")
+	}
+	if cfg.ElephantAge == 0 {
+		cfg.ElephantAge = 1.0
+	}
+	if cfg.MaxTime == 0 {
+		cfg.MaxTime = 1e4
+	}
+	hosts := cfg.Topo.Hosts()
+	for _, wf := range cfg.Flows {
+		if wf.Src < 0 || wf.Src >= len(hosts) || wf.Dst < 0 || wf.Dst >= len(hosts) || wf.Src == wf.Dst {
+			return nil, fmt.Errorf("psim: flow %d has invalid endpoints", wf.ID)
+		}
+	}
+	rt := &Runtime{
+		cfg:  cfg,
+		topo: cfg.Topo,
+		g:    cfg.Topo.Graph(),
+		disp: tcp.NewDispatcher(),
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+	}
+	mss := cfg.TCP.MSSBytes
+	if mss <= 0 {
+		mss = 1460 // keep in sync with tcp.Options defaults
+	}
+	net, err := simnet.NewNet(cfg.Topo, cfg.BufferPackets, (mss+40)*8, rt.disp.Deliver)
+	if err != nil {
+		return nil, err
+	}
+	rt.net = net
+	rt.eleCounts = make([]int, rt.g.NumLinks())
+	return rt, nil
+}
+
+// Now returns the simulation time.
+func (rt *Runtime) Now() float64 { return rt.net.K.Now() }
+
+// Net exposes the packet network (utilization counters for TeXCP).
+func (rt *Runtime) Net() *simnet.Net { return rt.net }
+
+// Topo returns the topology.
+func (rt *Runtime) Topo() topology.Network { return rt.topo }
+
+// Rand returns the run's deterministic random source.
+func (rt *Runtime) Rand() *rand.Rand { return rt.rng }
+
+// Seed returns the configured seed (see flowsim.Sim.Seed).
+func (rt *Runtime) Seed() int64 { return rt.cfg.Seed }
+
+// After schedules a policy timer.
+func (rt *Runtime) After(d float64, fn func()) { rt.net.K.After(d, fn) }
+
+// Paths returns the equal-cost path set between two ToRs.
+func (rt *Runtime) Paths(srcToR, dstToR topology.NodeID) []topology.Path {
+	return rt.topo.Paths(srcToR, dstToR)
+}
+
+// IsActive reports whether a flow is still transferring.
+func (rt *Runtime) IsActive(f *FlowState) bool { return f.active }
+
+// RecordControl accounts control-plane bytes.
+func (rt *Runtime) RecordControl(bytes float64) { rt.controlBytes += bytes }
+
+// ElephantsOnLink reports the active elephant flows assigned to a link.
+func (rt *Runtime) ElephantsOnLink(l topology.LinkID) int { return rt.eleCounts[l] }
+
+// LinkCapacity returns a link's bandwidth.
+func (rt *Runtime) LinkCapacity(l topology.LinkID) float64 { return rt.g.Link(l).Capacity }
+
+// Route materializes a flow's host-to-host source route for a path index.
+func (rt *Runtime) Route(f *FlowState, pathIdx int) []topology.LinkID {
+	p := rt.Paths(f.SrcToR, f.DstToR)[pathIdx]
+	route := make([]topology.LinkID, 0, len(p.Links)+2)
+	route = append(route, rt.topo.HostUplink(f.SrcHost))
+	route = append(route, p.Links...)
+	route = append(route, rt.topo.HostDownlink(f.DstHost))
+	return route
+}
+
+// SetPath reroutes a flow; future packets (and retransmissions) take the
+// new path.
+func (rt *Runtime) SetPath(f *FlowState, pathIdx int) error {
+	paths := rt.Paths(f.SrcToR, f.DstToR)
+	if pathIdx < 0 || pathIdx >= len(paths) {
+		return fmt.Errorf("psim: path index %d out of range [0,%d)", pathIdx, len(paths))
+	}
+	if pathIdx == f.PathIdx {
+		return nil
+	}
+	if f.Elephant && f.active {
+		rt.countElephant(f, -1)
+	}
+	f.PathIdx = pathIdx
+	f.Conn.SetRoute(rt.Route(f, pathIdx))
+	if f.Elephant && f.active {
+		rt.countElephant(f, +1)
+	}
+	return nil
+}
+
+func (rt *Runtime) countElephant(f *FlowState, sign int) {
+	p := rt.Paths(f.SrcToR, f.DstToR)[f.PathIdx]
+	rt.eleCounts[rt.topo.HostUplink(f.SrcHost)] += sign
+	for _, l := range p.Links {
+		rt.eleCounts[l] += sign
+	}
+	rt.eleCounts[rt.topo.HostDownlink(f.DstHost)] += sign
+}
+
+// Run executes the workload to completion (or MaxTime) and collects
+// results.
+func (rt *Runtime) Run() (*Results, error) {
+	cfg := rt.cfg
+	hosts := rt.topo.Hosts()
+	rt.flows = make([]*FlowState, len(cfg.Flows))
+	rt.remaining = len(cfg.Flows)
+	cfg.Policy.Start(rt)
+	for i := range cfg.Flows {
+		wf := cfg.Flows[i]
+		rt.net.K.After(wf.Arrival, func() {
+			f := &FlowState{
+				ID:      wf.ID,
+				SrcHost: hosts[wf.Src],
+				DstHost: hosts[wf.Dst],
+				Arrival: rt.Now(),
+				active:  true,
+			}
+			f.SrcToR = rt.topo.ToROf(f.SrcHost)
+			f.DstToR = rt.topo.ToROf(f.DstHost)
+			rt.flows[wf.ID] = f
+
+			idx := cfg.Policy.InitialPath(rt, f)
+			paths := rt.Paths(f.SrcToR, f.DstToR)
+			if idx < 0 || idx >= len(paths) {
+				idx = 0
+			}
+			f.PathIdx = idx
+			conn, err := tcp.NewConn(rt.net, wf.ID, rt.Route(f, idx), wf.SizeBits, cfg.TCP, func(*tcp.Conn) {
+				rt.depart(f)
+			})
+			if err != nil {
+				// Validated in NewRuntime; a failure here is a bug.
+				panic(fmt.Sprintf("psim: NewConn: %v", err))
+			}
+			f.Conn = conn
+			rt.disp.Register(conn)
+			if pr, ok := cfg.Policy.(PacketRouter); ok {
+				conn.RoutePicker = pr.PacketRoute(rt, f)
+			}
+			if obs, ok := cfg.Policy.(FlowObserver); ok {
+				obs.OnArrival(rt, f)
+			}
+			if cfg.ElephantAge >= 0 {
+				rt.net.K.After(cfg.ElephantAge, func() {
+					if f.active {
+						f.Elephant = true
+						rt.countElephant(f, +1)
+						if obs, ok := cfg.Policy.(ElephantObserver); ok {
+							obs.OnElephant(rt, f)
+						}
+					}
+				})
+			}
+			conn.Start()
+		})
+	}
+	// Advance in one-second horizons and stop as soon as the workload
+	// drains: policy timer chains (TeXCP probes, DARD queries) re-arm
+	// forever and must not keep the simulation alive until MaxTime.
+	for horizon := 1.0; rt.remaining > 0 && horizon <= cfg.MaxTime && rt.net.K.Pending() > 0; horizon++ {
+		rt.net.K.Run(horizon)
+	}
+	return rt.collect(), nil
+}
+
+func (rt *Runtime) depart(f *FlowState) {
+	if !f.active {
+		return
+	}
+	f.active = false
+	rt.remaining--
+	if f.Elephant {
+		rt.countElephant(f, -1)
+	}
+	if obs, ok := rt.cfg.Policy.(FlowObserver); ok {
+		obs.OnDepart(rt, f)
+	}
+}
+
+// FlowStat is a packet-level flow outcome.
+type FlowStat struct {
+	ID           int
+	Arrival      float64
+	TransferTime float64 // NaN if unfinished
+	PathSwitches int
+	Retx         int
+	TotalSegs    int
+	RetxRate     float64
+	Elephant     bool
+}
+
+// Completed reports whether the transfer finished.
+func (fs FlowStat) Completed() bool { return !math.IsNaN(fs.TransferTime) }
+
+// Results aggregates a packet-level run.
+type Results struct {
+	Policy       string
+	Flows        []FlowStat
+	Unfinished   int
+	SimTime      float64
+	ControlBytes float64
+	// CoreUtilization is the average utilization of the top-tier
+	// (bisection) links over the run: total bits the core-adjacent links
+	// carried divided by their aggregate capacity-time. §4.3.3 compares
+	// DARD's and TeXCP's bisection bandwidth through this quantity.
+	CoreUtilization float64
+}
+
+func (rt *Runtime) collect() *Results {
+	r := &Results{
+		Policy:       rt.cfg.Policy.Name(),
+		SimTime:      rt.Now(),
+		ControlBytes: rt.controlBytes,
+	}
+	r.CoreUtilization = rt.coreUtilization()
+	for _, f := range rt.flows {
+		if f == nil || f.Conn == nil {
+			r.Unfinished++
+			continue
+		}
+		fs := FlowStat{
+			ID:           f.ID,
+			Arrival:      f.Arrival,
+			TransferTime: f.Conn.TransferTime(),
+			PathSwitches: f.Conn.PathSwitches,
+			Retx:         f.Conn.Retx,
+			TotalSegs:    f.Conn.TotalSegs(),
+			RetxRate:     f.Conn.RetxRate(),
+			Elephant:     f.Elephant,
+		}
+		if !fs.Completed() {
+			r.Unfinished++
+		}
+		r.Flows = append(r.Flows, fs)
+	}
+	return r
+}
+
+// coreUtilization averages the utilization of every link touching a
+// top-tier (core/intermediate) switch over the whole run.
+func (rt *Runtime) coreUtilization() float64 {
+	if rt.Now() <= 0 {
+		return 0
+	}
+	var carried, capacityTime float64
+	for i := 0; i < rt.g.NumLinks(); i++ {
+		l := topology.LinkID(i)
+		link := rt.g.Link(l)
+		if rt.g.Node(link.From).Kind != topology.Core && rt.g.Node(link.To).Kind != topology.Core {
+			continue
+		}
+		carried += rt.net.BitsSent(l)
+		capacityTime += link.Capacity * rt.Now()
+	}
+	if capacityTime == 0 {
+		return 0
+	}
+	return carried / capacityTime
+}
+
+// TransferTimes returns the transfer-time sample of completed flows.
+func (r *Results) TransferTimes() *metrics.Sample {
+	var s metrics.Sample
+	for _, f := range r.Flows {
+		if f.Completed() {
+			s.Add(f.TransferTime)
+		}
+	}
+	return &s
+}
+
+// RetxRates returns the per-flow retransmission-rate sample of completed
+// flows (Figure 14).
+func (r *Results) RetxRates() *metrics.Sample {
+	var s metrics.Sample
+	for _, f := range r.Flows {
+		if f.Completed() {
+			s.Add(f.RetxRate)
+		}
+	}
+	return &s
+}
+
+// PathSwitchCounts returns the per-flow path switch sample.
+func (r *Results) PathSwitchCounts() *metrics.Sample {
+	var s metrics.Sample
+	for _, f := range r.Flows {
+		if f.Completed() {
+			s.Add(float64(f.PathSwitches))
+		}
+	}
+	return &s
+}

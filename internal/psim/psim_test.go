@@ -1,0 +1,174 @@
+package psim
+
+import (
+	"testing"
+
+	"dard/internal/dard"
+	"dard/internal/topology"
+	"dard/internal/workload"
+)
+
+func fatTree(t *testing.T) *topology.FatTree {
+	t.Helper()
+	// 100 Mbps testbed-style links, as in §3.1.
+	ft, err := topology.NewFatTree(topology.FatTreeConfig{P: 4, LinkCapacity: 100e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ft
+}
+
+func runPolicy(t *testing.T, pol Policy, flows []workload.Flow, seed int64) *Results {
+	t.Helper()
+	ft := fatTree(t)
+	rt, err := NewRuntime(Config{
+		Topo: ft, Policy: pol, Flows: flows, Seed: seed, ElephantAge: 0.5, MaxTime: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func mb(n float64) float64 { return n * 8 * (1 << 20) }
+
+func TestECMPCompletesWorkload(t *testing.T) {
+	flows := []workload.Flow{
+		{ID: 0, Src: 0, Dst: 8, SizeBits: mb(2), Arrival: 0},
+		{ID: 1, Src: 1, Dst: 9, SizeBits: mb(2), Arrival: 0.1},
+		{ID: 2, Src: 4, Dst: 12, SizeBits: mb(2), Arrival: 0.2},
+	}
+	r := runPolicy(t, ECMP{}, flows, 1)
+	if r.Unfinished != 0 {
+		t.Fatalf("%d unfinished flows", r.Unfinished)
+	}
+	if r.Policy != "ECMP" {
+		t.Errorf("policy name %q", r.Policy)
+	}
+	for _, f := range r.Flows {
+		if f.PathSwitches != 0 {
+			t.Errorf("ECMP flow %d switched paths", f.ID)
+		}
+	}
+}
+
+func TestPVLBRepicksAtPacketLevel(t *testing.T) {
+	flows := []workload.Flow{{ID: 0, Src: 0, Dst: 8, SizeBits: mb(20), Arrival: 0}}
+	r := runPolicy(t, &PVLB{Interval: 0.3}, flows, 2)
+	if r.Unfinished != 0 {
+		t.Fatal("flow unfinished")
+	}
+	if r.Flows[0].PathSwitches == 0 {
+		t.Error("pVLB never switched a ~2 s flow with a 0.3 s interval")
+	}
+}
+
+// TestDARDPacketLevelBreaksCollision pins four elephants through one core
+// and checks the packet-level DARD monitors unpin them.
+type pinnedDARD struct{ *DARD }
+
+func (pinnedDARD) InitialPath(*Runtime, *FlowState) int { return 0 }
+
+func TestDARDPacketLevelBreaksCollision(t *testing.T) {
+	// All four flows cross core1's link into pod 1: a 4-way collision
+	// at 25 Mbps each when pinned.
+	flows := []workload.Flow{
+		{ID: 0, Src: 0, Dst: 4, SizeBits: mb(40), Arrival: 0},
+		{ID: 1, Src: 2, Dst: 6, SizeBits: mb(40), Arrival: 0},
+		{ID: 2, Src: 8, Dst: 5, SizeBits: mb(40), Arrival: 0},
+		{ID: 3, Src: 10, Dst: 7, SizeBits: mb(40), Arrival: 0},
+	}
+	d := NewDARD(dard.Options{QueryInterval: 0.25, ScheduleInterval: 0.5, ScheduleJitter: 0.5, Delta: 1e6})
+	rECMP := runPolicy(t, pinnedDARD{NewDARD(dard.Options{ScheduleInterval: 1e6})}, flows, 3)
+	rDARD := runPolicy(t, pinnedDARD{d}, flows, 3)
+	if rDARD.Unfinished != 0 {
+		t.Fatal("DARD run unfinished")
+	}
+	if d.Shifts == 0 {
+		t.Fatal("packet-level DARD made no shifts")
+	}
+	// 40 MB at 25 Mbps (4-way collision) ~ 13.4 s; spread over four
+	// cores, ~3.4 s plus detection and convergence. Require a clear win.
+	got, pinnedMean := rDARD.TransferTimes().Mean(), rECMP.TransferTimes().Mean()
+	if got >= pinnedMean*0.75 {
+		t.Errorf("DARD mean %.2f s not clearly better than pinned %.2f s", got, pinnedMean)
+	}
+}
+
+func TestElephantCountsConsistent(t *testing.T) {
+	ft := fatTree(t)
+	flows := []workload.Flow{
+		{ID: 0, Src: 0, Dst: 8, SizeBits: mb(4), Arrival: 0},
+		{ID: 1, Src: 1, Dst: 9, SizeBits: mb(4), Arrival: 0},
+	}
+	rt, err := NewRuntime(Config{Topo: ft, Policy: ECMP{}, Flows: flows, Seed: 4, ElephantAge: 0.2, MaxTime: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// After drain, every elephant count must return to zero.
+	for l := 0; l < ft.Graph().NumLinks(); l++ {
+		if n := rt.ElephantsOnLink(topology.LinkID(l)); n != 0 {
+			t.Fatalf("link %d still has %d elephants after drain", l, n)
+		}
+	}
+}
+
+func TestRuntimeValidation(t *testing.T) {
+	ft := fatTree(t)
+	if _, err := NewRuntime(Config{Policy: ECMP{}}); err == nil {
+		t.Error("nil topology should fail")
+	}
+	if _, err := NewRuntime(Config{Topo: ft}); err == nil {
+		t.Error("nil policy should fail")
+	}
+	bad := []workload.Flow{{ID: 0, Src: 0, Dst: 0, SizeBits: 1}}
+	if _, err := NewRuntime(Config{Topo: ft, Policy: ECMP{}, Flows: bad}); err == nil {
+		t.Error("self flow should fail")
+	}
+}
+
+func TestSetPathValidation(t *testing.T) {
+	ft := fatTree(t)
+	flows := []workload.Flow{{ID: 0, Src: 0, Dst: 8, SizeBits: mb(8), Arrival: 0}}
+	var failed, noop bool
+	probe := &hookPolicy{Policy: ECMP{}, at: 0.5, fn: func(rt *Runtime) {
+		f := rt.flows[0]
+		if f == nil {
+			t.Fatal("flow not arrived")
+		}
+		if err := rt.SetPath(f, 99); err != nil {
+			failed = true
+		}
+		if err := rt.SetPath(f, f.PathIdx); err == nil {
+			noop = true
+		}
+	}}
+	rt, err := NewRuntime(Config{Topo: ft, Policy: probe, Flows: flows, Seed: 5, MaxTime: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !failed || !noop {
+		t.Error("SetPath validation not exercised")
+	}
+}
+
+type hookPolicy struct {
+	Policy
+	at float64
+	fn func(rt *Runtime)
+}
+
+func (h *hookPolicy) Start(rt *Runtime) {
+	h.Policy.Start(rt)
+	rt.After(h.at, func() { h.fn(rt) })
+}

@@ -1,0 +1,28 @@
+package sched
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// PathHash deterministically maps a flow identity to a path index: the
+// ECMP hash of the flow's "header fields". It depends only on (seed, salt,
+// flow ID, src, dst), never on shared RNG state, so two runs of different
+// controllers over the same workload and seed start from identical
+// initial assignments — the paired-comparison property the evaluation
+// relies on. The salt separates schedulers that should randomize
+// differently (e.g. pVLB re-picks).
+func PathHash(seed int64, salt uint32, flowID int, src, dst int32, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	var buf [24]byte
+	binary.BigEndian.PutUint64(buf[0:], uint64(seed))
+	binary.BigEndian.PutUint32(buf[8:], salt)
+	binary.BigEndian.PutUint32(buf[12:], uint32(flowID))
+	binary.BigEndian.PutUint32(buf[16:], uint32(src))
+	binary.BigEndian.PutUint32(buf[20:], uint32(dst))
+	h.Write(buf[:])
+	return int(h.Sum32() % uint32(n))
+}

@@ -1,0 +1,103 @@
+// Package sched implements the random flow-level scheduling baselines the
+// paper compares DARD against (§4): ECMP, which hashes a flow's 4-tuple
+// onto one of the equal-cost paths permanently, and periodic VLB (pVLB),
+// which re-picks a random path every few seconds to break permanent
+// collisions.
+package sched
+
+import "dard/internal/flowsim"
+
+// ECMP is Equal-Cost-Multi-Path forwarding (RFC 2992): a packet's path is
+// a hash of selected header fields, so a flow sticks to one randomly
+// chosen path for its whole life. Elephant flows that collide on a link
+// stay collided — the failure mode motivating DARD.
+type ECMP struct{}
+
+var _ flowsim.Controller = ECMP{}
+
+// Name implements flowsim.Controller.
+func (ECMP) Name() string { return "ECMP" }
+
+// Start implements flowsim.Controller.
+func (ECMP) Start(*flowsim.Sim) {}
+
+// AssignPath hashes the flow's header fields modulo the path count, the
+// paper's testbed hashing function (§4.2). The per-connection ephemeral
+// ports are derived from the seed and flow ID rather than drawn from the
+// shared RNG, so initial assignments are identical across schedulers.
+func (ECMP) AssignPath(s *flowsim.Sim, f *flowsim.Flow) int {
+	return PathHash(s.Seed(), 0xec3f, f.ID, int32(f.Src), int32(f.Dst),
+		len(s.Paths(f.SrcToR, f.DstToR)))
+}
+
+// DefaultVLBInterval is pVLB's re-pick period in seconds.
+const DefaultVLBInterval = 5.0
+
+// PVLB is the paper's periodical Valiant Load Balancing variant (§4.2): a
+// flow picks a random core switch (in a Clos network, a random
+// aggregation pair) and re-picks every Interval seconds, so collisions
+// are random but never permanent.
+type PVLB struct {
+	// Interval is the re-pick period in seconds; zero means
+	// DefaultVLBInterval.
+	Interval float64
+}
+
+var _ flowsim.Controller = (*PVLB)(nil)
+var _ flowsim.FlowObserver = (*PVLB)(nil)
+
+// Name implements flowsim.Controller.
+func (*PVLB) Name() string { return "pVLB" }
+
+// Start implements flowsim.Controller.
+func (*PVLB) Start(*flowsim.Sim) {}
+
+// AssignPath picks the flow's hash path, like ECMP; randomness enters
+// through the periodic re-picks.
+func (*PVLB) AssignPath(s *flowsim.Sim, f *flowsim.Flow) int {
+	return PathHash(s.Seed(), 0xec3f, f.ID, int32(f.Src), int32(f.Dst),
+		len(s.Paths(f.SrcToR, f.DstToR)))
+}
+
+// OnArrival installs the per-flow re-pick timer chain.
+func (v *PVLB) OnArrival(s *flowsim.Sim, f *flowsim.Flow) {
+	interval := v.Interval
+	if interval <= 0 {
+		interval = DefaultVLBInterval
+	}
+	n := len(s.Paths(f.SrcToR, f.DstToR))
+	if n <= 1 {
+		return
+	}
+	var repick func()
+	repick = func() {
+		if !s.IsActive(f) {
+			return
+		}
+		// SetPath ignores a re-pick of the current path, matching a VLB
+		// source that happens to draw the same core again.
+		if err := s.SetPath(f, s.Rand().Intn(n)); err == nil {
+			s.After(interval, repick)
+		}
+	}
+	s.After(interval, repick)
+}
+
+// OnDepart implements flowsim.FlowObserver; the timer chain notices the
+// departure on its next firing.
+func (*PVLB) OnDepart(*flowsim.Sim, *flowsim.Flow) {}
+
+// Static always assigns the first path; a degenerate baseline useful in
+// tests and as the worst case for collision behaviour.
+type Static struct{}
+
+var _ flowsim.Controller = Static{}
+
+// Name implements flowsim.Controller.
+func (Static) Name() string { return "static" }
+
+// Start implements flowsim.Controller.
+func (Static) Start(*flowsim.Sim) {}
+
+// AssignPath implements flowsim.Controller.
+func (Static) AssignPath(*flowsim.Sim, *flowsim.Flow) int { return 0 }

@@ -1,0 +1,108 @@
+// Package simnet is a discrete-event packet-level network simulator: the
+// ns-2 substitute used for the paper's TCP-sensitive experiments (testbed
+// CDFs, TeXCP reordering and retransmission comparisons). Links model
+// serialization at line rate, propagation delay, and finite drop-tail
+// queues; packets carry explicit source routes, matching the paper's
+// simulator ("we use source routing to assign a path to a flow", §3.2).
+package simnet
+
+import "container/heap"
+
+// event is one scheduled callback.
+type event struct {
+	at       float64
+	seq      int64
+	fn       func()
+	canceled bool
+}
+
+// Timer is a handle to a scheduled event that can be canceled.
+type Timer struct{ ev *event }
+
+// Cancel prevents the callback from firing; safe to call repeatedly or on
+// an already-fired timer.
+func (t Timer) Cancel() {
+	if t.ev != nil {
+		t.ev.canceled = true
+	}
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is the event loop. The zero value is ready to use.
+type Kernel struct {
+	now    float64
+	seq    int64
+	events eventHeap
+}
+
+// Now returns the current simulation time in seconds.
+func (k *Kernel) Now() float64 { return k.now }
+
+// After schedules fn to run d seconds from now and returns a cancellable
+// handle. Events fire in (time, scheduling order).
+func (k *Kernel) After(d float64, fn func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	k.seq++
+	ev := &event{at: k.now + d, seq: k.seq, fn: fn}
+	heap.Push(&k.events, ev)
+	return Timer{ev: ev}
+}
+
+// Step runs the next pending event; it reports false when none remain.
+func (k *Kernel) Step() bool {
+	for len(k.events) > 0 {
+		ev := heap.Pop(&k.events).(*event)
+		if ev.canceled {
+			continue
+		}
+		k.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run processes events until the queue drains or time would exceed until.
+func (k *Kernel) Run(until float64) {
+	for len(k.events) > 0 {
+		// Peek: stop before crossing the horizon.
+		next := k.events[0]
+		if next.canceled {
+			heap.Pop(&k.events)
+			continue
+		}
+		if next.at > until {
+			return
+		}
+		heap.Pop(&k.events)
+		k.now = next.at
+		next.fn()
+	}
+}
+
+// Pending reports the number of queued (possibly canceled) events.
+func (k *Kernel) Pending() int { return len(k.events) }

@@ -1,0 +1,170 @@
+package simnet
+
+import (
+	"fmt"
+
+	"dard/internal/topology"
+)
+
+// Packet is one simulated packet travelling a source route.
+type Packet struct {
+	// FlowID identifies the transport connection.
+	FlowID int
+	// Seq is the segment number for data packets.
+	Seq int
+	// Ack marks an acknowledgment; AckNum is the cumulative ACK.
+	Ack    bool
+	AckNum int
+	// SizeBits is the wire size including headers.
+	SizeBits float64
+	// Route is the full host-to-host source route; Hop indexes the link
+	// currently being traversed.
+	Route []topology.LinkID
+	Hop   int
+	// Retx marks a retransmitted segment (for Figure 14's metric).
+	Retx bool
+}
+
+// DefaultBufferPackets sizes each link queue when the config leaves it
+// zero; the paper sets queues to the delay-bandwidth product, which for
+// 1 Gbps and datacenter RTTs is of this order.
+const DefaultBufferPackets = 64
+
+// linkState is a link's transmitter and drop-tail queue.
+type linkState struct {
+	rate    float64 // bits/s
+	delay   float64 // seconds
+	bufBits float64 // queue capacity in bits
+
+	queueBits float64
+	queue     []*Packet
+	busy      bool
+
+	// BitsSent accumulates transmitted bits (utilization accounting for
+	// TeXCP probes).
+	bitsSent float64
+	drops    int64
+}
+
+// Net couples a kernel with a topology's links and delivers packets to
+// per-flow endpoints.
+type Net struct {
+	K    *Kernel
+	topo topology.Network
+	g    *topology.Graph
+
+	links []linkState
+	// deliver routes a packet that reached the end of its source route.
+	deliver func(*Packet)
+
+	// PacketHeaderBits is added to every transmitted segment; 40 bytes
+	// of TCP/IP header by default.
+	PacketHeaderBits float64
+}
+
+// NewNet builds the packet-level runtime for a topology. bufferPackets
+// sizes every queue in maximum-size packets (0 means
+// DefaultBufferPackets); deliver receives packets that completed their
+// route.
+func NewNet(topo topology.Network, bufferPackets int, mtuBits float64, deliver func(*Packet)) (*Net, error) {
+	if topo == nil {
+		return nil, fmt.Errorf("simnet: nil topology")
+	}
+	if deliver == nil {
+		return nil, fmt.Errorf("simnet: nil deliver callback")
+	}
+	if bufferPackets <= 0 {
+		bufferPackets = DefaultBufferPackets
+	}
+	if mtuBits <= 0 {
+		mtuBits = 1500 * 8
+	}
+	g := topo.Graph()
+	n := &Net{
+		K:                &Kernel{},
+		topo:             topo,
+		g:                g,
+		links:            make([]linkState, g.NumLinks()),
+		deliver:          deliver,
+		PacketHeaderBits: 40 * 8,
+	}
+	for i := range n.links {
+		l := g.Link(topology.LinkID(i))
+		n.links[i] = linkState{
+			rate:    l.Capacity,
+			delay:   l.Delay,
+			bufBits: float64(bufferPackets) * mtuBits,
+		}
+	}
+	return n, nil
+}
+
+// Topology returns the underlying network.
+func (n *Net) Topology() topology.Network { return n.topo }
+
+// Send injects a packet at the head of its route.
+func (n *Net) Send(p *Packet) {
+	if len(p.Route) == 0 {
+		// Degenerate same-host delivery.
+		n.K.After(0, func() { n.deliver(p) })
+		return
+	}
+	p.Hop = 0
+	n.enqueue(p)
+}
+
+// enqueue places the packet on its current link's queue, dropping it if
+// the drop-tail buffer is full.
+func (n *Net) enqueue(p *Packet) {
+	ls := &n.links[p.Route[p.Hop]]
+	if ls.queueBits+p.SizeBits > ls.bufBits {
+		ls.drops++
+		return // drop-tail
+	}
+	ls.queue = append(ls.queue, p)
+	ls.queueBits += p.SizeBits
+	if !ls.busy {
+		n.transmitNext(p.Route[p.Hop])
+	}
+}
+
+// transmitNext serializes the head-of-line packet of a link.
+func (n *Net) transmitNext(l topology.LinkID) {
+	ls := &n.links[l]
+	if len(ls.queue) == 0 {
+		ls.busy = false
+		return
+	}
+	ls.busy = true
+	p := ls.queue[0]
+	ls.queue = ls.queue[1:]
+	ls.queueBits -= p.SizeBits
+	tx := p.SizeBits / ls.rate
+	ls.bitsSent += p.SizeBits
+	n.K.After(tx, func() {
+		// Serialization finished: start the next packet and propagate
+		// this one.
+		n.transmitNext(l)
+		n.K.After(ls.delay, func() { n.arrive(p) })
+	})
+}
+
+// arrive advances the packet one hop or delivers it.
+func (n *Net) arrive(p *Packet) {
+	p.Hop++
+	if p.Hop >= len(p.Route) {
+		n.deliver(p)
+		return
+	}
+	n.enqueue(p)
+}
+
+// Drops reports the packets dropped at a link's queue so far.
+func (n *Net) Drops(l topology.LinkID) int64 { return n.links[l].drops }
+
+// BitsSent reports the bits a link has transmitted so far (monotone
+// counter; TeXCP probes sample it to estimate utilization).
+func (n *Net) BitsSent(l topology.LinkID) float64 { return n.links[l].bitsSent }
+
+// QueueBits reports the bits currently queued at a link.
+func (n *Net) QueueBits(l topology.LinkID) float64 { return n.links[l].queueBits }

@@ -1,0 +1,176 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+
+	"dard/internal/topology"
+)
+
+func TestKernelOrdering(t *testing.T) {
+	var k Kernel
+	var order []int
+	k.After(2, func() { order = append(order, 2) })
+	k.After(1, func() { order = append(order, 1) })
+	k.After(1, func() { order = append(order, 11) }) // FIFO at same time
+	tm := k.After(1.5, func() { order = append(order, 99) })
+	tm.Cancel()
+	k.Run(math.Inf(1))
+	if len(order) != 3 || order[0] != 1 || order[1] != 11 || order[2] != 2 {
+		t.Errorf("order = %v, want [1 11 2]", order)
+	}
+	if k.Now() != 2 {
+		t.Errorf("Now = %g, want 2", k.Now())
+	}
+}
+
+func TestKernelRunHorizon(t *testing.T) {
+	var k Kernel
+	fired := false
+	k.After(5, func() { fired = true })
+	k.Run(3)
+	if fired {
+		t.Error("event beyond horizon fired")
+	}
+	if k.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", k.Pending())
+	}
+	k.Run(10)
+	if !fired {
+		t.Error("event not fired after extending horizon")
+	}
+}
+
+func TestKernelStep(t *testing.T) {
+	var k Kernel
+	n := 0
+	k.After(1, func() { n++ })
+	k.After(2, func() { n++ })
+	if !k.Step() || n != 1 {
+		t.Fatal("first step")
+	}
+	if !k.Step() || n != 2 {
+		t.Fatal("second step")
+	}
+	if k.Step() {
+		t.Fatal("step on empty queue should report false")
+	}
+}
+
+func buildNet(t *testing.T, deliver func(*Packet)) (*Net, *topology.FatTree) {
+	t.Helper()
+	ft, err := topology.NewFatTree(topology.FatTreeConfig{P: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := NewNet(ft, 4, 1500*8, deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, ft
+}
+
+func hostRoute(ft *topology.FatTree, src, dst int, pathIdx int) []topology.LinkID {
+	hs := ft.Hosts()
+	s, d := hs[src], hs[dst]
+	p := ft.Paths(ft.ToROf(s), ft.ToROf(d))[pathIdx]
+	route := []topology.LinkID{ft.HostUplink(s)}
+	route = append(route, p.Links...)
+	route = append(route, ft.HostDownlink(d))
+	return route
+}
+
+func TestPacketDeliveryLatency(t *testing.T) {
+	var delivered *Packet
+	n, ft := buildNet(t, func(p *Packet) { delivered = p })
+	route := hostRoute(ft, 0, 8, 0) // 6 hops
+	p := &Packet{FlowID: 1, Seq: 0, SizeBits: 1500 * 8, Route: route}
+	n.Send(p)
+	n.K.Run(math.Inf(1))
+	if delivered == nil {
+		t.Fatal("packet not delivered")
+	}
+	// Expected: 6 x (serialization 12000/1e9 + prop 0.1ms).
+	want := 6 * (1500*8/1e9 + 0.1e-3)
+	if math.Abs(n.K.Now()-want) > 1e-12 {
+		t.Errorf("delivery at %g, want %g", n.K.Now(), want)
+	}
+}
+
+func TestQueueingDelaysBackToBackPackets(t *testing.T) {
+	var times []float64
+	var n *Net
+	var ft *topology.FatTree
+	n, ft = buildNet(t, func(p *Packet) { times = append(times, n.K.Now()) })
+	route := hostRoute(ft, 0, 1, 0) // same ToR: 2 hops
+	for i := 0; i < 3; i++ {
+		n.Send(&Packet{FlowID: 1, Seq: i, SizeBits: 1500 * 8, Route: route})
+	}
+	n.K.Run(math.Inf(1))
+	if len(times) != 3 {
+		t.Fatalf("delivered %d packets, want 3", len(times))
+	}
+	tx := 1500 * 8 / 1e9
+	// Pipeline: packets spaced one serialization apart at the bottleneck.
+	for i := 1; i < 3; i++ {
+		gap := times[i] - times[i-1]
+		if math.Abs(gap-tx) > 1e-12 {
+			t.Errorf("gap %d = %g, want %g", i, gap, tx)
+		}
+	}
+}
+
+func TestDropTail(t *testing.T) {
+	delivered := 0
+	n, ft := buildNet(t, func(p *Packet) { delivered++ })
+	route := hostRoute(ft, 0, 1, 0)
+	// Buffer is 4 packets; 1 in flight + 4 queued = 5 sent, rest dropped.
+	for i := 0; i < 20; i++ {
+		n.Send(&Packet{FlowID: 1, Seq: i, SizeBits: 1500 * 8, Route: route})
+	}
+	n.K.Run(math.Inf(1))
+	if delivered >= 20 {
+		t.Fatalf("delivered %d, expected drops with a 4-packet buffer", delivered)
+	}
+	if n.Drops(route[0]) == 0 {
+		t.Error("no drops recorded on the bottleneck link")
+	}
+	if got := int(n.Drops(route[0])) + delivered; got != 20 {
+		t.Errorf("drops+delivered = %d, want 20", got)
+	}
+}
+
+func TestBitsSentAccounting(t *testing.T) {
+	n, ft := buildNet(t, func(p *Packet) {})
+	route := hostRoute(ft, 0, 8, 0)
+	n.Send(&Packet{FlowID: 1, SizeBits: 1500 * 8, Route: route})
+	n.K.Run(math.Inf(1))
+	for _, l := range route {
+		if got := n.BitsSent(l); got != 1500*8 {
+			t.Errorf("link %d sent %g bits, want %g", l, got, 1500.0*8)
+		}
+	}
+}
+
+func TestNewNetValidation(t *testing.T) {
+	ft, err := topology.NewFatTree(topology.FatTreeConfig{P: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewNet(nil, 0, 0, func(*Packet) {}); err == nil {
+		t.Error("nil topology should fail")
+	}
+	if _, err := NewNet(ft, 0, 0, nil); err == nil {
+		t.Error("nil deliver should fail")
+	}
+}
+
+func TestEmptyRouteDelivers(t *testing.T) {
+	got := 0
+	n, _ := buildNet(t, func(p *Packet) { got++ })
+	n.Send(&Packet{FlowID: 1})
+	n.K.Run(math.Inf(1))
+	if got != 1 {
+		t.Errorf("empty-route packet delivered %d times, want 1", got)
+	}
+}

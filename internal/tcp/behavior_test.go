@@ -1,0 +1,124 @@
+package tcp
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSlowStartDoubling: with no loss, the congestion window roughly
+// doubles per RTT during slow start.
+func TestSlowStartDoubling(t *testing.T) {
+	r := newRig(t, 0)
+	c, err := NewConn(r.n, 1, r.route(0, 8, 0), 64*(1<<20), Options{InitialSsthresh: 1 << 20}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.d.Register(c)
+	c.Start()
+	// Base RTT ~ 6 hops x (0.12ms + 0.1ms) x 2 ~ 2.6 ms; sample cwnd
+	// after a few RTTs, well before the queue overflows.
+	r.n.K.Run(0.008)
+	st := c.State()
+	if st.Cwnd < 6 {
+		t.Errorf("cwnd = %.1f after ~3 RTTs, want >= 6 (slow start)", st.Cwnd)
+	}
+	if st.InRecovery {
+		t.Error("lossless start should not be in recovery")
+	}
+}
+
+// TestRTOBackoffCaps: repeated timeouts double the RTO up to MaxRTO.
+func TestRTOBackoffCaps(t *testing.T) {
+	ft := newRig(t, 0)
+	c, err := NewConn(ft.n, 1, ft.route(0, 8, 0), 1<<20, Options{MinRTO: 0.05, MaxRTO: 0.4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Do NOT register with the dispatcher: every packet disappears, so
+	// the sender sees pure timeouts.
+	c.Start()
+	ft.n.K.Run(5)
+	st := c.State()
+	if st.RTO != 0.4 {
+		t.Errorf("RTO = %g after repeated timeouts, want cap 0.4", st.RTO)
+	}
+	if c.Done() {
+		t.Error("transfer cannot complete without a receiver")
+	}
+	if c.Retx == 0 {
+		t.Error("timeouts should have retransmitted")
+	}
+}
+
+// TestFastRetransmitOnReordering: three duplicate ACKs trigger a single
+// fast retransmit without waiting for the RTO.
+func TestFastRetransmitOnReordering(t *testing.T) {
+	r := newRig(t, 64)
+	c, err := NewConn(r.n, 1, r.route(0, 8, 0), 2*(1<<20), Options{InitialSsthresh: 32, MinRTO: 5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.d.Register(c)
+	c.Start()
+	// With a 5-second MinRTO, any loss recovery inside the run must have
+	// come from fast retransmit. Force one loss by briefly switching the
+	// route (in-flight packets reorder behind the new path's packets).
+	r.n.K.After(0.05, func() { c.SetRoute(r.route(0, 8, 2)) })
+	r.n.K.Run(4)
+	if !c.Done() {
+		t.Fatalf("transfer did not complete; state=%+v", c.State())
+	}
+	if tt := c.TransferTime(); tt > 2 {
+		t.Errorf("transfer took %.2fs; fast retransmit should have avoided RTO stalls", tt)
+	}
+}
+
+// TestRTTEstimatorTracksPath: srtt-seeded RTO reflects the (queue-free)
+// path RTT rather than staying at the 200 ms default floor... the floor
+// dominates, so check the estimator indirectly: completion far faster
+// than an RTO-per-window schedule.
+func TestRTTEstimatorTracksPath(t *testing.T) {
+	r := newRig(t, 0)
+	c, err := NewConn(r.n, 1, r.route(0, 8, 0), 4*(1<<20), Options{InitialSsthresh: 24}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.d.Register(c)
+	c.Start()
+	r.n.K.Run(10)
+	if !c.Done() {
+		t.Fatal("transfer did not complete")
+	}
+	// 4 MB at 100 Mbps is 0.34 s of serialization; a broken ACK clock
+	// would need hundreds of 200 ms RTOs.
+	if tt := c.TransferTime(); tt > 1.0 {
+		t.Errorf("transfer took %.2fs, ACK clocking broken", tt)
+	}
+	if c.Retx != 0 {
+		t.Errorf("capped-window lossless run retransmitted %d", c.Retx)
+	}
+}
+
+// TestZeroWindowNever: cwnd never collapses below one segment.
+func TestZeroWindowNever(t *testing.T) {
+	r := newRig(t, 4)
+	var conns []*Conn
+	for i := 0; i < 6; i++ {
+		c, err := NewConn(r.n, i+1, r.route(i, 8+i, 0), 1<<20, Options{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.d.Register(c)
+		conns = append(conns, c)
+		c.Start()
+	}
+	r.n.K.Run(30)
+	for _, c := range conns {
+		if !c.Done() {
+			t.Fatalf("flow %d unfinished under heavy loss; state=%+v", c.ID(), c.State())
+		}
+		if st := c.State(); st.Cwnd < 1 || math.IsNaN(st.Cwnd) {
+			t.Errorf("flow %d cwnd = %g", c.ID(), st.Cwnd)
+		}
+	}
+}

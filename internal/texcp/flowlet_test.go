@@ -1,0 +1,67 @@
+package texcp
+
+import (
+	"testing"
+
+	"dard/internal/psim"
+	"dard/internal/workload"
+)
+
+func strideFlows(n int, sizeMB float64) []workload.Flow {
+	var flows []workload.Flow
+	for i := 0; i < n; i++ {
+		flows = append(flows, workload.Flow{
+			ID: i, Src: i, Dst: (i + 8) % 16, SizeBits: mb(sizeMB), Arrival: float64(i) * 0.05,
+		})
+	}
+	return flows
+}
+
+func TestFlowletCompletes(t *testing.T) {
+	r := run(t, NewFlowlet(0), strideFlows(8, 4), 4)
+	if r.Unfinished != 0 {
+		t.Fatalf("%d unfinished", r.Unfinished)
+	}
+	if r.Policy != "TeXCP-flowlet" {
+		t.Errorf("policy = %q", r.Policy)
+	}
+}
+
+// TestFlowletReducesReordering validates the paper's conjecture: flowlet
+// switching retransmits less than per-packet splitting under the same
+// workload, because bursts stay in order.
+func TestFlowletReducesReordering(t *testing.T) {
+	flows := strideFlows(8, 6)
+	perPacket := run(t, New(), flows, 2)
+	flowlet := run(t, NewFlowlet(0), flows, 2)
+	if perPacket.Unfinished != 0 || flowlet.Unfinished != 0 {
+		t.Fatalf("unfinished: perPacket=%d flowlet=%d", perPacket.Unfinished, flowlet.Unfinished)
+	}
+	pp := perPacket.RetxRates().Mean()
+	fl := flowlet.RetxRates().Mean()
+	if fl >= pp {
+		t.Errorf("flowlet retx rate %.4f should be below per-packet %.4f", fl, pp)
+	}
+}
+
+func TestFlowletDefaultTimeout(t *testing.T) {
+	p := NewFlowlet(0)
+	if p.Timeout != DefaultFlowletTimeout {
+		t.Errorf("Timeout = %g, want default", p.Timeout)
+	}
+	p = NewFlowlet(0.01)
+	if p.Timeout != 0.01 {
+		t.Errorf("Timeout = %g, want 0.01", p.Timeout)
+	}
+}
+
+func TestFlowletSinglePathNoRouter(t *testing.T) {
+	// Same-ToR flows have one path; the picker must be nil.
+	flows := []workload.Flow{{ID: 0, Src: 0, Dst: 1, SizeBits: mb(2), Arrival: 0}}
+	r := run(t, NewFlowlet(0), flows, 5)
+	if r.Unfinished != 0 {
+		t.Fatal("same-ToR flowlet flow unfinished")
+	}
+}
+
+var _ psim.PacketRouter = (*FlowletPolicy)(nil)

@@ -1,0 +1,178 @@
+package topology
+
+import "fmt"
+
+// ClosConfig parameterizes a VL2-style Clos network (Greenberg et al.,
+// SIGCOMM 2009): D_I intermediate switches at the top, D_A aggregation
+// switches below them in a complete bipartite mesh, and dual-homed ToR
+// switches. The paper evaluates D_I = D_A = 4, 8, 16.
+type ClosConfig struct {
+	// DI is the number of intermediate switches.
+	DI int
+	// DA is the number of aggregation switches; must be even because ToRs
+	// dual-home to an adjacent aggregation pair.
+	DA int
+	// ToRsPerPair is the number of ToR switches attached to each
+	// aggregation pair. Zero means DI/2, giving VL2's DA*DI/4 ToRs total.
+	ToRsPerPair int
+	// HostsPerToR is the number of hosts per ToR. Zero means 4.
+	HostsPerToR int
+	// LinkCapacity is the bandwidth of every link in bits per second.
+	// Defaults to 1 Gbps.
+	LinkCapacity float64
+	// LinkDelay is the one-way propagation delay in seconds. Defaults to
+	// 0.1 ms.
+	LinkDelay float64
+}
+
+func (c *ClosConfig) applyDefaults() error {
+	if c.DI < 1 {
+		return fmt.Errorf("clos needs at least one intermediate switch, got %d", c.DI)
+	}
+	if c.DA < 2 || c.DA%2 != 0 {
+		return fmt.Errorf("clos aggregation count must be even and >= 2, got %d", c.DA)
+	}
+	if c.ToRsPerPair == 0 {
+		c.ToRsPerPair = c.DI / 2
+	}
+	if c.ToRsPerPair < 1 {
+		return fmt.Errorf("clos needs at least one ToR per aggregation pair, got %d", c.ToRsPerPair)
+	}
+	if c.HostsPerToR == 0 {
+		c.HostsPerToR = 4
+	}
+	if c.HostsPerToR < 0 {
+		return fmt.Errorf("negative hosts per ToR %d", c.HostsPerToR)
+	}
+	if c.LinkCapacity == 0 {
+		c.LinkCapacity = 1e9
+	}
+	if c.LinkDelay == 0 {
+		c.LinkDelay = 0.1e-3
+	}
+	return nil
+}
+
+// Clos is a VL2-style Clos network. In a Clos network a ToR-to-ToR path is
+// determined by the (uphill aggregation, intermediate, downhill
+// aggregation) triple, not by the intermediate alone — the property that
+// makes the paper keep both uphill and downhill tables (§2.3).
+type Clos struct {
+	*base
+	cfg ClosConfig
+
+	intermediates []NodeID
+	aggrs         []NodeID
+	// tors[pair][t] is ToR t of aggregation pair `pair`.
+	tors [][]NodeID
+}
+
+var _ Network = (*Clos)(nil)
+
+// NewClos builds a Clos network. "Pods" are aggregation pairs: hosts under
+// ToRs of the same pair are intra-pod for workload purposes.
+func NewClos(cfg ClosConfig) (*Clos, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, fmt.Errorf("clos config: %w", err)
+	}
+	g := NewGraph()
+	cl := &Clos{
+		base: newBase(fmt.Sprintf("clos(DI=%d,DA=%d)", cfg.DI, cfg.DA), g),
+		cfg:  cfg,
+	}
+
+	cl.intermediates = make([]NodeID, cfg.DI)
+	for i := range cl.intermediates {
+		cl.intermediates[i] = g.AddNode(Core, fmt.Sprintf("int%d", i+1), -1, i)
+	}
+	cl.aggrs = make([]NodeID, cfg.DA)
+	for a := range cl.aggrs {
+		cl.aggrs[a] = g.AddNode(Aggr, fmt.Sprintf("aggr%d", a+1), a/2, a)
+	}
+	// Complete bipartite aggr <-> intermediate mesh.
+	for _, a := range cl.aggrs {
+		for _, i := range cl.intermediates {
+			g.AddDuplex(a, i, cfg.LinkCapacity, cfg.LinkDelay)
+		}
+	}
+
+	pairs := cfg.DA / 2
+	cl.tors = make([][]NodeID, pairs)
+	hostIdx := 0
+	torIdx := 0
+	for pair := 0; pair < pairs; pair++ {
+		cl.tors[pair] = make([]NodeID, cfg.ToRsPerPair)
+		for t := 0; t < cfg.ToRsPerPair; t++ {
+			tor := g.AddNode(ToR, fmt.Sprintf("tor%d_%d", pair+1, t+1), pair, torIdx)
+			torIdx++
+			cl.tors[pair][t] = tor
+			g.AddDuplex(tor, cl.aggrs[2*pair], cfg.LinkCapacity, cfg.LinkDelay)
+			g.AddDuplex(tor, cl.aggrs[2*pair+1], cfg.LinkCapacity, cfg.LinkDelay)
+			for h := 0; h < cfg.HostsPerToR; h++ {
+				hostIdx++
+				cl.attachHost(fmt.Sprintf("E%d", hostIdx), pair, hostIdx-1, tor,
+					cfg.LinkCapacity, cfg.LinkDelay)
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("clos construction: %w", err)
+	}
+	return cl, nil
+}
+
+// Intermediates lists the intermediate (top-tier) switches.
+func (cl *Clos) Intermediates() []NodeID { return cl.intermediates }
+
+// Aggrs lists the aggregation switches.
+func (cl *Clos) Aggrs() []NodeID { return cl.aggrs }
+
+// AggrPairOf returns the two aggregation switches serving a ToR.
+func (cl *Clos) AggrPairOf(tor NodeID) [2]NodeID {
+	pair := cl.g.Node(tor).Pod
+	return [2]NodeID{cl.aggrs[2*pair], cl.aggrs[2*pair+1]}
+}
+
+// Paths implements Network. Cross-pair paths are labeled
+// "aggrU>intI>aggrD"; intra-pair paths by the shared aggregation switch.
+func (cl *Clos) Paths(srcToR, dstToR NodeID) []Path {
+	return cl.cache.get(srcToR, dstToR, func() []Path {
+		return cl.buildPaths(srcToR, dstToR)
+	})
+}
+
+func (cl *Clos) buildPaths(srcToR, dstToR NodeID) []Path {
+	if srcToR == dstToR {
+		return []Path{{Via: "direct"}}
+	}
+	g := cl.g
+	srcPair := cl.AggrPairOf(srcToR)
+	dstPair := cl.AggrPairOf(dstToR)
+	if g.Node(srcToR).Pod == g.Node(dstToR).Pod {
+		paths := make([]Path, 0, 2)
+		for _, aggr := range srcPair {
+			paths = append(paths, Path{
+				Links: []LinkID{mustLink(g, srcToR, aggr), mustLink(g, aggr, dstToR)},
+				Via:   g.Node(aggr).Name,
+			})
+		}
+		return paths
+	}
+	paths := make([]Path, 0, 4*cl.cfg.DI)
+	for _, up := range srcPair {
+		for _, mid := range cl.intermediates {
+			for _, down := range dstPair {
+				paths = append(paths, Path{
+					Links: []LinkID{
+						mustLink(g, srcToR, up),
+						mustLink(g, up, mid),
+						mustLink(g, mid, down),
+						mustLink(g, down, dstToR),
+					},
+					Via: joinVia(g.Node(up).Name, g.Node(mid).Name, g.Node(down).Name),
+				})
+			}
+		}
+	}
+	return paths
+}

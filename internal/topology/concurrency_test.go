@@ -1,0 +1,37 @@
+package topology
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestPathCacheConcurrent hammers the per-pair path cache from many
+// goroutines; run with -race this verifies the cache locking.
+func TestPathCacheConcurrent(t *testing.T) {
+	ft, err := NewFatTree(FatTreeConfig{P: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tors := ft.Graph().NodesOfKind(ToR)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				a := tors[(w+i)%len(tors)]
+				b := tors[(w*7+i*3)%len(tors)]
+				if a == b {
+					continue
+				}
+				paths := ft.Paths(a, b)
+				if len(paths) == 0 {
+					t.Error("empty path set")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,188 @@
+package topology
+
+import "fmt"
+
+// FatTreeConfig parameterizes a p-port fat-tree (Al-Fares et al., SIGCOMM
+// 2008), the main topology in the paper's evaluation.
+type FatTreeConfig struct {
+	// P is the switch port count; must be even and >= 4. The fat-tree has
+	// p pods, p/2 ToR and p/2 aggregation switches per pod, p/2 hosts per
+	// ToR, and p*p/4 core switches, for p^3/4 hosts total.
+	P int
+	// LinkCapacity is the bandwidth of every link in bits per second.
+	// Defaults to 1 Gbps, the paper's simulation setting.
+	LinkCapacity float64
+	// LinkDelay is the one-way propagation delay of every link in
+	// seconds. Defaults to 0.1 ms, the paper's simulation setting.
+	LinkDelay float64
+	// HostsPerToR overrides the number of hosts attached to each ToR.
+	// Zero means the fat-tree default of p/2. The paper-scale p=32 tree
+	// has 8192 hosts; scaled-down runs attach fewer hosts per ToR while
+	// keeping the switching fabric intact.
+	HostsPerToR int
+}
+
+func (c *FatTreeConfig) applyDefaults() error {
+	if c.P < 4 || c.P%2 != 0 {
+		return fmt.Errorf("fat-tree port count must be an even integer >= 4, got %d", c.P)
+	}
+	if c.LinkCapacity == 0 {
+		c.LinkCapacity = 1e9
+	}
+	if c.LinkCapacity < 0 {
+		return fmt.Errorf("negative link capacity %g", c.LinkCapacity)
+	}
+	if c.LinkDelay == 0 {
+		c.LinkDelay = 0.1e-3
+	}
+	if c.HostsPerToR == 0 {
+		c.HostsPerToR = c.P / 2
+	}
+	if c.HostsPerToR < 0 {
+		return fmt.Errorf("negative hosts per ToR %d", c.HostsPerToR)
+	}
+	return nil
+}
+
+// FatTree is a p-port fat-tree topology.
+type FatTree struct {
+	*base
+	cfg FatTreeConfig
+
+	cores []NodeID // (p/2)^2 cores; core c attaches to aggr group c/(p/2)
+	// aggrs[pod][a] is aggregation switch a of the pod.
+	aggrs [][]NodeID
+	// tors[pod][t] is ToR t of the pod.
+	tors [][]NodeID
+}
+
+var _ Network = (*FatTree)(nil)
+
+// NewFatTree builds a fat-tree.
+func NewFatTree(cfg FatTreeConfig) (*FatTree, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, fmt.Errorf("fat-tree config: %w", err)
+	}
+	p := cfg.P
+	half := p / 2
+	g := NewGraph()
+	ft := &FatTree{
+		base: newBase(fmt.Sprintf("fattree(p=%d)", p), g),
+		cfg:  cfg,
+	}
+
+	numCores := half * half
+	ft.cores = make([]NodeID, numCores)
+	for c := 0; c < numCores; c++ {
+		ft.cores[c] = g.AddNode(Core, fmt.Sprintf("core%d", c+1), -1, c)
+	}
+
+	ft.aggrs = make([][]NodeID, p)
+	ft.tors = make([][]NodeID, p)
+	hostIdx := 0
+	for pod := 0; pod < p; pod++ {
+		ft.aggrs[pod] = make([]NodeID, half)
+		ft.tors[pod] = make([]NodeID, half)
+		for a := 0; a < half; a++ {
+			ft.aggrs[pod][a] = g.AddNode(Aggr, fmt.Sprintf("aggr%d_%d", pod+1, a+1), pod, pod*half+a)
+		}
+		for t := 0; t < half; t++ {
+			ft.tors[pod][t] = g.AddNode(ToR, fmt.Sprintf("tor%d_%d", pod+1, t+1), pod, pod*half+t)
+		}
+		// Aggr <-> core: aggr a serves core group a.
+		for a := 0; a < half; a++ {
+			for i := 0; i < half; i++ {
+				g.AddDuplex(ft.aggrs[pod][a], ft.cores[a*half+i], cfg.LinkCapacity, cfg.LinkDelay)
+			}
+		}
+		// ToR <-> every aggr in the pod.
+		for t := 0; t < half; t++ {
+			for a := 0; a < half; a++ {
+				g.AddDuplex(ft.tors[pod][t], ft.aggrs[pod][a], cfg.LinkCapacity, cfg.LinkDelay)
+			}
+		}
+		// Hosts.
+		for t := 0; t < half; t++ {
+			for h := 0; h < cfg.HostsPerToR; h++ {
+				hostIdx++
+				ft.attachHost(fmt.Sprintf("E%d", hostIdx), pod, hostIdx-1,
+					ft.tors[pod][t], cfg.LinkCapacity, cfg.LinkDelay)
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("fat-tree construction: %w", err)
+	}
+	return ft, nil
+}
+
+// P returns the port count.
+func (ft *FatTree) P() int { return ft.cfg.P }
+
+// Cores lists the core switches.
+func (ft *FatTree) Cores() []NodeID { return ft.cores }
+
+// AggrsOfPod lists the aggregation switches of a pod.
+func (ft *FatTree) AggrsOfPod(pod int) []NodeID { return ft.aggrs[pod] }
+
+// ToRsOfPod lists the ToR switches of a pod.
+func (ft *FatTree) ToRsOfPod(pod int) []NodeID { return ft.tors[pod] }
+
+// NumPaths reports the equal-cost path count between two distinct ToRs:
+// p^2/4 across pods (one per core), p/2 within a pod (one per aggr).
+func (ft *FatTree) NumPaths(srcToR, dstToR NodeID) int {
+	switch {
+	case srcToR == dstToR:
+		return 1
+	case ft.g.Node(srcToR).Pod == ft.g.Node(dstToR).Pod:
+		return ft.cfg.P / 2
+	default:
+		return ft.cfg.P * ft.cfg.P / 4
+	}
+}
+
+// Paths implements Network. Inter-pod paths are labeled by core switch
+// ("core1".."coreN" as in the paper's Figure 1); intra-pod paths by
+// aggregation switch.
+func (ft *FatTree) Paths(srcToR, dstToR NodeID) []Path {
+	return ft.cache.get(srcToR, dstToR, func() []Path {
+		return ft.buildPaths(srcToR, dstToR)
+	})
+}
+
+func (ft *FatTree) buildPaths(srcToR, dstToR NodeID) []Path {
+	if srcToR == dstToR {
+		return []Path{{Via: "direct"}}
+	}
+	g := ft.g
+	half := ft.cfg.P / 2
+	srcPod := g.Node(srcToR).Pod
+	dstPod := g.Node(dstToR).Pod
+	if srcPod == dstPod {
+		paths := make([]Path, 0, half)
+		for a := 0; a < half; a++ {
+			aggr := ft.aggrs[srcPod][a]
+			paths = append(paths, Path{
+				Links: []LinkID{mustLink(g, srcToR, aggr), mustLink(g, aggr, dstToR)},
+				Via:   g.Node(aggr).Name,
+			})
+		}
+		return paths
+	}
+	paths := make([]Path, 0, half*half)
+	for c, core := range ft.cores {
+		group := c / half
+		up := ft.aggrs[srcPod][group]
+		down := ft.aggrs[dstPod][group]
+		paths = append(paths, Path{
+			Links: []LinkID{
+				mustLink(g, srcToR, up),
+				mustLink(g, up, core),
+				mustLink(g, core, down),
+				mustLink(g, down, dstToR),
+			},
+			Via: g.Node(core).Name,
+		})
+	}
+	return paths
+}

@@ -1,0 +1,135 @@
+package topology
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Path is one equal-cost ToR-to-ToR path: the ordered switch-switch links
+// from the source ToR to the destination ToR. The host's first and last
+// hop are not part of a Path; simulators compose them per flow.
+type Path struct {
+	// Links are the directed links from source ToR to destination ToR.
+	// Empty for a source ToR that is also the destination ToR.
+	Links []LinkID
+	// Via labels the path by the choice that determines it, e.g. "core3"
+	// in a fat-tree or "aggr1>int2>aggr5" in a Clos network.
+	Via string
+}
+
+// String renders the path label.
+func (p Path) String() string { return p.Via }
+
+// Network is the read side of a topology that schedulers and simulators
+// consume: the graph, the host/ToR structure, and the equal-cost ToR-to-ToR
+// path sets.
+type Network interface {
+	// Name identifies the topology, e.g. "fattree(p=8)".
+	Name() string
+	// Graph exposes the node/link structure.
+	Graph() *Graph
+	// Hosts lists every host, ordered by host index. The slice is shared;
+	// callers must not modify it.
+	Hosts() []NodeID
+	// ToROf returns the ToR switch a host attaches to.
+	ToROf(host NodeID) NodeID
+	// Paths returns the equal-cost paths from srcToR to dstToR. For
+	// srcToR == dstToR it returns a single empty path. The slice is
+	// cached and shared; callers must not modify it.
+	Paths(srcToR, dstToR NodeID) []Path
+	// HostUplink returns the host->ToR link of a host.
+	HostUplink(host NodeID) LinkID
+	// HostDownlink returns the ToR->host link of a host.
+	HostDownlink(host NodeID) LinkID
+}
+
+// pathCache memoizes per-ToR-pair path sets; safe for concurrent use.
+type pathCache struct {
+	mu    sync.RWMutex
+	paths map[[2]NodeID][]Path
+}
+
+func newPathCache() *pathCache {
+	return &pathCache{paths: make(map[[2]NodeID][]Path)}
+}
+
+func (c *pathCache) get(a, b NodeID, build func() []Path) []Path {
+	key := [2]NodeID{a, b}
+	c.mu.RLock()
+	p, ok := c.paths[key]
+	c.mu.RUnlock()
+	if ok {
+		return p
+	}
+	p = build()
+	c.mu.Lock()
+	c.paths[key] = p
+	c.mu.Unlock()
+	return p
+}
+
+// hostAttachment records a host's duplex edge link.
+type hostAttachment struct {
+	tor  NodeID
+	up   LinkID
+	down LinkID
+}
+
+// base carries the structure shared by every concrete topology.
+type base struct {
+	name   string
+	g      *Graph
+	hosts  []NodeID
+	attach map[NodeID]hostAttachment
+	cache  *pathCache
+}
+
+func newBase(name string, g *Graph) *base {
+	return &base{
+		name:   name,
+		g:      g,
+		attach: make(map[NodeID]hostAttachment),
+		cache:  newPathCache(),
+	}
+}
+
+// attachHost creates a host node under the given ToR with a duplex link.
+func (b *base) attachHost(name string, pod, index int, tor NodeID, capacity, delay float64) NodeID {
+	h := b.g.AddNode(Host, name, pod, index)
+	up := b.g.AddDuplex(h, tor, capacity, delay)
+	b.hosts = append(b.hosts, h)
+	b.attach[h] = hostAttachment{tor: tor, up: up, down: b.g.Reverse(up)}
+	return h
+}
+
+// Name implements Network.
+func (b *base) Name() string { return b.name }
+
+// Graph implements Network.
+func (b *base) Graph() *Graph { return b.g }
+
+// Hosts implements Network.
+func (b *base) Hosts() []NodeID { return b.hosts }
+
+// ToROf implements Network.
+func (b *base) ToROf(host NodeID) NodeID { return b.attach[host].tor }
+
+// HostUplink implements Network.
+func (b *base) HostUplink(host NodeID) LinkID { return b.attach[host].up }
+
+// HostDownlink implements Network.
+func (b *base) HostDownlink(host NodeID) LinkID { return b.attach[host].down }
+
+// mustLink returns the link from a to b or panics; topology construction is
+// the one place where a missing link is a programming error, not input.
+func mustLink(g *Graph, a, b NodeID) LinkID {
+	id, ok := g.LinkBetween(a, b)
+	if !ok {
+		panic(fmt.Sprintf("topology: no link %s -> %s", g.Node(a).Name, g.Node(b).Name))
+	}
+	return id
+}
+
+// joinVia builds a path label from hop names.
+func joinVia(parts ...string) string { return strings.Join(parts, ">") }

@@ -1,0 +1,191 @@
+package topology
+
+import "fmt"
+
+// ThreeTierConfig parameterizes a traditional 8-core-3-tier datacenter
+// network in the style of the Cisco Data Center Infrastructure 2.5 design
+// guide, the oversubscribed topology of the paper's §4.3.2. With the
+// defaults, the access layer is oversubscribed 2.5:1 (10 x 1 Gbps of host
+// bandwidth over 2 x 2 Gbps of uplink) and the aggregation layer 1.5:1
+// (6 x 2 Gbps down over 8 x 1 Gbps up), matching the paper.
+type ThreeTierConfig struct {
+	// NumCores is the number of core switches. Defaults to 8.
+	NumCores int
+	// NumPods is the number of aggregation pods. Defaults to 4.
+	NumPods int
+	// AccessPerPod is the number of access (ToR) switches per pod.
+	// Defaults to 6.
+	AccessPerPod int
+	// HostsPerAccess is the number of hosts per access switch. Defaults
+	// to 10.
+	HostsPerAccess int
+	// HostCapacity is the host link bandwidth in bits per second.
+	// Defaults to 1 Gbps.
+	HostCapacity float64
+	// AccessUplink is the bandwidth of each access->aggregation link.
+	// Defaults to 2 Gbps (2.5:1 access oversubscription).
+	AccessUplink float64
+	// AggrUplink is the bandwidth of each aggregation->core link.
+	// Defaults to 1 Gbps (1.5:1 aggregation oversubscription).
+	AggrUplink float64
+	// LinkDelay is the one-way propagation delay in seconds. Defaults to
+	// 0.1 ms.
+	LinkDelay float64
+}
+
+func (c *ThreeTierConfig) applyDefaults() error {
+	if c.NumCores == 0 {
+		c.NumCores = 8
+	}
+	if c.NumPods == 0 {
+		c.NumPods = 4
+	}
+	if c.AccessPerPod == 0 {
+		c.AccessPerPod = 6
+	}
+	if c.HostsPerAccess == 0 {
+		c.HostsPerAccess = 10
+	}
+	if c.HostCapacity == 0 {
+		c.HostCapacity = 1e9
+	}
+	if c.AccessUplink == 0 {
+		c.AccessUplink = 2e9
+	}
+	if c.AggrUplink == 0 {
+		c.AggrUplink = 1e9
+	}
+	if c.LinkDelay == 0 {
+		c.LinkDelay = 0.1e-3
+	}
+	if c.NumCores < 1 || c.NumPods < 1 || c.AccessPerPod < 1 || c.HostsPerAccess < 0 {
+		return fmt.Errorf("three-tier config has non-positive dimension: %+v", *c)
+	}
+	if c.HostCapacity < 0 || c.AccessUplink < 0 || c.AggrUplink < 0 {
+		return fmt.Errorf("three-tier config has negative capacity: %+v", *c)
+	}
+	return nil
+}
+
+// ThreeTier is a traditional oversubscribed three-tier topology: cores at
+// the top, two aggregation switches per pod, dual-homed access switches.
+type ThreeTier struct {
+	*base
+	cfg ThreeTierConfig
+
+	cores []NodeID
+	// aggrs[pod] holds the two aggregation switches of the pod.
+	aggrs [][2]NodeID
+	// access[pod][t] is access switch t of the pod.
+	access [][]NodeID
+}
+
+var _ Network = (*ThreeTier)(nil)
+
+// NewThreeTier builds the oversubscribed 8-core-3-tier topology.
+func NewThreeTier(cfg ThreeTierConfig) (*ThreeTier, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, fmt.Errorf("three-tier config: %w", err)
+	}
+	g := NewGraph()
+	tt := &ThreeTier{
+		base: newBase(fmt.Sprintf("threetier(cores=%d,pods=%d)", cfg.NumCores, cfg.NumPods), g),
+		cfg:  cfg,
+	}
+
+	tt.cores = make([]NodeID, cfg.NumCores)
+	for c := range tt.cores {
+		tt.cores[c] = g.AddNode(Core, fmt.Sprintf("core%d", c+1), -1, c)
+	}
+	tt.aggrs = make([][2]NodeID, cfg.NumPods)
+	tt.access = make([][]NodeID, cfg.NumPods)
+	hostIdx := 0
+	accIdx := 0
+	for pod := 0; pod < cfg.NumPods; pod++ {
+		for a := 0; a < 2; a++ {
+			aggr := g.AddNode(Aggr, fmt.Sprintf("aggr%d_%d", pod+1, a+1), pod, pod*2+a)
+			tt.aggrs[pod][a] = aggr
+			for _, core := range tt.cores {
+				g.AddDuplex(aggr, core, cfg.AggrUplink, cfg.LinkDelay)
+			}
+		}
+		tt.access[pod] = make([]NodeID, cfg.AccessPerPod)
+		for t := 0; t < cfg.AccessPerPod; t++ {
+			acc := g.AddNode(ToR, fmt.Sprintf("acc%d_%d", pod+1, t+1), pod, accIdx)
+			accIdx++
+			tt.access[pod][t] = acc
+			g.AddDuplex(acc, tt.aggrs[pod][0], cfg.AccessUplink, cfg.LinkDelay)
+			g.AddDuplex(acc, tt.aggrs[pod][1], cfg.AccessUplink, cfg.LinkDelay)
+			for h := 0; h < cfg.HostsPerAccess; h++ {
+				hostIdx++
+				tt.attachHost(fmt.Sprintf("E%d", hostIdx), pod, hostIdx-1, acc,
+					cfg.HostCapacity, cfg.LinkDelay)
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("three-tier construction: %w", err)
+	}
+	return tt, nil
+}
+
+// Cores lists the core switches.
+func (tt *ThreeTier) Cores() []NodeID { return tt.cores }
+
+// AccessOversubscription reports the configured access-layer
+// oversubscription ratio (host bandwidth over uplink bandwidth).
+func (tt *ThreeTier) AccessOversubscription() float64 {
+	return float64(tt.cfg.HostsPerAccess) * tt.cfg.HostCapacity / (2 * tt.cfg.AccessUplink)
+}
+
+// AggrOversubscription reports the configured aggregation-layer
+// oversubscription ratio (downlink bandwidth over uplink bandwidth).
+func (tt *ThreeTier) AggrOversubscription() float64 {
+	down := float64(tt.cfg.AccessPerPod) * tt.cfg.AccessUplink
+	up := float64(tt.cfg.NumCores) * tt.cfg.AggrUplink
+	return down / up
+}
+
+// Paths implements Network. Cross-pod paths are labeled
+// "aggrU>coreC>aggrD"; intra-pod paths by the shared aggregation switch.
+func (tt *ThreeTier) Paths(srcToR, dstToR NodeID) []Path {
+	return tt.cache.get(srcToR, dstToR, func() []Path {
+		return tt.buildPaths(srcToR, dstToR)
+	})
+}
+
+func (tt *ThreeTier) buildPaths(srcToR, dstToR NodeID) []Path {
+	if srcToR == dstToR {
+		return []Path{{Via: "direct"}}
+	}
+	g := tt.g
+	srcPod := g.Node(srcToR).Pod
+	dstPod := g.Node(dstToR).Pod
+	if srcPod == dstPod {
+		paths := make([]Path, 0, 2)
+		for _, aggr := range tt.aggrs[srcPod] {
+			paths = append(paths, Path{
+				Links: []LinkID{mustLink(g, srcToR, aggr), mustLink(g, aggr, dstToR)},
+				Via:   g.Node(aggr).Name,
+			})
+		}
+		return paths
+	}
+	paths := make([]Path, 0, 4*len(tt.cores))
+	for _, up := range tt.aggrs[srcPod] {
+		for _, core := range tt.cores {
+			for _, down := range tt.aggrs[dstPod] {
+				paths = append(paths, Path{
+					Links: []LinkID{
+						mustLink(g, srcToR, up),
+						mustLink(g, up, core),
+						mustLink(g, core, down),
+						mustLink(g, down, dstToR),
+					},
+					Via: joinVia(g.Node(up).Name, g.Node(core).Name, g.Node(down).Name),
+				})
+			}
+		}
+	}
+	return paths
+}

@@ -1,0 +1,210 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dard/internal/topology"
+)
+
+func fatTreeLayout(t *testing.T, p int) *Layout {
+	t.Helper()
+	ft, err := topology.NewFatTree(topology.FatTreeConfig{P: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewLayout(ft)
+}
+
+func TestLayoutFatTree(t *testing.T) {
+	l := fatTreeLayout(t, 4)
+	if l.NumHosts != 16 {
+		t.Fatalf("NumHosts = %d", l.NumHosts)
+	}
+	if len(l.HostsByToR) != 8 {
+		t.Errorf("ToRs = %d, want 8", len(l.HostsByToR))
+	}
+	if len(l.HostsByPod) != 4 {
+		t.Errorf("pods = %d, want 4", len(l.HostsByPod))
+	}
+	if l.HostsPerPod() != 4 {
+		t.Errorf("HostsPerPod = %d, want 4", l.HostsPerPod())
+	}
+	// Hosts 0 and 1 share a ToR; 0 and 2 share only the pod.
+	if l.ToRByHost[0] != l.ToRByHost[1] {
+		t.Error("hosts 0,1 should share a ToR")
+	}
+	if l.ToRByHost[0] == l.ToRByHost[2] {
+		t.Error("hosts 0,2 should not share a ToR")
+	}
+	if l.PodByHost[0] != l.PodByHost[2] {
+		t.Error("hosts 0,2 should share a pod")
+	}
+	if l.PodByHost[0] == l.PodByHost[4] {
+		t.Error("hosts 0,4 should be in different pods")
+	}
+}
+
+func TestRandomPattern(t *testing.T) {
+	l := fatTreeLayout(t, 4)
+	p := Random{L: l}
+	rng := rand.New(rand.NewSource(1))
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		d := p.PickDst(rng, 3)
+		if d == 3 {
+			t.Fatal("random pattern picked the source")
+		}
+		if d < 0 || d >= l.NumHosts {
+			t.Fatalf("destination %d out of range", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) != l.NumHosts-1 {
+		t.Errorf("random pattern reached %d destinations, want %d", len(seen), l.NumHosts-1)
+	}
+}
+
+func TestStaggeredProportions(t *testing.T) {
+	l := fatTreeLayout(t, 4)
+	p := NewStaggered(l)
+	rng := rand.New(rand.NewSource(2))
+	const n = 20000
+	var sameToR, samePod, crossPod int
+	for i := 0; i < n; i++ {
+		d := p.PickDst(rng, 0)
+		switch {
+		case l.ToRByHost[d] == l.ToRByHost[0]:
+			sameToR++
+		case l.PodByHost[d] == l.PodByHost[0]:
+			samePod++
+		default:
+			crossPod++
+		}
+	}
+	check := func(name string, got int, want float64) {
+		frac := float64(got) / n
+		if math.Abs(frac-want) > 0.02 {
+			t.Errorf("%s fraction = %.3f, want %.2f", name, frac, want)
+		}
+	}
+	check("same-ToR", sameToR, 0.5)
+	check("same-pod", samePod, 0.3)
+	check("cross-pod", crossPod, 0.2)
+}
+
+func TestStridePattern(t *testing.T) {
+	l := fatTreeLayout(t, 4)
+	step := l.HostsPerPod()
+	p := Stride{N: l.NumHosts, Step: step}
+	for src := 0; src < l.NumHosts; src++ {
+		d := p.PickDst(nil, src)
+		if d == src {
+			t.Fatalf("stride mapped %d to itself", src)
+		}
+		if l.PodByHost[d] == l.PodByHost[src] {
+			t.Errorf("stride(%d) from %d stays in pod", step, src)
+		}
+	}
+	// Stride is a permutation: every host receives exactly once.
+	counts := make([]int, l.NumHosts)
+	for src := 0; src < l.NumHosts; src++ {
+		counts[p.PickDst(nil, src)]++
+	}
+	for h, c := range counts {
+		if c != 1 {
+			t.Errorf("host %d receives %d stride flows, want 1", h, c)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	l := fatTreeLayout(t, 4)
+	cfg := Config{Pattern: Random{L: l}, RatePerHost: 2, Duration: 10, Seed: 42}
+	a, err := Generate(l, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(l, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic flow count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("flow %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGenerateProperties(t *testing.T) {
+	l := fatTreeLayout(t, 4)
+	cfg := Config{Pattern: Random{L: l}, RatePerHost: 5, Duration: 20, Seed: 7}
+	flows, err := Generate(l, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) == 0 {
+		t.Fatal("no flows generated")
+	}
+	// Expected count: 16 hosts * 5/s * 20s = 1600; allow 15% slack.
+	want := 16.0 * 5 * 20
+	if f := float64(len(flows)); f < want*0.85 || f > want*1.15 {
+		t.Errorf("flow count %d far from Poisson expectation %g", len(flows), want)
+	}
+	last := -1.0
+	for i, f := range flows {
+		if f.ID != i {
+			t.Fatalf("flow IDs not dense: flows[%d].ID = %d", i, f.ID)
+		}
+		if f.Arrival < last {
+			t.Fatal("flows not sorted by arrival")
+		}
+		last = f.Arrival
+		if f.Arrival < 0 || f.Arrival >= cfg.Duration {
+			t.Fatalf("arrival %g outside window", f.Arrival)
+		}
+		if f.Src == f.Dst {
+			t.Fatal("self flow generated")
+		}
+		if f.SizeBits != DefaultSizeBytes*8 {
+			t.Fatalf("size = %g, want default 128MB", f.SizeBits)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	l := fatTreeLayout(t, 4)
+	if _, err := Generate(l, Config{}); err == nil {
+		t.Error("nil pattern should fail")
+	}
+	if _, err := Generate(l, Config{Pattern: Random{L: l}, RatePerHost: 0, Duration: 1}); err == nil {
+		t.Error("zero rate should fail")
+	}
+	if _, err := Generate(l, Config{Pattern: Random{L: l}, RatePerHost: 1, Duration: -1}); err == nil {
+		t.Error("negative duration should fail")
+	}
+	tiny := &Layout{NumHosts: 1}
+	if _, err := Generate(tiny, Config{Pattern: Random{L: tiny}, RatePerHost: 1, Duration: 1}); err == nil {
+		t.Error("single-host layout should fail")
+	}
+}
+
+func TestStaggeredOnClos(t *testing.T) {
+	cl, err := topology.NewClos(topology.ClosConfig{DI: 4, DA: 4, HostsPerToR: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLayout(cl)
+	p := NewStaggered(l)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		d := p.PickDst(rng, 0)
+		if d == 0 || d >= l.NumHosts {
+			t.Fatalf("bad destination %d", d)
+		}
+	}
+}

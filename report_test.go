@@ -1,0 +1,53 @@
+package dard
+
+import (
+	"math"
+	"testing"
+)
+
+func TestReportHelpers(t *testing.T) {
+	r := &Report{
+		Scheduler:     "DARD",
+		Engine:        EngineFlow,
+		Topology:      "fattree(p=4)",
+		Pattern:       PatternStride,
+		Flows:         4,
+		TransferTimes: []float64{1, 2, 3, 4},
+		PathSwitches:  []float64{0, 0, 1, 3},
+		RetxRates:     []float64{0.01, 0.03},
+		ControlBytes:  2e6,
+		SimTime:       10,
+	}
+	if got := r.MeanTransferTime(); got != 2.5 {
+		t.Errorf("mean = %g", got)
+	}
+	if got := r.TransferTimeQuantile(1); got != 4 {
+		t.Errorf("max = %g", got)
+	}
+	if got := r.PathSwitchQuantile(0.9); got > 3 || got < 1 {
+		t.Errorf("p90 switches = %g", got)
+	}
+	if got := r.RetxRateMean(); math.Abs(got-0.02) > 1e-12 {
+		t.Errorf("retx mean = %g", got)
+	}
+	if got := r.ControlMBps(); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("ControlMBps = %g", got)
+	}
+	base := &Report{TransferTimes: []float64{5}}
+	if got := r.ImprovementOver(base); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("improvement = %g, want 0.5", got)
+	}
+}
+
+func TestReportEmpty(t *testing.T) {
+	r := &Report{}
+	if !math.IsNaN(r.MeanTransferTime()) {
+		t.Error("empty report mean should be NaN")
+	}
+	if got := r.ControlMBps(); got != 0 {
+		t.Errorf("ControlMBps on zero SimTime = %g", got)
+	}
+	if r.String() == "" {
+		t.Error("String should render even when empty")
+	}
+}

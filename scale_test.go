@@ -1,0 +1,54 @@
+package dard
+
+import "testing"
+
+// TestPaperScaleFabric runs DARD on the paper's p=16 fat-tree switching
+// fabric (with a trimmed host edge) — 128 ToRs, 64 equal-cost paths per
+// inter-pod pair — and checks completion, stability, and a win over
+// ECMP. Skipped with -short; cmd/dardsim reaches p=32 the same way.
+func TestPaperScaleFabric(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-fabric run skipped in -short mode")
+	}
+	topo, err := TopologySpec{Kind: FatTree, P: 16, HostsPerToR: 1}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Scenario{
+		Topo:           topo,
+		Pattern:        PatternStride,
+		RatePerHost:    1,
+		Duration:       15,
+		FileSizeMB:     64,
+		Seed:           2,
+		ElephantAgeSec: 0.5,
+		DARD:           Tuning{QueryInterval: 0.5, ScheduleInterval: 2.5, ScheduleJitter: 2.5},
+	}
+	ecmpScn := base
+	ecmpScn.Scheduler = SchedulerECMP
+	ecmp, err := ecmpScn.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd := base
+	dd.Scheduler = SchedulerDARD
+	rep, err := dd.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Unfinished != 0 {
+		t.Fatalf("%d unfinished flows at p=16", rep.Unfinished)
+	}
+	if rep.Flows < 1000 {
+		t.Fatalf("only %d flows generated", rep.Flows)
+	}
+	if imp := rep.ImprovementOver(ecmp); imp < 0 {
+		t.Errorf("DARD improvement at p=16 = %.1f%%, want >= 0", 100*imp)
+	}
+	if p90 := rep.PathSwitchQuantile(0.9); p90 > 3 {
+		t.Errorf("p90 path switches = %g at p=16, want <= 3", p90)
+	}
+	if max := rep.PathSwitchQuantile(1); max >= 64 {
+		t.Errorf("max path switches = %g, must stay far below the 64 paths", max)
+	}
+}

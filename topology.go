@@ -1,0 +1,220 @@
+package dard
+
+import (
+	"fmt"
+	"strings"
+
+	"dard/internal/addressing"
+	"dard/internal/topology"
+	"dard/internal/workload"
+)
+
+// TopologyKind selects one of the paper's three topology families.
+type TopologyKind string
+
+// Supported topology kinds.
+const (
+	// FatTree is a p-port fat-tree (§4.3.1).
+	FatTree TopologyKind = "fattree"
+	// Clos is a VL2-style Clos network (§4.3.2).
+	Clos TopologyKind = "clos"
+	// ThreeTier is the oversubscribed 8-core-3-tier network (§4.3.2).
+	ThreeTier TopologyKind = "threetier"
+)
+
+// TopologySpec declares a topology to build. Zero fields take the
+// paper's defaults.
+type TopologySpec struct {
+	// Kind picks the family; defaults to FatTree.
+	Kind TopologyKind
+	// P is the fat-tree port count (default 8).
+	P int
+	// D is the Clos D_I = D_A parameter (default 8).
+	D int
+	// HostsPerToR scales the edge down from the paper's full population
+	// (0 keeps the family default).
+	HostsPerToR int
+	// LinkCapacity is the uniform link bandwidth in bits/s for fat-tree
+	// and Clos (default 1 Gbps; the three-tier family has fixed
+	// oversubscribed capacities).
+	LinkCapacity float64
+	// LinkDelay is the per-link propagation delay in seconds (default
+	// 0.1 ms).
+	LinkDelay float64
+}
+
+// Topology is a built network plus its hierarchical addressing plan.
+type Topology struct {
+	net    topology.Network
+	plan   *addressing.Plan
+	layout *workload.Layout
+}
+
+// Build constructs the topology and allocates its addressing plan.
+func (spec TopologySpec) Build() (*Topology, error) {
+	var (
+		net topology.Network
+		err error
+	)
+	switch spec.Kind {
+	case FatTree, "":
+		p := spec.P
+		if p == 0 {
+			p = 8
+		}
+		net, err = topology.NewFatTree(topology.FatTreeConfig{
+			P:            p,
+			HostsPerToR:  spec.HostsPerToR,
+			LinkCapacity: spec.LinkCapacity,
+			LinkDelay:    spec.LinkDelay,
+		})
+	case Clos:
+		d := spec.D
+		if d == 0 {
+			d = 8
+		}
+		net, err = topology.NewClos(topology.ClosConfig{
+			DI:           d,
+			DA:           d,
+			HostsPerToR:  spec.HostsPerToR,
+			LinkCapacity: spec.LinkCapacity,
+			LinkDelay:    spec.LinkDelay,
+		})
+	case ThreeTier:
+		net, err = topology.NewThreeTier(topology.ThreeTierConfig{
+			HostsPerAccess: spec.HostsPerToR,
+			LinkDelay:      spec.LinkDelay,
+		})
+	default:
+		return nil, fmt.Errorf("dard: unknown topology kind %q", spec.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	plan, err := addressing.Build(net)
+	if err != nil {
+		return nil, fmt.Errorf("dard: addressing %s: %w", net.Name(), err)
+	}
+	return &Topology{net: net, plan: plan, layout: workload.NewLayout(net)}, nil
+}
+
+// Name returns the topology's descriptive name, e.g. "fattree(p=8)".
+func (t *Topology) Name() string { return t.net.Name() }
+
+// NumHosts reports the number of end hosts.
+func (t *Topology) NumHosts() int { return len(t.net.Hosts()) }
+
+// NumSwitches reports the number of switches.
+func (t *Topology) NumSwitches() int { return t.net.Graph().NumNodes() - t.NumHosts() }
+
+// NumPaths reports the number of equal-cost paths between the ToRs of two
+// hosts (by host name, e.g. "E1").
+func (t *Topology) NumPaths(srcHost, dstHost string) (int, error) {
+	s, err := t.host(srcHost)
+	if err != nil {
+		return 0, err
+	}
+	d, err := t.host(dstHost)
+	if err != nil {
+		return 0, err
+	}
+	return len(t.net.Paths(t.net.ToROf(s), t.net.ToROf(d))), nil
+}
+
+// HostNames lists every host name in index order.
+func (t *Topology) HostNames() []string {
+	g := t.net.Graph()
+	names := make([]string, 0, t.NumHosts())
+	for _, h := range t.net.Hosts() {
+		names = append(names, g.Node(h).Name)
+	}
+	return names
+}
+
+// HostAddresses returns the hierarchical addresses of a host in the
+// paper's tuple notation, plus the IPv4 encoding when it fits the 6-bit
+// packing.
+func (t *Topology) HostAddresses(hostName string) ([]string, error) {
+	h, err := t.host(hostName)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, a := range t.plan.AddressesOf(h) {
+		s := a.String()
+		if ip, err := a.IPv4(); err == nil {
+			s += " = " + ip
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// RoutingTables renders a switch's downhill and uphill tables in the
+// style of the paper's Table 2.
+func (t *Topology) RoutingTables(switchName string) (string, error) {
+	n, ok := t.net.Graph().FindNode(switchName)
+	if !ok {
+		return "", fmt.Errorf("dard: unknown switch %q", switchName)
+	}
+	tables := t.plan.TablesOf(n.ID)
+	if tables == nil {
+		return "", fmt.Errorf("dard: %q has no routing tables (is it a host?)", switchName)
+	}
+	return fmt.Sprintf("%s (%s)\n%s", switchName, t.net.Name(), tables.Format(t.net.Graph())), nil
+}
+
+// FlowTables renders a switch's OpenFlow-style initialization program
+// (§3.1): downhill rules in table 0 (destination-matched), uphill rules
+// in table 1 (source-matched), longest prefixes first.
+func (t *Topology) FlowTables(switchName string) (string, error) {
+	n, ok := t.net.Graph().FindNode(switchName)
+	if !ok {
+		return "", fmt.Errorf("dard: unknown switch %q", switchName)
+	}
+	for _, prog := range t.plan.FlowTablePrograms() {
+		if prog.Switch == switchName {
+			return prog.String(), nil
+		}
+	}
+	_ = n
+	return "", fmt.Errorf("dard: %q has no flow tables (is it a host?)", switchName)
+}
+
+// TotalFlowRules counts the rules the one-time NOX-style initializer
+// installs network-wide.
+func (t *Topology) TotalFlowRules() int { return t.plan.TotalRules() }
+
+// PathsBetween describes the equal-cost paths between two hosts' ToRs as
+// hop sequences, one line per path.
+func (t *Topology) PathsBetween(srcHost, dstHost string) (string, error) {
+	s, err := t.host(srcHost)
+	if err != nil {
+		return "", err
+	}
+	d, err := t.host(dstHost)
+	if err != nil {
+		return "", err
+	}
+	g := t.net.Graph()
+	var b strings.Builder
+	for _, p := range t.net.Paths(t.net.ToROf(s), t.net.ToROf(d)) {
+		fmt.Fprintf(&b, "%-24s", p.Via)
+		for i, l := range p.Links {
+			if i == 0 {
+				b.WriteString(g.Node(g.Link(l).From).Name)
+			}
+			b.WriteString(" -> " + g.Node(g.Link(l).To).Name)
+		}
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
+func (t *Topology) host(name string) (topology.NodeID, error) {
+	n, ok := t.net.Graph().FindNode(name)
+	if !ok || n.Kind != topology.Host {
+		return 0, fmt.Errorf("dard: unknown host %q", name)
+	}
+	return n.ID, nil
+}
