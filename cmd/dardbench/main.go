@@ -9,6 +9,14 @@
 //	dardbench -scale quick            # smallest, seconds
 //	dardbench -scale default          # laptop scale (default)
 //	dardbench -scale paper            # close to paper scale (very slow)
+//	dardbench -parallel 1             # serial baseline (identical output)
+//	dardbench -parallel 8             # 8 workers
+//
+// -parallel sizes the worker pool (0, the default, uses every CPU; 1 is
+// serial): experiment cells fan out across it and whole experiments
+// overlap on it. Per-cell seeds are derived from the base seed and the
+// cell identity, so the output is bit-identical for every -parallel
+// value.
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"time"
 
 	"dard/internal/experiments"
+	"dard/internal/parallel"
 )
 
 func main() {
@@ -34,6 +43,7 @@ func run(args []string) error {
 	runIDs := fs.String("run", "", "comma-separated experiment IDs (default: all)")
 	scale := fs.String("scale", "default", "parameter scale: quick, default, paper")
 	seed := fs.Int64("seed", 0, "override the random seed")
+	par := fs.Int("parallel", 0, "worker pool size: 0 = one per CPU, 1 = serial")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -59,6 +69,7 @@ func run(args []string) error {
 	if *seed != 0 {
 		params.Seed = *seed
 	}
+	params.Workers = *par
 
 	var entries []experiments.Entry
 	if *runIDs == "" {
@@ -73,13 +84,31 @@ func run(args []string) error {
 		}
 	}
 
-	for _, e := range entries {
-		start := time.Now()
-		res, err := e.Run(params)
+	// Whole experiments overlap on the same pool the cells use; results
+	// land at their entry index and print in registry order, so the
+	// output is identical to a serial run.
+	start := time.Now()
+	results := make([]*experiments.Result, len(entries))
+	took := make([]time.Duration, len(entries))
+	err := parallel.ForEach(*par, len(entries), func(i int) error {
+		t0 := time.Now()
+		res, err := entries[i].Run(params)
 		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
+			return fmt.Errorf("%s: %w", entries[i].ID, err)
 		}
-		fmt.Printf("%s\n(%s in %.1fs)\n\n", res, e.ID, time.Since(start).Seconds())
+		results[i] = res
+		took[i] = time.Since(t0)
+		return nil
+	})
+	for i, res := range results {
+		if res != nil {
+			fmt.Printf("%s\n(%s in %.1fs)\n\n", res, entries[i].ID, took[i].Seconds())
+		}
 	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("total: %d experiments in %.1fs (workers=%d)\n",
+		len(entries), time.Since(start).Seconds(), parallel.Workers(*par))
 	return nil
 }

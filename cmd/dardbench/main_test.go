@@ -22,3 +22,14 @@ func TestRunErrors(t *testing.T) {
 		t.Error("unknown experiment should fail")
 	}
 }
+
+// TestRunParallel overlaps whole experiments on the worker pool; the
+// selected experiments span all three engines (game, flow, packet).
+func TestRunParallel(t *testing.T) {
+	if err := run([]string{"-scale", "quick", "-parallel", "4", "-run", "table1,theorem2,figure6"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scale", "quick", "-parallel", "1", "-run", "theorem2"}); err != nil {
+		t.Fatal(err)
+	}
+}

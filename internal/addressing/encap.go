@@ -67,6 +67,9 @@ func (h *EncapHeader) UnmarshalBinary(data []byte) error {
 	if v := data[2]; v != encapVersion {
 		return fmt.Errorf("encap: unsupported version %d", v)
 	}
+	if data[3] != 0 {
+		return fmt.Errorf("encap: non-zero reserved byte %#02x", data[3])
+	}
 	off := 4
 	for i := range h.OuterSrc {
 		h.OuterSrc[i] = binary.BigEndian.Uint16(data[off:])

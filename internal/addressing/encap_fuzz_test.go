@@ -1,0 +1,117 @@
+package addressing
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz targets for the IP-in-IP tunnel header (§3.1): parsing arbitrary
+// packets must never panic, and valid headers must round-trip exactly.
+// Seed corpora run as ordinary tests under plain `go test`.
+
+func encapCorpus(t testing.TB) [][]byte {
+	t.Helper()
+	var out [][]byte
+	for _, h := range []EncapHeader{
+		{},
+		{
+			OuterSrc: Address{1, 2, 3, 4},
+			OuterDst: Address{5, 6, 7, 8},
+			FlowID:   99,
+		},
+		{
+			OuterSrc: Address{^uint16(0), ^uint16(0), ^uint16(0), ^uint16(0)},
+			OuterDst: Address{^uint16(0), 0, ^uint16(0), 0},
+			FlowID:   ^uint32(0),
+			InnerLen: ^uint32(0),
+		},
+	} {
+		b, err := h.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+func FuzzEncapHeaderUnmarshal(f *testing.F) {
+	for _, b := range encapCorpus(f) {
+		f.Add(b)
+		f.Add(b[:len(b)-1]) // truncated
+		bad := bytes.Clone(b)
+		bad[2] = 0xee // unsupported version
+		f.Add(bad)
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var h EncapHeader
+		if err := h.UnmarshalBinary(data); err != nil {
+			return
+		}
+		re, err := h.MarshalBinary()
+		if err != nil {
+			t.Fatalf("unmarshaled header fails to marshal: %v", err)
+		}
+		if !bytes.Equal(re, data[:EncapHeaderLen]) {
+			t.Fatalf("header round-trip mismatch:\n in  %x\n out %x", data[:EncapHeaderLen], re)
+		}
+	})
+}
+
+// FuzzDecapsulate feeds whole packets: headers followed by payloads of
+// arbitrary (possibly lying) InnerLen.
+func FuzzDecapsulate(f *testing.F) {
+	for _, b := range encapCorpus(f) {
+		f.Add(b)
+		f.Add(append(bytes.Clone(b), []byte("payload")...))
+	}
+	valid, err := Encapsulate(EncapHeader{
+		OuterSrc: Address{1, 2, 3, 4},
+		OuterDst: Address{5, 6, 7, 8},
+		FlowID:   7,
+	}, []byte("hello elephant"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3]) // truncated payload: InnerLen now lies
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, packet []byte) {
+		h, body, err := Decapsulate(packet)
+		if err != nil {
+			return
+		}
+		if uint32(len(body)) != h.InnerLen {
+			t.Fatalf("payload length %d does not match header InnerLen %d", len(body), h.InnerLen)
+		}
+	})
+}
+
+// FuzzEncapRoundTrip drives Encapsulate/Decapsulate with arbitrary
+// addresses and payloads.
+func FuzzEncapRoundTrip(f *testing.F) {
+	f.Add(uint16(0), uint16(0), uint32(0), []byte{})
+	f.Add(uint16(3), uint16(9), uint32(77), []byte("data"))
+	f.Fuzz(func(t *testing.T, src, dst uint16, flowID uint32, payload []byte) {
+		h := EncapHeader{
+			OuterSrc: Address{src, src + 1, src + 2, src + 3},
+			OuterDst: Address{dst, dst + 1, dst + 2, dst + 3},
+			FlowID:   flowID,
+		}
+		packet, err := Encapsulate(h, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, body, err := Decapsulate(packet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.OuterSrc != h.OuterSrc || got.OuterDst != h.OuterDst || got.FlowID != h.FlowID {
+			t.Fatalf("round trip header: %+v != %+v", got, h)
+		}
+		if !bytes.Equal(body, payload) {
+			t.Fatalf("round trip payload: %x != %x", body, payload)
+		}
+	})
+}

@@ -67,6 +67,11 @@ func (q *Query) UnmarshalBinary(data []byte) error {
 	q.SwitchID = binary.BigEndian.Uint32(data[12:])
 	q.SeqNo = binary.BigEndian.Uint32(data[16:])
 	q.TimestampMicros = binary.BigEndian.Uint64(data[20:])
+	for i := 28; i < QueryLen; i++ {
+		if data[i] != 0 {
+			return fmt.Errorf("ctlmsg: query has non-zero reserved byte at offset %d", i)
+		}
+	}
 	return nil
 }
 

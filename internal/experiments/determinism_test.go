@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"errors"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"dard"
+)
+
+// The parallel runner's contract: an experiment's Result is a pure
+// function of its Params — never of the worker count, GOMAXPROCS, or
+// cell completion order. These tests pin that down for one
+// representative experiment per engine: Table 4 (flow-level sweep),
+// Figure 13 (packet-level TCP), and NashConvergence (game-level trials).
+
+// withGOMAXPROCS runs fn under the given GOMAXPROCS and restores it.
+func withGOMAXPROCS(n int, fn func()) {
+	old := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(old)
+	fn()
+}
+
+// assertSameResult requires two results to match byte for byte: same
+// rendered text and exactly equal Values (float bit-equality via
+// reflect.DeepEqual, not tolerance).
+func assertSameResult(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	if got.Text != want.Text {
+		t.Errorf("%s: rendered text differs\n--- want ---\n%s\n--- got ---\n%s", label, want.Text, got.Text)
+	}
+	if !reflect.DeepEqual(want.Values, got.Values) {
+		for k, v := range want.Values {
+			if gv, ok := got.Values[k]; !ok || gv != v {
+				t.Errorf("%s: Values[%q] = %v, want %v", label, k, got.Values[k], v)
+			}
+		}
+		for k := range got.Values {
+			if _, ok := want.Values[k]; !ok {
+				t.Errorf("%s: unexpected value key %q", label, k)
+			}
+		}
+	}
+}
+
+// assertWorkerInvariant runs the experiment serially (workers=1,
+// GOMAXPROCS=1) and compares against parallel runs at workers=2 and
+// workers=8 under matching GOMAXPROCS.
+func assertWorkerInvariant(t *testing.T, run func(workers int) (*Result, error)) {
+	t.Helper()
+	var serial *Result
+	withGOMAXPROCS(1, func() {
+		var err error
+		serial, err = run(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	for _, workers := range []int{2, 8} {
+		workers := workers
+		var par *Result
+		withGOMAXPROCS(workers, func() {
+			var err error
+			par, err = run(workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+		assertSameResult(t, serial.ID+"/workers="+string(rune('0'+workers)), serial, par)
+	}
+}
+
+func TestTable4SerialParallelIdentical(t *testing.T) {
+	assertWorkerInvariant(t, func(workers int) (*Result, error) {
+		p := Quick()
+		p.Workers = workers
+		return Table4(p)
+	})
+}
+
+func TestFigure13SerialParallelIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("packet engine experiment")
+	}
+	assertWorkerInvariant(t, func(workers int) (*Result, error) {
+		p := Quick()
+		p.Workers = workers
+		return Figure13(p)
+	})
+}
+
+func TestNashConvergenceSerialParallelIdentical(t *testing.T) {
+	assertWorkerInvariant(t, func(workers int) (*Result, error) {
+		return NashConvergence(40, 9, workers)
+	})
+}
+
+// TestRunMatrixCollectsCellErrors: a bad cell must not discard the rest
+// of the sweep — every other cell still runs and its report is returned,
+// and the joined error names every failed cell.
+func TestRunMatrixCollectsCellErrors(t *testing.T) {
+	topo, err := dard.TopologySpec{Kind: dard.FatTree, P: 4}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Quick()
+	base := fatTreeScenario(p)
+	base.Duration = 5
+	scheds := []dard.Scheduler{dard.SchedulerECMP, dard.Scheduler("bogus"), dard.SchedulerTeXCP}
+	reports, err := runMatrix(2, topo, base, patterns, scheds)
+	if err == nil {
+		t.Fatal("expected cell errors")
+	}
+	// errors.Join produces one line per failed cell: 3 patterns x 2
+	// failing schedulers (bogus is unknown, TeXCP rejects the flow
+	// engine).
+	if n := strings.Count(err.Error(), "\n") + 1; n != 6 {
+		t.Errorf("joined error has %d lines, want 6:\n%v", n, err)
+	}
+	for _, pat := range patterns {
+		if !strings.Contains(err.Error(), string(pat)+"/bogus") {
+			t.Errorf("joined error missing cell %s/bogus", pat)
+		}
+		if reports[key(pat, dard.SchedulerECMP)] == nil {
+			t.Errorf("completed cell %s/ECMP discarded because of failing cells", pat)
+		}
+		if reports[key(pat, dard.Scheduler("bogus"))] != nil {
+			t.Errorf("failed cell %s/bogus should have no report", pat)
+		}
+	}
+	// The unwrapped errors are reachable for callers that inspect them.
+	var joined interface{ Unwrap() []error }
+	if !errors.As(err, &joined) {
+		t.Error("error should be an errors.Join result")
+	} else if len(joined.Unwrap()) != 6 {
+		t.Errorf("joined error wraps %d errors, want 6", len(joined.Unwrap()))
+	}
+}

@@ -14,7 +14,7 @@ func Figure9(p Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	reports, err := runMatrix(topo, fatTreeScenario(p), patterns, flowSchedulers)
+	reports, err := runMatrix(p.Workers, topo, fatTreeScenario(p), patterns, flowSchedulers)
 	if err != nil {
 		return nil, err
 	}
@@ -44,17 +44,14 @@ func Figure10(p Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	reports, err := runMatrix(p.Workers, topo, fatTreeScenario(p), patterns, []dard.Scheduler{dard.SchedulerDARD})
+	if err != nil {
+		return nil, err
+	}
 	series := make(map[string][]float64)
 	values := make(map[string]float64)
 	for _, pat := range patterns {
-		s := fatTreeScenario(p)
-		s.Topo = topo
-		s.Pattern = pat
-		s.Scheduler = dard.SchedulerDARD
-		rep, err := s.Run()
-		if err != nil {
-			return nil, err
-		}
+		rep := reports[key(pat, dard.SchedulerDARD)]
 		series[string(pat)] = rep.PathSwitches
 		values[string(pat)+"/p90"] = rep.PathSwitchQuantile(0.9)
 		values[string(pat)+"/max"] = rep.PathSwitchQuantile(1)
@@ -95,7 +92,7 @@ func Figure11(p Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	reports, err := runMatrix(topo, threeTierScenario(p), patterns, flowSchedulers)
+	reports, err := runMatrix(p.Workers, topo, threeTierScenario(p), patterns, flowSchedulers)
 	if err != nil {
 		return nil, err
 	}
@@ -143,17 +140,14 @@ func Figure12(p Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	reports, err := runMatrix(p.Workers, topo, threeTierScenario(p), patterns, []dard.Scheduler{dard.SchedulerDARD})
+	if err != nil {
+		return nil, err
+	}
 	series := make(map[string][]float64)
 	values := make(map[string]float64)
 	for _, pat := range patterns {
-		s := threeTierScenario(p)
-		s.Topo = topo
-		s.Pattern = pat
-		s.Scheduler = dard.SchedulerDARD
-		rep, err := s.Run()
-		if err != nil {
-			return nil, err
-		}
+		rep := reports[key(pat, dard.SchedulerDARD)]
 		series[string(pat)] = rep.PathSwitches
 		values[string(pat)+"/p90"] = rep.PathSwitchQuantile(0.9)
 		values[string(pat)+"/max"] = rep.PathSwitchQuantile(1)

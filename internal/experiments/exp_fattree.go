@@ -45,7 +45,7 @@ func Figure7(p Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	reports, err := runMatrix(topo, fatTreeScenario(p), patterns, flowSchedulers)
+	reports, err := runMatrix(p.Workers, topo, fatTreeScenario(p), patterns, flowSchedulers)
 	if err != nil {
 		return nil, err
 	}
@@ -75,17 +75,14 @@ func Figure8(p Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	reports, err := runMatrix(p.Workers, topo, fatTreeScenario(p), patterns, []dard.Scheduler{dard.SchedulerDARD})
+	if err != nil {
+		return nil, err
+	}
 	series := make(map[string][]float64)
 	values := make(map[string]float64)
 	for _, pat := range patterns {
-		s := fatTreeScenario(p)
-		s.Topo = topo
-		s.Pattern = pat
-		s.Scheduler = dard.SchedulerDARD
-		rep, err := s.Run()
-		if err != nil {
-			return nil, err
-		}
+		rep := reports[key(pat, dard.SchedulerDARD)]
 		series[string(pat)] = rep.PathSwitches
 		values[string(pat)+"/p90"] = rep.PathSwitchQuantile(0.9)
 		values[string(pat)+"/max"] = rep.PathSwitchQuantile(1)
@@ -119,59 +116,59 @@ func Table5(p Params) (*Result, error) {
 }
 
 // sizeSweep renders a Table-4-style matrix: topology size x pattern x
-// scheduler mean transfer times.
+// scheduler mean transfer times. Topology construction and every cell
+// run on the worker pool; the flat cell list lets the small sizes' cells
+// overlap the big ones' instead of sweeping size by size.
 func sizeSweep(p Params, id, title string, sizes []int,
 	build func(int) (*dard.Topology, error), label func(int) string) (*Result, error) {
+	topos, err := buildAll(p.Workers, sizes, build)
+	if err != nil {
+		return nil, err
+	}
+	cells := sweepCells(len(sizes), patterns, flowSchedulers)
+	reports, err := runSweep(p.Workers, fatTreeScenario(p), topos, cells,
+		func(si int) string { return label(sizes[si]) })
+	if err != nil {
+		return nil, err
+	}
 	tbl := metrics.NewTable(title, "size", "pattern", "ECMP", "pVLB", "DARD", "SimulatedAnnealing")
 	values := make(map[string]float64)
-	for _, size := range sizes {
-		topo, err := build(size)
-		if err != nil {
-			return nil, err
+	for i := 0; i < len(cells); i += len(flowSchedulers) {
+		c := cells[i]
+		row := []interface{}{label(sizes[c.Size]), string(c.Pat)}
+		for j, sch := range flowSchedulers {
+			mean := reports[i+j].MeanTransferTime()
+			row = append(row, mean)
+			values[fmt.Sprintf("%s/%s/%s", label(sizes[c.Size]), c.Pat, sch)] = mean
 		}
-		reports, err := runMatrix(topo, fatTreeScenario(p), patterns, flowSchedulers)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", label(size), err)
-		}
-		for _, pat := range patterns {
-			row := []interface{}{label(size), string(pat)}
-			for _, sch := range flowSchedulers {
-				mean := reports[key(pat, sch)].MeanTransferTime()
-				row = append(row, mean)
-				values[fmt.Sprintf("%s/%s/%s", label(size), pat, sch)] = mean
-			}
-			tbl.AddRowf(row...)
-		}
+		tbl.AddRowf(row...)
 	}
 	return &Result{ID: id, Title: title, Text: tbl.String(), Values: values}, nil
 }
 
 // switchSweep renders a Table-5-style matrix: DARD path-switch p90/max
-// per topology size and pattern.
+// per topology size and pattern, with the (size, pattern) cells fanned
+// across the worker pool.
 func switchSweep(p Params, id, title string, sizes []int,
 	build func(int) (*dard.Topology, error), label func(int) string) (*Result, error) {
+	topos, err := buildAll(p.Workers, sizes, build)
+	if err != nil {
+		return nil, err
+	}
+	cells := sweepCells(len(sizes), patterns, []dard.Scheduler{dard.SchedulerDARD})
+	reports, err := runSweep(p.Workers, fatTreeScenario(p), topos, cells,
+		func(si int) string { return label(sizes[si]) })
+	if err != nil {
+		return nil, err
+	}
 	tbl := metrics.NewTable(title, "size", "pattern", "90th-pct", "max")
 	values := make(map[string]float64)
-	for _, size := range sizes {
-		topo, err := build(size)
-		if err != nil {
-			return nil, err
-		}
-		for _, pat := range patterns {
-			s := fatTreeScenario(p)
-			s.Topo = topo
-			s.Pattern = pat
-			s.Scheduler = dard.SchedulerDARD
-			rep, err := s.Run()
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", label(size), pat, err)
-			}
-			p90 := rep.PathSwitchQuantile(0.9)
-			max := rep.PathSwitchQuantile(1)
-			tbl.AddRowf(label(size), string(pat), p90, max)
-			values[fmt.Sprintf("%s/%s/p90", label(size), pat)] = p90
-			values[fmt.Sprintf("%s/%s/max", label(size), pat)] = max
-		}
+	for i, c := range cells {
+		p90 := reports[i].PathSwitchQuantile(0.9)
+		max := reports[i].PathSwitchQuantile(1)
+		tbl.AddRowf(label(sizes[c.Size]), string(c.Pat), p90, max)
+		values[fmt.Sprintf("%s/%s/p90", label(sizes[c.Size]), c.Pat)] = p90
+		values[fmt.Sprintf("%s/%s/max", label(sizes[c.Size]), c.Pat)] = max
 	}
 	return &Result{ID: id, Title: title, Text: tbl.String(), Values: values}, nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"dard"
 	"dard/internal/metrics"
+	"dard/internal/parallel"
 )
 
 // Figure15 reproduces the control-overhead comparison (§4.3.4): control
@@ -19,32 +20,46 @@ func Figure15(p Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	topo.Prewarm()
 	rates := []float64{0.1, 0.25, 0.5, 1.0, 2.0}
-	tbl := metrics.NewTable("control traffic vs workload (p=8 fat-tree)",
-		"rate", "peakElephants", "DARD MB/s", "Centralized MB/s")
-	values := make(map[string]float64)
-	for _, rate := range rates {
+	// One pool cell per rate; the DARD and centralized runs of a cell
+	// share one derived seed so both schedulers see the same workload.
+	type pair struct{ dard, central *dard.Report }
+	pairs := make([]pair, len(rates))
+	err = parallel.ForEach(p.Workers, len(rates), func(i int) error {
+		rate := rates[i]
 		base := dard.Scenario{
 			Topo:           topo,
 			Pattern:        dard.PatternRandom,
 			RatePerHost:    rate,
 			Duration:       p.Duration,
 			FileSizeMB:     p.FileSizeMB,
-			Seed:           p.Seed,
+			Seed:           parallel.Seed(p.Seed, fmt.Sprintf("%s/rate=%.2f/random", topo.Name(), rate)),
 			ElephantAgeSec: 1,
 		}
 		dd := base
 		dd.Scheduler = dard.SchedulerDARD
 		dRep, err := dd.Run()
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("rate=%.2f/DARD: %w", rate, err)
 		}
 		sa := base
 		sa.Scheduler = dard.SchedulerAnnealing
 		sRep, err := sa.Run()
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("rate=%.2f/centralized: %w", rate, err)
 		}
+		pairs[i] = pair{dRep, sRep}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tbl := metrics.NewTable("control traffic vs workload (p=8 fat-tree)",
+		"rate", "peakElephants", "DARD MB/s", "Centralized MB/s")
+	values := make(map[string]float64)
+	for i, rate := range rates {
+		dRep, sRep := pairs[i].dard, pairs[i].central
 		peak := dRep.PeakElephants
 		tbl.AddRowf(fmt.Sprintf("%.2f", rate), peak, dRep.ControlMBps(), sRep.ControlMBps())
 		values[fmt.Sprintf("rate=%.2f/peakElephants", rate)] = float64(peak)

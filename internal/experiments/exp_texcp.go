@@ -13,8 +13,6 @@ func texcpRuns(p Params) (dardRep, texcpRep *dard.Report, err error) {
 		return nil, nil, err
 	}
 	base := dard.Scenario{
-		Topo:           topo,
-		Pattern:        dard.PatternStride,
 		RatePerHost:    p.PacketRate,
 		Duration:       p.PacketDuration,
 		FileSizeMB:     p.PacketFileMB,
@@ -23,19 +21,15 @@ func texcpRuns(p Params) (dardRep, texcpRep *dard.Report, err error) {
 		ElephantAgeSec: 0.5,
 		DARD:           quickDARDTuning(),
 	}
-	dd := base
-	dd.Scheduler = dard.SchedulerDARD
-	dardRep, err = dd.Run()
+	// The two packet-engine runs are the suite's slowest cells; the pool
+	// overlaps them (on one derived seed, so the comparison stays paired).
+	reports, err := runMatrix(p.Workers, topo, base, []dard.Pattern{dard.PatternStride},
+		[]dard.Scheduler{dard.SchedulerDARD, dard.SchedulerTeXCP})
 	if err != nil {
 		return nil, nil, err
 	}
-	tx := base
-	tx.Scheduler = dard.SchedulerTeXCP
-	texcpRep, err = tx.Run()
-	if err != nil {
-		return nil, nil, err
-	}
-	return dardRep, texcpRep, nil
+	return reports[key(dard.PatternStride, dard.SchedulerDARD)],
+		reports[key(dard.PatternStride, dard.SchedulerTeXCP)], nil
 }
 
 // Figure13 reproduces the DARD-vs-TeXCP transfer-time CDF under stride

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"dard/internal/game"
+	"dard/internal/parallel"
 	"dard/internal/topology"
 )
 
@@ -74,14 +75,17 @@ func Table1() (*Result, error) {
 // NashConvergence validates Theorem 2 statistically: over random
 // congestion games, asynchronous selfish dynamics converge to a Nash
 // equilibrium in a bounded number of moves with a monotone minimum BoNF.
-func NashConvergence(trials int, seed int64) (*Result, error) {
+// Trials fan out across the worker pool (workers <= 0 uses every CPU, 1
+// is serial); each trial owns an RNG seeded from (seed, trial index), so
+// the aggregate statistics are identical for every worker count.
+func NashConvergence(trials int, seed int64, workers int) (*Result, error) {
 	if trials <= 0 {
 		trials = 50
 	}
-	rng := rand.New(rand.NewSource(seed))
-	var steps, flowsTotal int
-	maxSteps := 0
-	for trial := 0; trial < trials; trial++ {
+	type trialResult struct{ steps, flows int }
+	results := make([]trialResult, trials)
+	err := parallel.ForEach(workers, trials, func(trial int) error {
+		rng := rand.New(rand.NewSource(parallel.Seed(seed, fmt.Sprintf("nash/trial=%d", trial))))
 		g := randomGame(rng)
 		start := make(game.Strategy, g.NumFlows())
 		for f := range start {
@@ -89,19 +93,28 @@ func NashConvergence(trials int, seed int64) (*Result, error) {
 		}
 		d, err := game.NewDynamics(g, start)
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("trial %d: %w", trial, err)
 		}
 		n, err := d.RunAsync(rng, 0)
 		if err != nil {
-			return nil, fmt.Errorf("trial %d: %w", trial, err)
+			return fmt.Errorf("trial %d: %w", trial, err)
 		}
 		if !d.IsNash() {
-			return nil, fmt.Errorf("trial %d: terminal state is not Nash", trial)
+			return fmt.Errorf("trial %d: terminal state is not Nash", trial)
 		}
-		steps += n
-		flowsTotal += g.NumFlows()
-		if n > maxSteps {
-			maxSteps = n
+		results[trial] = trialResult{steps: n, flows: g.NumFlows()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var steps, flowsTotal int
+	maxSteps := 0
+	for _, r := range results {
+		steps += r.steps
+		flowsTotal += r.flows
+		if r.steps > maxSteps {
+			maxSteps = r.steps
 		}
 	}
 	values := map[string]float64{

@@ -62,6 +62,12 @@ type Params struct {
 	PacketRate float64
 	// Seed drives everything.
 	Seed int64
+	// Workers sizes the worker pool that fans the (pattern, scheduler,
+	// size, trial) cells of each experiment across goroutines: <= 0 uses
+	// one worker per CPU, 1 reproduces a serial run. Per-cell seeds are
+	// derived from Seed and the cell identity (dard.CellSeed), so results
+	// are bit-identical for every worker count.
+	Workers int
 }
 
 // Default returns laptop-scale parameters: every experiment finishes in
@@ -167,23 +173,11 @@ var flowSchedulers = []dard.Scheduler{
 }
 
 // runMatrix executes every (pattern, scheduler) cell on one shared
-// topology and returns reports keyed "pattern/scheduler".
-func runMatrix(topo *dard.Topology, base dard.Scenario, pats []dard.Pattern, scheds []dard.Scheduler) (map[string]*dard.Report, error) {
-	out := make(map[string]*dard.Report)
-	for _, pat := range pats {
-		for _, sch := range scheds {
-			s := base
-			s.Topo = topo
-			s.Pattern = pat
-			s.Scheduler = sch
-			rep, err := s.Run()
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", pat, sch, err)
-			}
-			out[key(pat, sch)] = rep
-		}
-	}
-	return out, nil
+// topology across the worker pool and returns reports keyed
+// "pattern/scheduler". Per-cell errors are collected (errors.Join) so
+// one bad cell does not discard the sweep's completed reports.
+func runMatrix(workers int, topo *dard.Topology, base dard.Scenario, pats []dard.Pattern, scheds []dard.Scheduler) (map[string]*dard.Report, error) {
+	return dard.RunMatrix(topo, base, pats, scheds, workers)
 }
 
 func key(pat dard.Pattern, sch dard.Scheduler) string {

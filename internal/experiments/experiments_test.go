@@ -188,7 +188,7 @@ func TestFigure15OverheadShape(t *testing.T) {
 }
 
 func TestTheorem2Registry(t *testing.T) {
-	r, err := NashConvergence(20, 5)
+	r, err := NashConvergence(20, 5, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

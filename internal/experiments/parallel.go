@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dard"
+	"dard/internal/parallel"
+)
+
+// This file fans the multi-topology sweeps (Tables 4-7) across the
+// worker pool. Single-topology matrices go through dard.RunMatrix; the
+// size sweeps additionally parallelize topology construction and flatten
+// the (size, pattern, scheduler) grid into one flat cell list so a big
+// topology's cells overlap a small topology's instead of running as
+// back-to-back barriers. Results land at each cell's own index and every
+// cell's seed is dard.CellSeed(seed, topo, pattern), so the assembled
+// tables are bit-identical for any worker count.
+
+// buildAll constructs one topology per size on the worker pool and
+// pre-warms each path cache so the concurrent scenario runs that follow
+// share the topologies contention-free.
+func buildAll(workers int, sizes []int, build func(int) (*dard.Topology, error)) ([]*dard.Topology, error) {
+	topos := make([]*dard.Topology, len(sizes))
+	err := parallel.ForEach(workers, len(sizes), func(i int) error {
+		t, err := build(sizes[i])
+		if err != nil {
+			return err
+		}
+		t.Prewarm()
+		topos[i] = t
+		return nil
+	})
+	return topos, err
+}
+
+// sweepCell is one (topology, pattern, scheduler) simulation of a size
+// sweep; Size indexes the sweep's sizes slice.
+type sweepCell struct {
+	Size int
+	Pat  dard.Pattern
+	Sch  dard.Scheduler
+}
+
+// sweepCells builds the flat cell list of a size sweep in presentation
+// order: size-major, then pattern, then scheduler.
+func sweepCells(nSizes int, pats []dard.Pattern, scheds []dard.Scheduler) []sweepCell {
+	cells := make([]sweepCell, 0, nSizes*len(pats)*len(scheds))
+	for si := 0; si < nSizes; si++ {
+		for _, pat := range pats {
+			for _, sch := range scheds {
+				cells = append(cells, sweepCell{si, pat, sch})
+			}
+		}
+	}
+	return cells
+}
+
+// runSweep executes the cells against their topologies on the worker
+// pool and returns reports indexed like cells. Cell errors carry the
+// sweep's row label and are collected with errors.Join; completed cells
+// are still returned.
+func runSweep(workers int, base dard.Scenario, topos []*dard.Topology, cells []sweepCell, label func(int) string) ([]*dard.Report, error) {
+	reports := make([]*dard.Report, len(cells))
+	err := parallel.ForEach(workers, len(cells), func(i int) error {
+		c := cells[i]
+		s := base
+		s.Topo = topos[c.Size]
+		s.Pattern = c.Pat
+		s.Scheduler = c.Sch
+		s.Seed = dard.CellSeed(base.Seed, s.Topo, c.Pat)
+		rep, err := s.Run()
+		if err != nil {
+			return fmt.Errorf("%s/%s/%s: %w", label(c.Size), c.Pat, c.Sch, err)
+		}
+		reports[i] = rep
+		return nil
+	})
+	return reports, err
+}

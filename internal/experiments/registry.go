@@ -37,7 +37,7 @@ func All() []Entry {
 		{"figure14", "DARD vs TeXCP retransmission-rate CDF", Figure14},
 		{"figure15", "control overhead vs workload", Figure15},
 		{"theorem2", "Nash convergence of selfish dynamics (Appendix B)", func(p Params) (*Result, error) {
-			return NashConvergence(50, p.Seed)
+			return NashConvergence(50, p.Seed, p.Workers)
 		}},
 	}
 }

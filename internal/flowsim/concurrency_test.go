@@ -1,0 +1,100 @@
+// External test package so it can drive flowsim with the real DARD
+// controller (internal/dard imports flowsim).
+package flowsim_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	idard "dard/internal/dard"
+	"dard/internal/flowsim"
+	"dard/internal/sched"
+	"dard/internal/topology"
+	"dard/internal/workload"
+)
+
+// Many Sims sharing one Network and one workload slice is exactly what
+// the parallel experiment runner does; with -race this verifies the
+// engine keeps all mutable state (link loads, flow state, timers)
+// per-Sim, and that sharing does not perturb results.
+func TestSimsShareNetworkConcurrently(t *testing.T) {
+	ft, err := topology.NewFatTree(topology.FatTreeConfig{P: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := workload.Generate(workload.NewLayout(ft), workload.Config{
+		Pattern:     workload.Stride{N: len(ft.Hosts()), Step: 4},
+		RatePerHost: 1.5,
+		Duration:    6,
+		SizeBytes:   16 << 20,
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	controllers := func() []flowsim.Controller {
+		return []flowsim.Controller{
+			sched.ECMP{},
+			&sched.PVLB{Interval: 2},
+			idard.New(idard.Options{QueryInterval: 0.25, ScheduleInterval: 1, ScheduleJitter: 1}),
+			idard.New(idard.Options{QueryInterval: 0.25, ScheduleInterval: 1, ScheduleJitter: 1}),
+		}
+	}
+
+	runOne := func(ctl flowsim.Controller) (*flowsim.Results, error) {
+		sim, err := flowsim.New(flowsim.Config{
+			Net:         ft,
+			Controller:  ctl,
+			Flows:       flows,
+			Seed:        5,
+			ElephantAge: 0.25,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return sim.Run()
+	}
+
+	// Serial baseline.
+	var serial []*flowsim.Results
+	for _, ctl := range controllers() {
+		res, err := runOne(ctl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial = append(serial, res)
+	}
+
+	// Concurrent runs on the same Network and flows, fresh controllers.
+	ctls := controllers()
+	parallelRes := make([]*flowsim.Results, len(ctls))
+	var wg sync.WaitGroup
+	for i, ctl := range ctls {
+		i, ctl := i, ctl
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := runOne(ctl)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			parallelRes[i] = res
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for i := range serial {
+		a, b := serial[i], parallelRes[i]
+		if a.MeanTransferTime() != b.MeanTransferTime() {
+			t.Errorf("controller %d: mean transfer time %g (serial) vs %g (shared)",
+				i, a.MeanTransferTime(), b.MeanTransferTime())
+		}
+		if !reflect.DeepEqual(a.TransferTimes().Values(), b.TransferTimes().Values()) {
+			t.Errorf("controller %d: transfer time distribution diverged under sharing", i)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package dard
+
+import (
+	"fmt"
+
+	"dard/internal/parallel"
+	"dard/internal/topology"
+)
+
+// This file is the facade of the concurrent experiment runner. The
+// paper's evaluation is a matrix of independent seeded simulations that
+// ns-2 forced the authors to run one at a time; here the cells fan out
+// across a worker pool while staying bit-identical to a serial run:
+//
+//   - results are stored at each cell's own index, so assembly never
+//     depends on completion order;
+//   - RunMatrix derives every cell's seed from the base seed and the
+//     cell's identity (CellSeed), never from shared RNG state, so the
+//     numbers are independent of the worker count;
+//   - scenarios sharing one pre-built *Topology are safe to run
+//     concurrently — the only lazily-built shared state, the per-ToR-pair
+//     path cache, is lock-guarded, and Prewarm can fill it up front.
+
+// RunAll executes the scenarios concurrently on a worker pool and
+// returns their reports in input order. workers <= 0 uses one worker per
+// CPU; 1 reproduces a serial run exactly. Scenarios run verbatim — each
+// report is identical to what Scenario.Run would have produced — so
+// results never depend on the worker count. Per-scenario errors are
+// collected with errors.Join and the surviving reports are still
+// returned (failed slots stay nil).
+func RunAll(scenarios []Scenario, workers int) ([]*Report, error) {
+	reports := make([]*Report, len(scenarios))
+	err := parallel.ForEach(workers, len(scenarios), func(i int) error {
+		rep, err := scenarios[i].Run()
+		if err != nil {
+			return fmt.Errorf("scenario %d: %w", i, err)
+		}
+		reports[i] = rep
+		return nil
+	})
+	return reports, err
+}
+
+// RunMatrix executes every (pattern, scheduler) cell of base on one
+// shared topology and returns reports keyed "pattern/scheduler". Each
+// cell's seed is CellSeed(base.Seed, topo, pattern): stable per cell, so
+// parallel and serial runs agree cell by cell, and shared across the
+// schedulers of one pattern, so scheduler comparisons stay paired on the
+// same workload. Cell errors are collected with errors.Join; completed
+// cells are still returned.
+func RunMatrix(topo *Topology, base Scenario, pats []Pattern, scheds []Scheduler, workers int) (map[string]*Report, error) {
+	type cell struct {
+		pat Pattern
+		sch Scheduler
+	}
+	cells := make([]cell, 0, len(pats)*len(scheds))
+	for _, pat := range pats {
+		for _, sch := range scheds {
+			cells = append(cells, cell{pat, sch})
+		}
+	}
+	reports := make([]*Report, len(cells))
+	err := parallel.ForEach(workers, len(cells), func(i int) error {
+		c := cells[i]
+		s := base
+		s.Topo = topo
+		s.Pattern = c.pat
+		s.Scheduler = c.sch
+		s.Seed = CellSeed(base.Seed, topo, c.pat)
+		rep, err := s.Run()
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", c.pat, c.sch, err)
+		}
+		reports[i] = rep
+		return nil
+	})
+	out := make(map[string]*Report, len(cells))
+	for i, c := range cells {
+		if reports[i] != nil {
+			out[fmt.Sprintf("%s/%s", c.pat, c.sch)] = reports[i]
+		}
+	}
+	return out, err
+}
+
+// CellSeed derives the RNG seed of one experiment cell from the base
+// seed and the cell's stable identity (topology name and traffic
+// pattern), via splitmix64. The scheduler is deliberately not part of
+// the key: every scheduler of a cell row sees the same workload, which
+// keeps A-vs-B comparisons paired the way the paper's tables are.
+func CellSeed(base int64, topo *Topology, pat Pattern) int64 {
+	if base == 0 {
+		base = 1 // Scenario's default seed
+	}
+	return parallel.Seed(base, topo.Name()+"/"+string(pat))
+}
+
+// Prewarm fills the topology's per-ToR-pair path cache for every ToR
+// pair. The cache is lock-guarded and fills lazily anyway; pre-warming
+// moves that cost out of concurrent runs so scenarios sharing the
+// topology proceed contention-free.
+func (t *Topology) Prewarm() {
+	tors := t.net.Graph().NodesOfKind(topology.ToR)
+	for _, a := range tors {
+		for _, b := range tors {
+			t.net.Paths(a, b)
+		}
+	}
+}
