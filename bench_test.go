@@ -16,6 +16,7 @@ import (
 
 	"dard"
 	"dard/internal/experiments"
+	"dard/internal/trace"
 )
 
 // benchExperiment runs one registered experiment per iteration and
@@ -339,6 +340,46 @@ func BenchmarkFailureRecovery(b *testing.B) {
 				b.ReportMetric(rep.MeanTransferTime(), "mean-s")
 			}
 		})
+	}
+}
+
+// BenchmarkTracingOverhead measures the trace subsystem's cost on both
+// engines: "off" runs with the default no-op tracer (the hot paths pay
+// one Enabled() branch per potential event, nothing else), "recorder"
+// runs with full event recording plus probes. The off/absent gap is the
+// number the tentpole claims is zero; the recorder gap is the price of
+// observability.
+func BenchmarkTracingOverhead(b *testing.B) {
+	scenarios := map[string]func() dard.Scenario{
+		"flow": func() dard.Scenario {
+			s := ablationScenario()
+			return s
+		},
+		"packet": func() dard.Scenario {
+			s := ablationScenario()
+			s.Engine = dard.EnginePacket
+			s.Topology.LinkCapacity = 100e6
+			s.FileSizeMB = 2
+			s.RatePerHost = 0.3
+			s.Duration = 4
+			s.DARD = dard.Tuning{QueryInterval: 0.25, ScheduleInterval: 1, ScheduleJitter: 1}
+			return s
+		},
+	}
+	for _, engine := range []string{"flow", "packet"} {
+		for _, mode := range []string{"off", "recorder"} {
+			b.Run(engine+"/"+mode, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					s := scenarios[engine]()
+					if mode == "recorder" {
+						s.Tracer = trace.NewRecorder(trace.RecorderOptions{})
+					}
+					if _, err := s.Run(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

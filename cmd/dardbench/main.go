@@ -11,6 +11,7 @@
 //	dardbench -scale paper            # close to paper scale (very slow)
 //	dardbench -parallel 1             # serial baseline (identical output)
 //	dardbench -parallel 8             # 8 workers
+//	dardbench -trace-dir traces       # one JSONL event trace per cell
 //
 // -parallel sizes the worker pool (0, the default, uses every CPU; 1 is
 // serial): experiment cells fan out across it and whole experiments
@@ -44,6 +45,7 @@ func run(args []string) error {
 	scale := fs.String("scale", "default", "parameter scale: quick, default, paper")
 	seed := fs.Int64("seed", 0, "override the random seed")
 	par := fs.Int("parallel", 0, "worker pool size: 0 = one per CPU, 1 = serial")
+	traceDir := fs.String("trace-dir", "", "record a JSONL event trace per cell under this directory (see dardtrace)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -70,6 +72,7 @@ func run(args []string) error {
 		params.Seed = *seed
 	}
 	params.Workers = *par
+	params.TraceDir = *traceDir
 
 	var entries []experiments.Entry
 	if *runIDs == "" {

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRecordSelfcheck records a toy fat-tree run and verifies the
+// selfcheck: lossless JSONL round trip and exact report reproduction.
+func TestRecordSelfcheck(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	var out bytes.Buffer
+	err := run([]string{
+		"-p", "4", "-scheduler", "DARD", "-pattern", "stride",
+		"-rate", "0.5", "-duration", "4", "-file-mb", "8",
+		"-out", path, "-selfcheck",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"selfcheck: ok", "fattree(p=4)", "FlowStart", "top congested links"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+}
+
+// TestSummarizeFile summarizes a previously recorded trace, including
+// per-flow timelines, and selfchecks the file's round trip.
+func TestSummarizeFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := run([]string{
+		"-p", "4", "-scheduler", "ECMP", "-pattern", "random",
+		"-rate", "0.5", "-duration", "4", "-file-mb", "8", "-out", path,
+	}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-selfcheck", "-flows", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"selfcheck: ok", "flow timelines", "flow "} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestCSVExport writes the CSV companions next to the summary.
+func TestCSVExport(t *testing.T) {
+	prefix := filepath.Join(t.TempDir(), "t")
+	var out bytes.Buffer
+	err := run([]string{
+		"-p", "4", "-scheduler", "ECMP", "-pattern", "stride",
+		"-rate", "0.5", "-duration", "3", "-file-mb", "8", "-csv", prefix,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, suffix := range []string{"_events.csv", "_series.csv"} {
+		b, err := os.ReadFile(prefix + suffix)
+		if err != nil {
+			t.Fatalf("%s: %v", suffix, err)
+		}
+		if !bytes.Contains(b, []byte(",")) || !bytes.Contains(b, []byte("\n")) {
+			t.Errorf("%s looks empty:\n%s", suffix, b)
+		}
+	}
+}
+
+// TestPacketEngineSelfcheck exercises the packet engine end to end: the
+// trace must reproduce the TCP run's transfer times exactly too.
+func TestPacketEngineSelfcheck(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-engine", "packet", "-p", "4", "-capacity", "100e6",
+		"-scheduler", "DARD", "-pattern", "stride",
+		"-rate", "0.3", "-duration", "2", "-file-mb", "1",
+		"-selfcheck",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "selfcheck: ok") {
+		t.Errorf("selfcheck missing:\n%s", out.String())
+	}
+}

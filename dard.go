@@ -38,6 +38,7 @@ import (
 	"dard/internal/sched"
 	"dard/internal/tcp"
 	"dard/internal/texcp"
+	"dard/internal/trace"
 	"dard/internal/workload"
 )
 
@@ -158,6 +159,20 @@ type Scenario struct {
 	// Topo, when non-nil, reuses a pre-built topology instead of
 	// building Topology (useful to share one across scenarios).
 	Topo *Topology
+	// Tracer, when set, receives the run's structured events and probe
+	// samples (see internal/trace); the caller keeps ownership and
+	// handles export. A *trace.Recorder passed here gets its meta
+	// populated by Run.
+	Tracer trace.Tracer
+	// TraceDir, when non-empty and Tracer is nil, records the run and
+	// writes TraceFileName() under this directory as JSONL. Each
+	// experiment cell names its own file, so sweeps can share one
+	// directory.
+	TraceDir string
+	// TraceProbeInterval spaces the utilization/queue/rate probes in
+	// seconds while tracing: zero means DefaultTraceProbeInterval,
+	// negative disables probes. Ignored when not tracing.
+	TraceProbeInterval float64
 }
 
 func (s Scenario) withDefaults() Scenario {
@@ -201,14 +216,25 @@ func (s Scenario) Run() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	tr, rec := s.setupTrace(topo)
+	var rep *Report
 	switch s.Engine {
 	case EngineFlow:
-		return s.runFlow(topo, flows)
+		rep, err = s.runFlow(topo, flows, tr)
 	case EnginePacket:
-		return s.runPacket(topo, flows)
+		rep, err = s.runPacket(topo, flows, tr)
 	default:
 		return nil, fmt.Errorf("dard: unknown engine %q", s.Engine)
 	}
+	if err != nil {
+		return nil, err
+	}
+	if rec != nil {
+		if err := s.writeTrace(rec); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
 }
 
 func (s Scenario) generate(topo *Topology) ([]workload.Flow, error) {
@@ -232,7 +258,7 @@ func (s Scenario) generate(topo *Topology) ([]workload.Flow, error) {
 	})
 }
 
-func (s Scenario) runFlow(topo *Topology, flows []workload.Flow) (*Report, error) {
+func (s Scenario) runFlow(topo *Topology, flows []workload.Flow, tr trace.Tracer) (*Report, error) {
 	var ctl flowsim.Controller
 	switch s.Scheduler {
 	case SchedulerECMP:
@@ -253,13 +279,15 @@ func (s Scenario) runFlow(topo *Topology, flows []workload.Flow) (*Report, error
 		return nil, err
 	}
 	sim, err := flowsim.New(flowsim.Config{
-		Net:         topo.net,
-		Controller:  ctl,
-		Flows:       flows,
-		Seed:        s.Seed,
-		ElephantAge: s.ElephantAgeSec,
-		MaxTime:     s.MaxTimeSec,
-		LinkEvents:  events,
+		Net:           topo.net,
+		Controller:    ctl,
+		Flows:         flows,
+		Seed:          s.Seed,
+		ElephantAge:   s.ElephantAgeSec,
+		MaxTime:       s.MaxTimeSec,
+		LinkEvents:    events,
+		Tracer:        tr,
+		ProbeInterval: s.probeInterval(),
 	})
 	if err != nil {
 		return nil, err
@@ -306,7 +334,7 @@ func (s Scenario) linkEvents(topo *Topology) ([]flowsim.LinkEvent, error) {
 	return events, nil
 }
 
-func (s Scenario) runPacket(topo *Topology, flows []workload.Flow) (*Report, error) {
+func (s Scenario) runPacket(topo *Topology, flows []workload.Flow, tr trace.Tracer) (*Report, error) {
 	if len(s.LinkFailures) > 0 {
 		return nil, fmt.Errorf("dard: link failures are only supported on the flow engine")
 	}
@@ -326,13 +354,15 @@ func (s Scenario) runPacket(topo *Topology, flows []workload.Flow) (*Report, err
 		return nil, fmt.Errorf("dard: unknown scheduler %q", s.Scheduler)
 	}
 	rt, err := psim.NewRuntime(psim.Config{
-		Topo:        topo.net,
-		Policy:      pol,
-		Flows:       flows,
-		Seed:        s.Seed,
-		ElephantAge: s.ElephantAgeSec,
-		MaxTime:     s.MaxTimeSec,
-		TCP:         tcp.Options{},
+		Topo:          topo.net,
+		Policy:        pol,
+		Flows:         flows,
+		Seed:          s.Seed,
+		ElephantAge:   s.ElephantAgeSec,
+		MaxTime:       s.MaxTimeSec,
+		TCP:           tcp.Options{},
+		Tracer:        tr,
+		ProbeInterval: s.probeInterval(),
 	})
 	if err != nil {
 		return nil, err

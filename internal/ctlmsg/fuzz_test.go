@@ -31,7 +31,7 @@ func queryCorpus(t testing.TB) [][]byte {
 func FuzzQueryUnmarshal(f *testing.F) {
 	for _, b := range queryCorpus(f) {
 		f.Add(b)
-		f.Add(b[:len(b)-1])            // truncated
+		f.Add(b[:len(b)-1])               // truncated
 		f.Add(append([]byte{0xff}, b...)) // oversized, bad magic
 	}
 	f.Add([]byte{})

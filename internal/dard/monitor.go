@@ -8,6 +8,7 @@ import (
 	"dard/internal/ctlmsg"
 	"dard/internal/flowsim"
 	"dard/internal/topology"
+	"dard/internal/trace"
 )
 
 // PathState is one entry of a monitor's path state vector PV (§2.5): the
@@ -158,6 +159,22 @@ func (m *monitor) assemble(s *flowsim.Sim) error {
 		pv[i] = st
 	}
 	m.pv = pv
+	if tr := s.Tracer(); tr.Enabled() {
+		// One congestion signal per monitor and tick: the worst path's
+		// BoNF. An idle path's +Inf BoNF counts as its bottleneck
+		// capacity (the whole link is available to a first elephant).
+		min := math.Inf(1)
+		for _, st := range pv {
+			b := st.BoNF
+			if math.IsInf(b, 1) {
+				b = st.Bandwidth
+			}
+			if b < min {
+				min = b
+			}
+		}
+		tr.Sample(trace.MetricMinBoNF, int64(m.srcHost)<<32|int64(m.dstToR), s.Now(), min)
+	}
 	return nil
 }
 

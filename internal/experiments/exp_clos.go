@@ -14,7 +14,9 @@ func Figure9(p Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	reports, err := runMatrix(p.Workers, topo, fatTreeScenario(p), patterns, flowSchedulers)
+	base := fatTreeScenario(p)
+	base.TraceDir = p.traceDir("figure9")
+	reports, err := runMatrix(p.Workers, topo, base, patterns, flowSchedulers)
 	if err != nil {
 		return nil, err
 	}
@@ -44,7 +46,9 @@ func Figure10(p Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	reports, err := runMatrix(p.Workers, topo, fatTreeScenario(p), patterns, []dard.Scheduler{dard.SchedulerDARD})
+	base := fatTreeScenario(p)
+	base.TraceDir = p.traceDir("figure10")
+	reports, err := runMatrix(p.Workers, topo, base, patterns, []dard.Scheduler{dard.SchedulerDARD})
 	if err != nil {
 		return nil, err
 	}
@@ -92,7 +96,9 @@ func Figure11(p Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	reports, err := runMatrix(p.Workers, topo, threeTierScenario(p), patterns, flowSchedulers)
+	base := threeTierScenario(p)
+	base.TraceDir = p.traceDir("figure11")
+	reports, err := runMatrix(p.Workers, topo, base, patterns, flowSchedulers)
 	if err != nil {
 		return nil, err
 	}
@@ -140,7 +146,9 @@ func Figure12(p Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	reports, err := runMatrix(p.Workers, topo, threeTierScenario(p), patterns, []dard.Scheduler{dard.SchedulerDARD})
+	base := threeTierScenario(p)
+	base.TraceDir = p.traceDir("figure12")
+	reports, err := runMatrix(p.Workers, topo, base, patterns, []dard.Scheduler{dard.SchedulerDARD})
 	if err != nil {
 		return nil, err
 	}

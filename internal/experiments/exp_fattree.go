@@ -45,7 +45,9 @@ func Figure7(p Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	reports, err := runMatrix(p.Workers, topo, fatTreeScenario(p), patterns, flowSchedulers)
+	base := fatTreeScenario(p)
+	base.TraceDir = p.traceDir("figure7")
+	reports, err := runMatrix(p.Workers, topo, base, patterns, flowSchedulers)
 	if err != nil {
 		return nil, err
 	}
@@ -75,7 +77,9 @@ func Figure8(p Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	reports, err := runMatrix(p.Workers, topo, fatTreeScenario(p), patterns, []dard.Scheduler{dard.SchedulerDARD})
+	base := fatTreeScenario(p)
+	base.TraceDir = p.traceDir("figure8")
+	reports, err := runMatrix(p.Workers, topo, base, patterns, []dard.Scheduler{dard.SchedulerDARD})
 	if err != nil {
 		return nil, err
 	}
@@ -126,7 +130,9 @@ func sizeSweep(p Params, id, title string, sizes []int,
 		return nil, err
 	}
 	cells := sweepCells(len(sizes), patterns, flowSchedulers)
-	reports, err := runSweep(p.Workers, fatTreeScenario(p), topos, cells,
+	base := fatTreeScenario(p)
+	base.TraceDir = p.traceDir(expTag(id))
+	reports, err := runSweep(p.Workers, base, topos, cells,
 		func(si int) string { return label(sizes[si]) })
 	if err != nil {
 		return nil, err
@@ -156,7 +162,9 @@ func switchSweep(p Params, id, title string, sizes []int,
 		return nil, err
 	}
 	cells := sweepCells(len(sizes), patterns, []dard.Scheduler{dard.SchedulerDARD})
-	reports, err := runSweep(p.Workers, fatTreeScenario(p), topos, cells,
+	base := fatTreeScenario(p)
+	base.TraceDir = p.traceDir(expTag(id))
+	reports, err := runSweep(p.Workers, base, topos, cells,
 		func(si int) string { return label(sizes[si]) })
 	if err != nil {
 		return nil, err

@@ -36,6 +36,9 @@ func Figure15(p Params) (*Result, error) {
 			FileSizeMB:     p.FileSizeMB,
 			Seed:           parallel.Seed(p.Seed, fmt.Sprintf("%s/rate=%.2f/random", topo.Name(), rate)),
 			ElephantAgeSec: 1,
+			// Rate is swept on one topology, so each rate gets its own
+			// subtree to keep trace file names unique.
+			TraceDir: p.traceDir("figure15", fmt.Sprintf("rate-%.2f", rate)),
 		}
 		dd := base
 		dd.Scheduler = dard.SchedulerDARD

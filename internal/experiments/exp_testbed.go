@@ -57,6 +57,9 @@ func Figure4(p Params) (*Result, error) {
 			ElephantAgeSec: 0.5,
 			VLBIntervalSec: 2,
 			DARD:           quickDARDTuning(),
+			// Rate is swept on one topology, so it needs its own subtree to
+			// keep the per-cell trace file names unique.
+			TraceDir: p.traceDir("figure4", fmt.Sprintf("rate-%.2f", c.rate)),
 		}
 		ecmpScn := base
 		ecmpScn.Scheduler = dard.SchedulerECMP
@@ -114,6 +117,7 @@ func Figure5(p Params) (*Result, error) {
 		ElephantAgeSec: 0.5,
 		VLBIntervalSec: 1,
 		DARD:           quickDARDTuning(),
+		TraceDir:       p.traceDir("figure5"),
 	}
 	scheds := []dard.Scheduler{dard.SchedulerECMP, dard.SchedulerPVLB, dard.SchedulerDARD}
 	reports, err := runMatrix(p.Workers, topo, base, []dard.Pattern{dard.PatternStride}, scheds)
@@ -152,6 +156,7 @@ func Figure6(p Params) (*Result, error) {
 		Seed:           p.Seed,
 		ElephantAgeSec: 0.5,
 		DARD:           quickDARDTuning(),
+		TraceDir:       p.traceDir("figure6"),
 	}
 	reports, err := runMatrix(p.Workers, topo, base, patterns, []dard.Scheduler{dard.SchedulerDARD})
 	if err != nil {

@@ -20,6 +20,9 @@ func texcpRuns(p Params) (dardRep, texcpRep *dard.Report, err error) {
 		Engine:         dard.EnginePacket,
 		ElephantAgeSec: 0.5,
 		DARD:           quickDARDTuning(),
+		// Figures 13 and 14 render the same runs; the second call rewrites
+		// byte-identical trace files.
+		TraceDir: p.traceDir("figure13-14"),
 	}
 	// The two packet-engine runs are the suite's slowest cells; the pool
 	// overlaps them (on one derived seed, so the comparison stays paired).

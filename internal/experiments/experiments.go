@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"fmt"
+	"path/filepath"
 	"sort"
 	"strings"
 
@@ -68,6 +69,11 @@ type Params struct {
 	// derived from Seed and the cell identity (dard.CellSeed), so results
 	// are bit-identical for every worker count.
 	Workers int
+	// TraceDir, when non-empty, makes every simulation cell record a
+	// JSONL event trace under TraceDir/<experiment>/ (see
+	// internal/trace). File names are derived from the cell identity, so
+	// serial and parallel sweeps write identical trees.
+	TraceDir string
 }
 
 // Default returns laptop-scale parameters: every experiment finishes in
@@ -160,6 +166,21 @@ func (p Params) withDefaults() Params {
 		p.Seed = d.Seed
 	}
 	return p
+}
+
+// traceDir joins the suite's trace root with an experiment's path parts,
+// or returns "" when tracing is off.
+func (p Params) traceDir(parts ...string) string {
+	if p.TraceDir == "" {
+		return ""
+	}
+	return filepath.Join(append([]string{p.TraceDir}, parts...)...)
+}
+
+// expTag turns an artifact ID like "Table 4" into a directory name like
+// "table4".
+func expTag(id string) string {
+	return strings.ReplaceAll(strings.ToLower(id), " ", "")
 }
 
 // patterns lists the paper's three traffic patterns in presentation

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"dard/internal/topology"
+	"dard/internal/trace"
 	"dard/internal/workload"
 )
 
@@ -44,6 +45,15 @@ type Config struct {
 	MaxTime float64
 	// LinkEvents schedules link failures and repairs.
 	LinkEvents []LinkEvent
+	// Tracer receives structured events (flow lifecycle, path switches,
+	// link failures, control messages) and probe samples. Nil disables
+	// tracing.
+	Tracer trace.Tracer
+	// ProbeInterval spaces utilization and rate samples, in seconds.
+	// Probes piggyback on event boundaries rather than scheduling timers
+	// of their own, so enabling them cannot perturb the simulation.
+	// Zero or negative disables probing.
+	ProbeInterval float64
 }
 
 // Sim is one simulation run. Controllers receive it in their callbacks to
@@ -73,6 +83,10 @@ type Sim struct {
 	peakElephants int
 
 	linkDown []bool
+
+	tracer     trace.Tracer // never nil (Nop when tracing is off)
+	probeEvery float64      // 0 when probing is off
+	nextProbe  float64
 
 	// scratch buffers for the max-min computation
 	residual  []float64
@@ -131,6 +145,11 @@ func New(cfg Config) (*Sim, error) {
 		unfrozen:  make([]int, g.NumLinks()),
 		linkFlows: make([][]*Flow, g.NumLinks()),
 		linkStamp: make([]uint64, g.NumLinks()),
+		tracer:    trace.OrNop(cfg.Tracer),
+	}
+	if s.tracer.Enabled() && cfg.ProbeInterval > 0 {
+		s.probeEvery = cfg.ProbeInterval
+		s.nextProbe = cfg.ProbeInterval
 	}
 	return s, nil
 }
@@ -146,6 +165,10 @@ func (s *Sim) Topo() topology.Network { return s.net }
 
 // Rand returns the run's deterministic random source.
 func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Tracer returns the run's tracer (never nil; Nop when tracing is off).
+// Controllers use it to record path-state samples.
+func (s *Sim) Tracer() trace.Tracer { return s.tracer }
 
 // Seed returns the run's configured seed. Path policies hash it with the
 // flow identity so initial assignments are identical across controllers
@@ -187,7 +210,12 @@ func (s *Sim) After(d float64, fn func()) {
 
 // RecordControl accounts control-plane message bytes (probes, replies,
 // controller updates) for the overhead comparison of Figure 15.
-func (s *Sim) RecordControl(bytes float64) { s.controlBytes += bytes }
+func (s *Sim) RecordControl(bytes float64) {
+	s.controlBytes += bytes
+	if s.tracer.Enabled() {
+		s.tracer.Emit(trace.Event{T: s.now, Kind: trace.KindControlMsg, Flow: -1, Link: -1, V: bytes})
+	}
+}
 
 // ControlBytes returns the control bytes recorded so far.
 func (s *Sim) ControlBytes() float64 { return s.controlBytes }
@@ -203,10 +231,17 @@ func (s *Sim) SetPath(f *Flow, pathIdx int) error {
 	if pathIdx == f.PathIdx {
 		return nil
 	}
+	old := f.PathIdx
 	f.PathIdx = pathIdx
 	s.buildRoute(f, paths[pathIdx])
 	f.PathSwitches++
 	s.markStateChanged()
+	if s.tracer.Enabled() {
+		s.tracer.Emit(trace.Event{
+			T: s.now, Kind: trace.KindPathSwitch,
+			Flow: int32(f.ID), Link: -1, A: int64(old), B: int64(pathIdx),
+		})
+	}
 	return nil
 }
 
@@ -275,6 +310,13 @@ func (s *Sim) SetLinkDown(l topology.LinkID, down bool) {
 	}
 	s.linkDown[l] = down
 	s.markStateChanged()
+	if s.tracer.Enabled() {
+		kind := trace.KindLinkRecover
+		if down {
+			kind = trace.KindLinkFail
+		}
+		s.tracer.Emit(trace.Event{T: s.now, Kind: kind, Flow: -1, Link: int32(l)})
+	}
 }
 
 // Run executes the simulation until every flow completes or MaxTime is
@@ -345,8 +387,39 @@ func (s *Sim) Run() (*Results, error) {
 			tm := s.timers.pop()
 			tm.fn()
 		}
+
+		// Probes piggyback on event boundaries: once an interval has
+		// elapsed, sample at the first event at or past the boundary.
+		// No timers are scheduled and no flow state is touched, so an
+		// enabled tracer cannot change event order or the floating-point
+		// Remaining arithmetic — traced and untraced runs stay
+		// bit-identical.
+		if s.probeEvery > 0 && s.now >= s.nextProbe {
+			s.probe()
+		}
 	}
 	return s.collectResults(), nil
+}
+
+// probe samples per-link utilization and per-flow rates into the tracer.
+func (s *Sim) probe() {
+	if s.ratesDirty {
+		s.recomputeRates()
+	}
+	load := make([]float64, s.g.NumLinks())
+	for _, f := range s.active {
+		for _, l := range f.links {
+			load[l] += f.Rate
+		}
+	}
+	for l := range load {
+		capacity := s.g.Link(topology.LinkID(l)).Capacity
+		s.tracer.Sample(trace.MetricLinkUtil, int64(l), s.now, load[l]/capacity)
+	}
+	for _, f := range s.active {
+		s.tracer.Sample(trace.MetricFlowRate, int64(f.ID), s.now, f.Rate)
+	}
+	s.nextProbe = (math.Floor(s.now/s.probeEvery) + 1) * s.probeEvery
 }
 
 func (s *Sim) arrive(wf workload.Flow) {
@@ -374,6 +447,14 @@ func (s *Sim) arrive(wf workload.Flow) {
 	s.buildRoute(f, paths[idx])
 	s.active = append(s.active, f)
 	s.markStateChanged()
+	if s.tracer.Enabled() {
+		// T is f.Arrival, so a FlowEnd minus this is bit-for-bit the
+		// flow's TransferTime.
+		s.tracer.Emit(trace.Event{
+			T: s.now, Kind: trace.KindFlowStart,
+			Flow: int32(f.ID), Link: -1, A: int64(f.Src), B: int64(f.Dst), V: f.SizeBits,
+		})
+	}
 
 	if s.cfg.ElephantAge >= 0 {
 		if s.cfg.ElephantAge == 0 {
@@ -409,6 +490,12 @@ func (s *Sim) classifyElephant(f *Flow) {
 func (s *Sim) complete(f *Flow) {
 	f.Finish = s.now
 	f.active = false
+	if s.tracer.Enabled() {
+		s.tracer.Emit(trace.Event{
+			T: s.now, Kind: trace.KindFlowEnd,
+			Flow: int32(f.ID), Link: -1, A: int64(f.PathIdx), V: f.SizeBits,
+		})
+	}
 	if f.Elephant {
 		s.curElephants--
 	}

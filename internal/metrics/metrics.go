@@ -44,10 +44,15 @@ func (s *Sample) Mean() float64 {
 	return sum / float64(len(s.values))
 }
 
-// Stddev returns the population standard deviation, or NaN when empty.
+// Stddev returns the population standard deviation: NaN when empty and
+// exactly 0 for a single observation (the general path would compute
+// sqrt of a rounded-off sum).
 func (s *Sample) Stddev() float64 {
-	if len(s.values) == 0 {
+	switch len(s.values) {
+	case 0:
 		return math.NaN()
+	case 1:
+		return 0
 	}
 	m := s.Mean()
 	ss := 0.0
@@ -66,10 +71,14 @@ func (s *Sample) sort() {
 }
 
 // Quantile returns the q-quantile (0 <= q <= 1) using nearest-rank
-// interpolation, or NaN when empty.
+// interpolation. It is NaN when the sample is empty or q is NaN, and the
+// sole observation for a single-element sample regardless of q.
 func (s *Sample) Quantile(q float64) float64 {
-	if len(s.values) == 0 {
+	if len(s.values) == 0 || math.IsNaN(q) {
 		return math.NaN()
+	}
+	if len(s.values) == 1 {
+		return s.values[0]
 	}
 	s.sort()
 	if q <= 0 {

@@ -35,6 +35,66 @@ func TestSampleBasics(t *testing.T) {
 	}
 }
 
+// TestEmptySample pins down the full N=0 contract: every statistic is
+// NaN rather than a panic or a misleading zero.
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	for name, got := range map[string]float64{
+		"Mean":     s.Mean(),
+		"Stddev":   s.Stddev(),
+		"Min":      s.Min(),
+		"Max":      s.Max(),
+		"Q(0)":     s.Quantile(0),
+		"Q(0.9)":   s.Quantile(0.9),
+		"Q(1)":     s.Quantile(1),
+		"CDFAt(0)": s.CDFAt(0),
+	} {
+		if !math.IsNaN(got) {
+			t.Errorf("%s on empty sample = %g, want NaN", name, got)
+		}
+	}
+	if pts := s.CDF(); len(pts) != 0 {
+		t.Errorf("CDF on empty sample = %v, want empty", pts)
+	}
+	if vals := s.Values(); len(vals) != 0 {
+		t.Errorf("Values on empty sample = %v, want empty", vals)
+	}
+}
+
+// TestSingleSample pins down N=1: every quantile is the sole value and
+// the standard deviation is exactly zero.
+func TestSingleSample(t *testing.T) {
+	var s Sample
+	s.Add(7.25)
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 1, -3, 42} {
+		if got := s.Quantile(q); got != 7.25 {
+			t.Errorf("Quantile(%g) = %g, want 7.25", q, got)
+		}
+	}
+	if got := s.Stddev(); got != 0 {
+		t.Errorf("Stddev of single sample = %g, want exactly 0", got)
+	}
+	if got := s.Mean(); got != 7.25 {
+		t.Errorf("Mean = %g, want 7.25", got)
+	}
+	if got := s.Min(); got != 7.25 {
+		t.Errorf("Min = %g", got)
+	}
+	if got := s.Max(); got != 7.25 {
+		t.Errorf("Max = %g", got)
+	}
+}
+
+// TestQuantileNaN asserts a NaN quantile argument yields NaN instead of
+// an arbitrary index.
+func TestQuantileNaN(t *testing.T) {
+	var s Sample
+	s.AddAll([]float64{1, 2, 3})
+	if got := s.Quantile(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("Quantile(NaN) = %g, want NaN", got)
+	}
+}
+
 func TestQuantileInterpolation(t *testing.T) {
 	var s Sample
 	s.AddAll([]float64{0, 10})

@@ -9,6 +9,7 @@ import (
 	"dard/internal/dard"
 	"dard/internal/sched"
 	"dard/internal/topology"
+	"dard/internal/trace"
 )
 
 // ECMP is hash-based random path selection at packet level: a flow sticks
@@ -265,6 +266,22 @@ func (d *DARD) assemble(rt *Runtime, m *dardMonitor) {
 		pv[i] = st
 	}
 	m.pv = pv
+	if rt.tracer.Enabled() {
+		// Same congestion signal as the flow-level monitor: the worst
+		// path's BoNF, with an idle path's +Inf counted as its
+		// bottleneck capacity.
+		min := math.Inf(1)
+		for _, st := range pv {
+			b := st.BoNF
+			if math.IsInf(b, 1) {
+				b = st.Bandwidth
+			}
+			if b < min {
+				min = b
+			}
+		}
+		rt.tracer.Sample(trace.MetricMinBoNF, int64(m.srcHost)<<32|int64(m.dstToR), rt.Now(), min)
+	}
 }
 
 func (d *DARD) scheduleRound(rt *Runtime, h *dardHost) {

@@ -15,6 +15,7 @@ import (
 	"dard/internal/simnet"
 	"dard/internal/tcp"
 	"dard/internal/topology"
+	"dard/internal/trace"
 	"dard/internal/workload"
 )
 
@@ -26,6 +27,7 @@ type FlowState struct {
 	PathIdx          int
 	Elephant         bool
 	Arrival          float64
+	SizeBits         float64
 	Conn             *tcp.Conn
 
 	active bool
@@ -78,6 +80,14 @@ type Config struct {
 	MaxTime float64
 	// TCP tunes the endpoints.
 	TCP tcp.Options
+	// Tracer receives structured events (flow lifecycle, path switches,
+	// drops, retransmissions, control messages) and probe samples. Nil
+	// disables tracing; the packet hot path then carries no tracer at
+	// all.
+	Tracer trace.Tracer
+	// ProbeInterval spaces link-utilization, queue, and cwnd samples in
+	// seconds when tracing is enabled. Zero or negative disables probes.
+	ProbeInterval float64
 }
 
 // Runtime is the packet-level experiment state handed to policies.
@@ -94,6 +104,18 @@ type Runtime struct {
 
 	eleCounts    []int
 	controlBytes float64
+
+	tracer trace.Tracer // never nil (Nop when tracing is off)
+
+	// Probe state. The armed timer is canceled when the last flow
+	// departs: a canceled kernel event is skipped without advancing the
+	// clock, so probes scheduled past the final completion cannot move
+	// SimTime.
+	probeEvery  float64
+	probeTimer  simnet.Timer
+	probeArmed  bool
+	lastBits    []float64
+	lastProbeAt float64
 }
 
 // NewRuntime validates the config and builds the runtime.
@@ -133,8 +155,15 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	}
 	rt.net = net
 	rt.eleCounts = make([]int, rt.g.NumLinks())
+	rt.tracer = trace.OrNop(cfg.Tracer)
+	if rt.tracer.Enabled() {
+		rt.net.SetTracer(rt.tracer)
+	}
 	return rt, nil
 }
+
+// Tracer returns the run's tracer (never nil; Nop when tracing is off).
+func (rt *Runtime) Tracer() trace.Tracer { return rt.tracer }
 
 // Now returns the simulation time.
 func (rt *Runtime) Now() float64 { return rt.net.K.Now() }
@@ -163,7 +192,12 @@ func (rt *Runtime) Paths(srcToR, dstToR topology.NodeID) []topology.Path {
 func (rt *Runtime) IsActive(f *FlowState) bool { return f.active }
 
 // RecordControl accounts control-plane bytes.
-func (rt *Runtime) RecordControl(bytes float64) { rt.controlBytes += bytes }
+func (rt *Runtime) RecordControl(bytes float64) {
+	rt.controlBytes += bytes
+	if rt.tracer.Enabled() {
+		rt.tracer.Emit(trace.Event{T: rt.Now(), Kind: trace.KindControlMsg, Flow: -1, Link: -1, V: bytes})
+	}
+}
 
 // ElephantsOnLink reports the active elephant flows assigned to a link.
 func (rt *Runtime) ElephantsOnLink(l topology.LinkID) int { return rt.eleCounts[l] }
@@ -191,6 +225,7 @@ func (rt *Runtime) SetPath(f *FlowState, pathIdx int) error {
 	if pathIdx == f.PathIdx {
 		return nil
 	}
+	old := f.PathIdx
 	if f.Elephant && f.active {
 		rt.countElephant(f, -1)
 	}
@@ -198,6 +233,12 @@ func (rt *Runtime) SetPath(f *FlowState, pathIdx int) error {
 	f.Conn.SetRoute(rt.Route(f, pathIdx))
 	if f.Elephant && f.active {
 		rt.countElephant(f, +1)
+	}
+	if rt.tracer.Enabled() {
+		rt.tracer.Emit(trace.Event{
+			T: rt.Now(), Kind: trace.KindPathSwitch,
+			Flow: int32(f.ID), Link: -1, A: int64(old), B: int64(pathIdx),
+		})
 	}
 	return nil
 }
@@ -223,11 +264,12 @@ func (rt *Runtime) Run() (*Results, error) {
 		wf := cfg.Flows[i]
 		rt.net.K.After(wf.Arrival, func() {
 			f := &FlowState{
-				ID:      wf.ID,
-				SrcHost: hosts[wf.Src],
-				DstHost: hosts[wf.Dst],
-				Arrival: rt.Now(),
-				active:  true,
+				ID:       wf.ID,
+				SrcHost:  hosts[wf.Src],
+				DstHost:  hosts[wf.Dst],
+				Arrival:  rt.Now(),
+				SizeBits: wf.SizeBits,
+				active:   true,
 			}
 			f.SrcToR = rt.topo.ToROf(f.SrcHost)
 			f.DstToR = rt.topo.ToROf(f.DstHost)
@@ -248,6 +290,18 @@ func (rt *Runtime) Run() (*Results, error) {
 			}
 			f.Conn = conn
 			rt.disp.Register(conn)
+			if rt.tracer.Enabled() {
+				conn.Tracer = rt.tracer
+				// T equals both f.Arrival and the connection's
+				// StartTime (Start runs below at the same kernel
+				// time), so FlowEnd minus this reproduces the
+				// reported TransferTime bit-for-bit.
+				rt.tracer.Emit(trace.Event{
+					T: rt.Now(), Kind: trace.KindFlowStart,
+					Flow: int32(f.ID), Link: -1,
+					A: int64(f.SrcHost), B: int64(f.DstHost), V: f.SizeBits,
+				})
+			}
 			if pr, ok := cfg.Policy.(PacketRouter); ok {
 				conn.RoutePicker = pr.PacketRoute(rt, f)
 			}
@@ -268,6 +322,11 @@ func (rt *Runtime) Run() (*Results, error) {
 			conn.Start()
 		})
 	}
+	if rt.tracer.Enabled() && cfg.ProbeInterval > 0 && rt.remaining > 0 {
+		rt.probeEvery = cfg.ProbeInterval
+		rt.lastBits = make([]float64, rt.g.NumLinks())
+		rt.armProbe()
+	}
 	// Advance in one-second horizons and stop as soon as the workload
 	// drains: policy timer chains (TeXCP probes, DARD queries) re-arm
 	// forever and must not keep the simulation alive until MaxTime.
@@ -275,6 +334,39 @@ func (rt *Runtime) Run() (*Results, error) {
 		rt.net.K.Run(horizon)
 	}
 	return rt.collect(), nil
+}
+
+func (rt *Runtime) armProbe() {
+	rt.probeArmed = true
+	rt.probeTimer = rt.net.K.After(rt.probeEvery, rt.probeTick)
+}
+
+// probeTick samples every link's utilization (bits sent since the last
+// tick over capacity·dt) and queue occupancy, plus each active flow's
+// congestion window.
+func (rt *Runtime) probeTick() {
+	rt.probeArmed = false
+	now := rt.Now()
+	if dt := now - rt.lastProbeAt; dt > 0 {
+		for i := 0; i < rt.g.NumLinks(); i++ {
+			l := topology.LinkID(i)
+			bits := rt.net.BitsSent(l)
+			util := (bits - rt.lastBits[i]) / (rt.g.Link(l).Capacity * dt)
+			rt.lastBits[i] = bits
+			rt.tracer.Sample(trace.MetricLinkUtil, int64(i), now, util)
+			rt.tracer.Sample(trace.MetricQueueBits, int64(i), now, rt.net.QueueBits(l))
+		}
+		for _, f := range rt.flows {
+			if f == nil || !f.active || f.Conn == nil {
+				continue
+			}
+			rt.tracer.Sample(trace.MetricFlowCwnd, int64(f.ID), now, f.Conn.State().Cwnd)
+		}
+	}
+	rt.lastProbeAt = now
+	if rt.remaining > 0 {
+		rt.armProbe()
+	}
 }
 
 func (rt *Runtime) depart(f *FlowState) {
@@ -285,6 +377,19 @@ func (rt *Runtime) depart(f *FlowState) {
 	rt.remaining--
 	if f.Elephant {
 		rt.countElephant(f, -1)
+	}
+	if rt.tracer.Enabled() {
+		rt.tracer.Emit(trace.Event{
+			T: rt.Now(), Kind: trace.KindFlowEnd,
+			Flow: int32(f.ID), Link: -1, A: int64(f.PathIdx), V: f.SizeBits,
+		})
+	}
+	if rt.remaining == 0 && rt.probeArmed {
+		// The run ends at the last completion; a probe scheduled past it
+		// must not advance the clock (canceled events are skipped), so
+		// SimTime and CoreUtilization match the untraced run exactly.
+		rt.probeTimer.Cancel()
+		rt.probeArmed = false
 	}
 	if obs, ok := rt.cfg.Policy.(FlowObserver); ok {
 		obs.OnDepart(rt, f)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dard/internal/topology"
+	"dard/internal/trace"
 )
 
 // Packet is one simulated packet travelling a source route.
@@ -56,6 +57,8 @@ type Net struct {
 	links []linkState
 	// deliver routes a packet that reached the end of its source route.
 	deliver func(*Packet)
+	// tracer observes queue drops; never nil (Nop by default).
+	tracer trace.Tracer
 
 	// PacketHeaderBits is added to every transmitted segment; 40 bytes
 	// of TCP/IP header by default.
@@ -86,6 +89,7 @@ func NewNet(topo topology.Network, bufferPackets int, mtuBits float64, deliver f
 		g:                g,
 		links:            make([]linkState, g.NumLinks()),
 		deliver:          deliver,
+		tracer:           trace.Nop{},
 		PacketHeaderBits: 40 * 8,
 	}
 	for i := range n.links {
@@ -101,6 +105,9 @@ func NewNet(topo topology.Network, bufferPackets int, mtuBits float64, deliver f
 
 // Topology returns the underlying network.
 func (n *Net) Topology() topology.Network { return n.topo }
+
+// SetTracer installs an event tracer; nil restores the no-op default.
+func (n *Net) SetTracer(t trace.Tracer) { n.tracer = trace.OrNop(t) }
 
 // Send injects a packet at the head of its route.
 func (n *Net) Send(p *Packet) {
@@ -119,6 +126,12 @@ func (n *Net) enqueue(p *Packet) {
 	ls := &n.links[p.Route[p.Hop]]
 	if ls.queueBits+p.SizeBits > ls.bufBits {
 		ls.drops++
+		if n.tracer.Enabled() {
+			n.tracer.Emit(trace.Event{
+				T: n.K.Now(), Kind: trace.KindDrop,
+				Flow: int32(p.FlowID), Link: int32(p.Route[p.Hop]), A: int64(p.Seq),
+			})
+		}
 		return // drop-tail
 	}
 	ls.queue = append(ls.queue, p)

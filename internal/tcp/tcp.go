@@ -12,6 +12,7 @@ import (
 
 	"dard/internal/simnet"
 	"dard/internal/topology"
+	"dard/internal/trace"
 )
 
 // Options tunes a connection. The zero value gives standard defaults:
@@ -95,6 +96,10 @@ type Conn struct {
 	// packet (per-packet load balancing, e.g. TeXCP). When nil the
 	// connection's current route is used for every packet.
 	RoutePicker func() []topology.LinkID
+
+	// Tracer, when set, receives a Retransmit event for every
+	// retransmitted segment. Nil means no tracing.
+	Tracer trace.Tracer
 
 	// Stats.
 	Retx      int
@@ -215,6 +220,12 @@ func (c *Conn) sendSegment(seq int, retx bool) {
 	}
 	if retx {
 		c.Retx++
+		if c.Tracer != nil && c.Tracer.Enabled() {
+			c.Tracer.Emit(trace.Event{
+				T: c.net.K.Now(), Kind: trace.KindRetransmit,
+				Flow: int32(c.id), Link: -1, A: int64(seq),
+			})
+		}
 	} else if !c.rttPending {
 		// Karn's algorithm: only time segments sent once.
 		c.rttPending = true

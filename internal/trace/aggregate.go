@@ -1,0 +1,327 @@
+package trace
+
+import (
+	"math"
+	"sort"
+)
+
+// Aggregator derives the paper's time-resolved curves and debugging
+// summaries from a completed trace. It indexes the trace once; query
+// methods are cheap to call repeatedly.
+type Aggregator struct {
+	tr    *Trace
+	links map[int32]LinkMeta
+}
+
+// NewAggregator indexes a trace.
+func NewAggregator(tr *Trace) *Aggregator {
+	a := &Aggregator{tr: tr, links: make(map[int32]LinkMeta, len(tr.Meta.Links))}
+	for _, l := range tr.Meta.Links {
+		a.links[l.ID] = l
+	}
+	return a
+}
+
+// Trace returns the underlying trace.
+func (a *Aggregator) Trace() *Trace { return a.tr }
+
+// EventCounts tallies events by kind.
+func (a *Aggregator) EventCounts() map[Kind]int {
+	counts := make(map[Kind]int)
+	for _, e := range a.tr.Events {
+		counts[e.Kind]++
+	}
+	return counts
+}
+
+// Duration returns the timestamp of the last event or sample.
+func (a *Aggregator) Duration() float64 {
+	end := 0.0
+	for _, e := range a.tr.Events {
+		if e.T > end {
+			end = e.T
+		}
+	}
+	for _, s := range a.tr.Series {
+		if n := len(s.Points); n > 0 && s.Points[n-1].T > end {
+			end = s.Points[n-1].T
+		}
+	}
+	return end
+}
+
+// ControlBytes sums the bytes of every ControlMsg event.
+func (a *Aggregator) ControlBytes() float64 {
+	total := 0.0
+	for _, e := range a.tr.Events {
+		if e.Kind == KindControlMsg {
+			total += e.V
+		}
+	}
+	return total
+}
+
+// FlowCompletion pairs a flow's start and end events.
+type FlowCompletion struct {
+	Flow       int32
+	Start, End float64
+}
+
+// TransferTime returns End-Start.
+func (c FlowCompletion) TransferTime() float64 { return c.End - c.Start }
+
+// Completions returns one entry per completed flow (a FlowStart matched
+// by a FlowEnd), in flow-ID order.
+func (a *Aggregator) Completions() []FlowCompletion {
+	starts := make(map[int32]float64)
+	ends := make(map[int32]float64)
+	for _, e := range a.tr.Events {
+		switch e.Kind {
+		case KindFlowStart:
+			starts[e.Flow] = e.T
+		case KindFlowEnd:
+			ends[e.Flow] = e.T
+		}
+	}
+	out := make([]FlowCompletion, 0, len(ends))
+	for id, end := range ends {
+		if start, ok := starts[id]; ok {
+			out = append(out, FlowCompletion{Flow: id, Start: start, End: end})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Flow < out[j].Flow })
+	return out
+}
+
+// TransferTimes returns the completed flows' transfer times sorted
+// ascending — the same values, computed by the same subtraction, as the
+// run's Report.TransferTimes, so a trace reproduces the run's headline
+// metric exactly.
+func (a *Aggregator) TransferTimes() []float64 {
+	comps := a.Completions()
+	out := make([]float64, 0, len(comps))
+	for _, c := range comps {
+		out = append(out, c.TransferTime())
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// TimeBucket is one bin of a timeline.
+type TimeBucket struct {
+	// Start is the bucket's left edge in seconds.
+	Start float64
+	// Count is the number of events in [Start, Start+width).
+	Count int
+	// Cumulative is the running total through this bucket.
+	Cumulative int
+}
+
+// eventTimeline bins the timestamps of events matching keep.
+func (a *Aggregator) eventTimeline(bucket float64, keep func(Event) bool) []TimeBucket {
+	if bucket <= 0 {
+		bucket = 1
+	}
+	var times []float64
+	for _, e := range a.tr.Events {
+		if keep(e) {
+			times = append(times, e.T)
+		}
+	}
+	if len(times) == 0 {
+		return nil
+	}
+	sort.Float64s(times)
+	last := times[len(times)-1]
+	n := int(last/bucket) + 1
+	out := make([]TimeBucket, n)
+	for i := range out {
+		out[i].Start = float64(i) * bucket
+	}
+	for _, t := range times {
+		out[int(t/bucket)].Count++
+	}
+	cum := 0
+	for i := range out {
+		cum += out[i].Count
+		out[i].Cumulative = cum
+	}
+	return out
+}
+
+// SwitchTimeline bins path-switch events into bucket-second bins: the
+// paper's convergence view — DARD's switching rate decays toward zero as
+// the allocation stabilizes, while oscillating schemes keep switching.
+func (a *Aggregator) SwitchTimeline(bucket float64) []TimeBucket {
+	return a.eventTimeline(bucket, func(e Event) bool { return e.Kind == KindPathSwitch })
+}
+
+// RetxTimeline bins retransmission events (Figure 14's metric over time).
+func (a *Aggregator) RetxTimeline(bucket float64) []TimeBucket {
+	return a.eventTimeline(bucket, func(e Event) bool { return e.Kind == KindRetransmit })
+}
+
+// LinkLoad summarizes one link's probed utilization.
+type LinkLoad struct {
+	Link              int32
+	Name              string
+	MeanUtil, MaxUtil float64
+	Samples           int
+	Drops             int
+	Capacity          float64
+}
+
+// TopLinks returns the n most congested links by mean probed utilization
+// (ties broken by link ID for determinism), with drop counts folded in.
+func (a *Aggregator) TopLinks(n int) []LinkLoad {
+	drops := make(map[int32]int)
+	for _, e := range a.tr.Events {
+		if e.Kind == KindDrop && e.Link >= 0 {
+			drops[e.Link]++
+		}
+	}
+	var loads []LinkLoad
+	for _, s := range a.tr.Series {
+		if s.Metric != MetricLinkUtil || len(s.Points) == 0 {
+			continue
+		}
+		id := int32(s.Entity)
+		sum, max := 0.0, math.Inf(-1)
+		for _, p := range s.Points {
+			sum += p.V
+			if p.V > max {
+				max = p.V
+			}
+		}
+		lm := a.links[id]
+		loads = append(loads, LinkLoad{
+			Link:     id,
+			Name:     linkName(lm),
+			MeanUtil: sum / float64(len(s.Points)),
+			MaxUtil:  max,
+			Samples:  len(s.Points),
+			Drops:    drops[id],
+			Capacity: lm.Capacity,
+		})
+		delete(drops, id)
+	}
+	// Links that dropped packets but were never probed still show up.
+	ids := make([]int32, 0, len(drops))
+	for id := range drops {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		lm := a.links[id]
+		loads = append(loads, LinkLoad{Link: id, Name: linkName(lm), Drops: drops[id], Capacity: lm.Capacity})
+	}
+	sort.Slice(loads, func(i, j int) bool {
+		if loads[i].MeanUtil != loads[j].MeanUtil {
+			return loads[i].MeanUtil > loads[j].MeanUtil
+		}
+		return loads[i].Link < loads[j].Link
+	})
+	if n > 0 && len(loads) > n {
+		loads = loads[:n]
+	}
+	return loads
+}
+
+func linkName(lm LinkMeta) string {
+	if lm.From == "" && lm.To == "" {
+		return ""
+	}
+	return lm.From + "->" + lm.To
+}
+
+// BisectionSeries reconstructs the bisection-bandwidth-vs-time curve
+// (Figures 8-13's style of claim): at each probe tick, the aggregate
+// bits/s the core-adjacent links carried, i.e. Σ util·capacity over links
+// marked Core in the meta. Samples are grouped by probe timestamp.
+func (a *Aggregator) BisectionSeries() []Point {
+	totals := make(map[float64]float64)
+	for _, s := range a.tr.Series {
+		if s.Metric != MetricLinkUtil {
+			continue
+		}
+		lm, ok := a.links[int32(s.Entity)]
+		if !ok || !lm.Core {
+			continue
+		}
+		for _, p := range s.Points {
+			totals[p.T] += p.V * lm.Capacity
+		}
+	}
+	out := make([]Point, 0, len(totals))
+	for t, v := range totals {
+		out = append(out, Point{T: t, V: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].T < out[j].T })
+	return out
+}
+
+// FlowTimeline is one flow's life as recorded in the trace.
+type FlowTimeline struct {
+	Flow       int32
+	Start, End float64 // End is NaN when the flow never finished
+	SizeBits   float64
+	// Switches lists the path-switch events in order.
+	Switches []Event
+	// Retx and Drops count the flow's retransmissions and queue drops.
+	Retx, Drops int
+	// Cwnd and Rate are the flow's probed series (nil when not probed).
+	Cwnd, Rate []Point
+}
+
+// FlowTimelines reconstructs per-flow timelines, in flow-ID order. Flows
+// that never started (no FlowStart event) are omitted.
+func (a *Aggregator) FlowTimelines() []*FlowTimeline {
+	byID := make(map[int32]*FlowTimeline)
+	get := func(id int32) *FlowTimeline {
+		ft := byID[id]
+		if ft == nil {
+			ft = &FlowTimeline{Flow: id, Start: math.NaN(), End: math.NaN()}
+			byID[id] = ft
+		}
+		return ft
+	}
+	for _, e := range a.tr.Events {
+		switch e.Kind {
+		case KindFlowStart:
+			ft := get(e.Flow)
+			ft.Start = e.T
+			ft.SizeBits = e.V
+		case KindFlowEnd:
+			get(e.Flow).End = e.T
+		case KindPathSwitch:
+			ft := get(e.Flow)
+			ft.Switches = append(ft.Switches, e)
+		case KindRetransmit:
+			get(e.Flow).Retx++
+		case KindDrop:
+			if e.Flow >= 0 {
+				get(e.Flow).Drops++
+			}
+		}
+	}
+	for _, s := range a.tr.Series {
+		switch s.Metric {
+		case MetricFlowCwnd:
+			if ft := byID[int32(s.Entity)]; ft != nil {
+				ft.Cwnd = s.Points
+			}
+		case MetricFlowRate:
+			if ft := byID[int32(s.Entity)]; ft != nil {
+				ft.Rate = s.Points
+			}
+		}
+	}
+	out := make([]*FlowTimeline, 0, len(byID))
+	for _, ft := range byID {
+		if !math.IsNaN(ft.Start) {
+			out = append(out, ft)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Flow < out[j].Flow })
+	return out
+}

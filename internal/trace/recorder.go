@@ -1,0 +1,191 @@
+package trace
+
+import "sort"
+
+// LinkMeta snapshots one directed link of the traced topology so
+// aggregators can label links and weight utilization by capacity without
+// rebuilding the network.
+type LinkMeta struct {
+	// ID is the directed link ID.
+	ID int32 `json:"id"`
+	// From and To are the endpoint node names.
+	From string `json:"from"`
+	To   string `json:"to"`
+	// Capacity is the nominal bandwidth in bits/s.
+	Capacity float64 `json:"capacity"`
+	// Core marks links touching the top tier: the bisection links whose
+	// aggregate throughput §4.3.3 compares.
+	Core bool `json:"core,omitempty"`
+}
+
+// Meta describes the traced run.
+type Meta struct {
+	// Topology, Scheduler, Pattern, and Engine echo the scenario.
+	Topology  string `json:"topology,omitempty"`
+	Scheduler string `json:"scheduler,omitempty"`
+	Pattern   string `json:"pattern,omitempty"`
+	Engine    string `json:"engine,omitempty"`
+	// Seed is the run's RNG seed.
+	Seed int64 `json:"seed,omitempty"`
+	// ProbeInterval is the sampling period in seconds (0: no probes).
+	ProbeInterval float64 `json:"probe_interval,omitempty"`
+	// Links snapshots the topology's directed links.
+	Links []LinkMeta `json:"links,omitempty"`
+}
+
+// Point is one sample of a time series.
+type Point struct {
+	T float64
+	V float64
+}
+
+// SeriesData is one completed time series of a trace: the chronological
+// points that survived the ring buffer plus how many were evicted.
+type SeriesData struct {
+	Metric  Metric
+	Entity  int64
+	Dropped int
+	Points  []Point
+}
+
+// Trace is a completed recording: immutable data ready for export or
+// aggregation.
+type Trace struct {
+	Meta   Meta
+	Events []Event
+	Series []SeriesData
+}
+
+// DefaultMaxPoints bounds each probe series when RecorderOptions leaves
+// MaxPoints zero. At the default 0.25 s probe period this holds over an
+// hour of simulated time per series.
+const DefaultMaxPoints = 16384
+
+// RecorderOptions tunes a Recorder.
+type RecorderOptions struct {
+	// MaxPoints caps every time series' ring buffer (0 means
+	// DefaultMaxPoints, negative means unbounded). Events are never
+	// capped: their volume is bounded by the workload, not by time.
+	MaxPoints int
+}
+
+// ring is a fixed-capacity point buffer that overwrites its oldest entry
+// when full.
+type ring struct {
+	buf     []Point
+	head    int // next write position once full
+	full    bool
+	cap     int // <= 0: unbounded
+	dropped int
+}
+
+func (r *ring) push(p Point) {
+	if r.cap <= 0 {
+		r.buf = append(r.buf, p)
+		return
+	}
+	if !r.full {
+		r.buf = append(r.buf, p)
+		if len(r.buf) == r.cap {
+			r.full = true
+		}
+		return
+	}
+	r.buf[r.head] = p
+	r.head = (r.head + 1) % r.cap
+	r.dropped++
+}
+
+// points returns the buffered samples in chronological order.
+func (r *ring) points() []Point {
+	out := make([]Point, 0, len(r.buf))
+	if r.full {
+		out = append(out, r.buf[r.head:]...)
+		out = append(out, r.buf[:r.head]...)
+		return out
+	}
+	return append(out, r.buf...)
+}
+
+type seriesKey struct {
+	metric Metric
+	entity int64
+}
+
+// Recorder is the buffering Tracer: events append to a slice, samples go
+// into per-(metric, entity) ring buffers. A Recorder belongs to exactly
+// one run (simulations are single-goroutine); create one per sweep cell.
+type Recorder struct {
+	meta      Meta
+	events    []Event
+	series    map[seriesKey]*ring
+	maxPoints int
+}
+
+var _ Tracer = (*Recorder)(nil)
+
+// NewRecorder creates an empty recorder.
+func NewRecorder(opts RecorderOptions) *Recorder {
+	max := opts.MaxPoints
+	if max == 0 {
+		max = DefaultMaxPoints
+	}
+	return &Recorder{
+		series:    make(map[seriesKey]*ring),
+		maxPoints: max,
+	}
+}
+
+// SetMeta attaches the run description.
+func (r *Recorder) SetMeta(m Meta) { r.meta = m }
+
+// Enabled implements Tracer.
+func (r *Recorder) Enabled() bool { return true }
+
+// Emit implements Tracer.
+func (r *Recorder) Emit(e Event) { r.events = append(r.events, e) }
+
+// Sample implements Tracer; non-finite values are dropped.
+func (r *Recorder) Sample(m Metric, entity int64, t, v float64) {
+	if !finite(v) || !finite(t) {
+		return
+	}
+	key := seriesKey{m, entity}
+	rg := r.series[key]
+	if rg == nil {
+		rg = &ring{cap: r.maxPoints}
+		r.series[key] = rg
+	}
+	rg.push(Point{T: t, V: v})
+}
+
+// Events returns the recorded events in emission order. The slice is
+// owned by the recorder.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Take freezes the recording into a Trace: events in emission order,
+// series sorted by (metric, entity) so the output is deterministic
+// regardless of map iteration.
+func (r *Recorder) Take() *Trace {
+	keys := make([]seriesKey, 0, len(r.series))
+	for k := range r.series {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].metric != keys[j].metric {
+			return keys[i].metric < keys[j].metric
+		}
+		return keys[i].entity < keys[j].entity
+	})
+	tr := &Trace{Meta: r.meta, Events: r.events}
+	for _, k := range keys {
+		rg := r.series[k]
+		tr.Series = append(tr.Series, SeriesData{
+			Metric:  k.metric,
+			Entity:  k.entity,
+			Dropped: rg.dropped,
+			Points:  rg.points(),
+		})
+	}
+	return tr
+}
