@@ -261,6 +261,45 @@ func BenchmarkEngineAgreement(b *testing.B) {
 
 // --- Engine microbenchmarks ----------------------------------------------
 
+// BenchmarkMaxMinScale exercises the flow-level engine's hot path at the
+// paper's large fabric sizes (trimmed host edge, like cmd/dardsim and
+// TestPaperScaleFabric): p=8/16/32 fat-trees under a stride workload.
+// ECMP keeps control-plane work out of the measurement, so the numbers
+// isolate the max-min recompute, the membership bookkeeping, and the
+// event loop — the costs the incremental engine attacks. Run with
+// -benchtime=1x for the wall-clock comparison recorded in BENCH_pr3.json.
+func BenchmarkMaxMinScale(b *testing.B) {
+	for _, p := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			topo, err := dard.TopologySpec{Kind: dard.FatTree, P: p, HostsPerToR: 1}.Build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := dard.Scenario{
+					Topo:           topo,
+					Scheduler:      dard.SchedulerECMP,
+					Pattern:        dard.PatternStride,
+					RatePerHost:    2,
+					Duration:       10,
+					FileSizeMB:     64,
+					Seed:           7,
+					ElephantAgeSec: 0.5,
+				}
+				rep, err := s.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Unfinished != 0 {
+					b.Fatalf("%d unfinished flows", rep.Unfinished)
+				}
+				b.ReportMetric(float64(rep.Flows), "flows")
+			}
+		})
+	}
+}
+
 // BenchmarkFlowsimEvents measures the fluid engine's event throughput.
 func BenchmarkFlowsimEvents(b *testing.B) {
 	for i := 0; i < b.N; i++ {

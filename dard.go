@@ -173,6 +173,12 @@ type Scenario struct {
 	// seconds while tracing: zero means DefaultTraceProbeInterval,
 	// negative disables probes. Ignored when not tracing.
 	TraceProbeInterval float64
+
+	// flowsimReference selects flowsim's retained reference scheduler
+	// instead of the incremental engine. Both must produce byte-identical
+	// reports; equivalence tests flip this via WithReferenceEngine (see
+	// export_test.go) to enforce that.
+	flowsimReference bool
 }
 
 func (s Scenario) withDefaults() Scenario {
@@ -288,6 +294,7 @@ func (s Scenario) runFlow(topo *Topology, flows []workload.Flow, tr trace.Tracer
 		LinkEvents:    events,
 		Tracer:        tr,
 		ProbeInterval: s.probeInterval(),
+		Reference:     s.flowsimReference,
 	})
 	if err != nil {
 		return nil, err

@@ -109,14 +109,27 @@ func TestUnknowns(t *testing.T) {
 
 func TestDARDImprovesOnECMPStride(t *testing.T) {
 	// The headline result (Fig. 4/7): under stride traffic DARD beats
-	// random flow-level scheduling.
-	ecmp, err := quick(SchedulerECMP, PatternStride).Run()
+	// random flow-level scheduling. quick()'s sub-second flows die before
+	// the control loop's multi-second default periods ever fire, so this
+	// test uses larger transfers and a responsive tuning: elephants live
+	// long enough for monitors to sample switch state and for scheduling
+	// rounds to actually move flows.
+	scenario := func(sch Scheduler) Scenario {
+		s := quick(sch, PatternStride)
+		s.FileSizeMB = 256
+		s.DARD = Tuning{QueryInterval: 0.25, ScheduleInterval: 0.5, ScheduleJitter: 0.5}
+		return s
+	}
+	ecmp, err := scenario(SchedulerECMP).Run()
 	if err != nil {
 		t.Fatal(err)
 	}
-	dd, err := quick(SchedulerDARD, PatternStride).Run()
+	dd, err := scenario(SchedulerDARD).Run()
 	if err != nil {
 		t.Fatal(err)
+	}
+	if dd.DARDShifts == 0 {
+		t.Error("DARD accepted no flow moves; the scenario does not exercise adaptive routing")
 	}
 	imp := dd.ImprovementOver(ecmp)
 	if imp <= 0 {

@@ -1,0 +1,10 @@
+package dard
+
+// WithReferenceEngine returns a copy of the scenario that runs on
+// flowsim's retained reference scheduler instead of the incremental
+// engine. Test-only: equivalence tests run every scenario both ways and
+// require byte-identical reports.
+func (s Scenario) WithReferenceEngine() Scenario {
+	s.flowsimReference = true
+	return s
+}

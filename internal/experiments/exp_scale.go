@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"dard"
+	"dard/internal/metrics"
+	"dard/internal/parallel"
+)
+
+// EngineScale measures the flow-level engine's wall-clock cost on the
+// paper's fat-tree switching fabrics (p in Params.FatTreeP, one host per
+// ToR): stride traffic under ECMP, the workload BenchmarkMaxMinScale
+// times. It is not a paper artifact — it tracks the incremental max-min
+// engine's scaling (see DESIGN.md, "Flow-level engine performance") so
+// regressions show up as numbers, not as stalled p=32 sweeps.
+func EngineScale(p Params) (*Result, error) {
+	p = p.withDefaults()
+	type cell struct {
+		flows   int
+		simTime float64
+		wall    time.Duration
+	}
+	cells := make([]cell, len(p.FatTreeP))
+	// Cells run serially on purpose: each measures wall clock, and
+	// concurrent cells would contend for cores and skew one another.
+	err := parallel.ForEach(1, len(p.FatTreeP), func(i int) error {
+		pp := p.FatTreeP[i]
+		topo, err := dard.TopologySpec{Kind: dard.FatTree, P: pp, HostsPerToR: 1}.Build()
+		if err != nil {
+			return err
+		}
+		topo.Prewarm()
+		s := dard.Scenario{
+			Topo:        topo,
+			Scheduler:   dard.SchedulerECMP,
+			Pattern:     dard.PatternStride,
+			RatePerHost: 2,
+			Duration:    10,
+			FileSizeMB:  64,
+			Seed:        parallel.Seed(p.Seed, fmt.Sprintf("scale/p=%d", pp)),
+		}
+		start := time.Now()
+		rep, err := s.Run()
+		if err != nil {
+			return fmt.Errorf("p=%d: %w", pp, err)
+		}
+		if rep.Unfinished != 0 {
+			return fmt.Errorf("p=%d: %d unfinished flows", pp, rep.Unfinished)
+		}
+		cells[i] = cell{flows: rep.Flows, simTime: rep.SimTime, wall: time.Since(start)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tbl := metrics.NewTable("flow-level engine wall clock (stride, ECMP, 1 host/ToR)",
+		"p", "flows", "sim s", "wall s")
+	values := make(map[string]float64)
+	for i, pp := range p.FatTreeP {
+		c := cells[i]
+		tbl.AddRowf(fmt.Sprintf("%d", pp), c.flows, c.simTime, c.wall.Seconds())
+		values[fmt.Sprintf("p=%d/flows", pp)] = float64(c.flows)
+		values[fmt.Sprintf("p=%d/wall_s", pp)] = c.wall.Seconds()
+	}
+	return &Result{
+		ID:     "scale",
+		Title:  "flow-level engine scaling on switching fabrics",
+		Text:   tbl.String(),
+		Values: values,
+	}, nil
+}

@@ -200,10 +200,23 @@ func TestTheorem2Registry(t *testing.T) {
 	}
 }
 
+func TestEngineScale(t *testing.T) {
+	r, err := EngineScale(quickParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Values["p=4/flows"] <= 0 {
+		t.Error("no flows simulated at p=4")
+	}
+	if r.Values["p=4/wall_s"] <= 0 {
+		t.Error("wall clock not measured")
+	}
+}
+
 func TestRegistryComplete(t *testing.T) {
 	entries := All()
-	if len(entries) != 19 {
-		t.Fatalf("registry has %d entries, want 19", len(entries))
+	if len(entries) != 20 {
+		t.Fatalf("registry has %d entries, want 20", len(entries))
 	}
 	seen := make(map[string]bool)
 	for _, e := range entries {

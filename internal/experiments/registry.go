@@ -39,6 +39,7 @@ func All() []Entry {
 		{"theorem2", "Nash convergence of selfish dynamics (Appendix B)", func(p Params) (*Result, error) {
 			return NashConvergence(50, p.Seed, p.Workers)
 		}},
+		{"scale", "flow-level engine wall clock vs fabric size", EngineScale},
 	}
 }
 

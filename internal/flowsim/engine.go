@@ -54,6 +54,13 @@ type Config struct {
 	// of their own, so enabling them cannot perturb the simulation.
 	// Zero or negative disables probing.
 	ProbeInterval float64
+	// Reference selects the retained reference scheduler (reference.go):
+	// rebuild-everything recomputes and linear scans instead of the
+	// incremental engine. Reports must be byte-identical either way —
+	// the equivalence tests diff the two on every seed scenario. Keep it
+	// off outside those tests: it restores the O(events x flows)
+	// behavior the incremental engine exists to avoid.
+	Reference bool
 }
 
 // Sim is one simulation run. Controllers receive it in their callbacks to
@@ -88,13 +95,31 @@ type Sim struct {
 	probeEvery float64      // 0 when probing is off
 	nextProbe  float64
 
-	// scratch buffers for the max-min computation
-	residual  []float64
-	unfrozen  []int
-	linkUsed  []topology.LinkID
-	linkFlows [][]*Flow
-	linkStamp []uint64
-	stamp     uint64
+	// Incremental engine state (maxmin.go): per-link flow-membership
+	// lists maintained on arrival/departure/path-switch, the dirty-link
+	// seeds accumulated since the last recompute, the component-BFS
+	// epoch marks, and the two indexed heaps.
+	linkFlows  [][]*Flow
+	dirtyLinks []topology.LinkID
+	linkDirty  []bool
+	linkSeen   []uint64
+	epoch      uint64
+	compFlows  []*Flow
+	lheap      *linkHeap
+	done       finishHeap
+
+	// Progressive-filling accumulators, shared by both schedulers.
+	residual []float64
+	unfrozen []int
+	linkUsed []topology.LinkID // links of the current recompute (doubles as the BFS queue)
+
+	// Reference-engine scratch (reference.go): membership lists rebuilt
+	// from scratch on every recompute, stamped per round.
+	refFlows [][]*Flow
+	refStamp []uint64
+	stamp    uint64
+
+	loadScratch []float64 // probe() per-link load buffer
 }
 
 // New validates the configuration and prepares a run.
@@ -144,8 +169,14 @@ func New(cfg Config) (*Sim, error) {
 		residual:  make([]float64, g.NumLinks()),
 		unfrozen:  make([]int, g.NumLinks()),
 		linkFlows: make([][]*Flow, g.NumLinks()),
-		linkStamp: make([]uint64, g.NumLinks()),
+		linkDirty: make([]bool, g.NumLinks()),
+		linkSeen:  make([]uint64, g.NumLinks()),
+		lheap:     newLinkHeap(g.NumLinks()),
 		tracer:    trace.OrNop(cfg.Tracer),
+	}
+	if cfg.Reference {
+		s.refFlows = make([][]*Flow, g.NumLinks())
+		s.refStamp = make([]uint64, g.NumLinks())
 	}
 	if s.tracer.Enabled() && cfg.ProbeInterval > 0 {
 		s.probeEvery = cfg.ProbeInterval
@@ -233,7 +264,9 @@ func (s *Sim) SetPath(f *Flow, pathIdx int) error {
 	}
 	old := f.PathIdx
 	f.PathIdx = pathIdx
+	s.detachLinks(f)
 	s.buildRoute(f, paths[pathIdx])
+	s.attachLinks(f)
 	f.PathSwitches++
 	s.markStateChanged()
 	if s.tracer.Enabled() {
@@ -245,17 +278,83 @@ func (s *Sim) SetPath(f *Flow, pathIdx int) error {
 	return nil
 }
 
+// buildRoute fills f.links with the host uplink, the ToR-to-ToR path,
+// and the host downlink, reusing the slice's capacity across re-routes.
 func (s *Sim) buildRoute(f *Flow, p topology.Path) {
-	links := make([]topology.LinkID, 0, len(p.Links)+2)
-	links = append(links, s.net.HostUplink(f.Src))
-	links = append(links, p.Links...)
-	links = append(links, s.net.HostDownlink(f.Dst))
-	f.links = links
+	f.links = append(f.links[:0], s.net.HostUplink(f.Src))
+	f.links = append(f.links, p.Links...)
+	f.links = append(f.links, s.net.HostDownlink(f.Dst))
+}
+
+// attachLinks adds f to the membership list of every link on its route
+// and seeds the next recompute with those links.
+func (s *Sim) attachLinks(f *Flow) {
+	if cap(f.linkPos) < len(f.links) {
+		f.linkPos = make([]int, len(f.links))
+	} else {
+		f.linkPos = f.linkPos[:len(f.links)]
+	}
+	if n := int(f.links[len(f.links)-1]) + 1; n > len(s.linkFlows) {
+		s.growLinkFlows(n)
+	}
+	for i, l := range f.links {
+		f.linkPos[i] = len(s.linkFlows[l])
+		s.linkFlows[l] = append(s.linkFlows[l], f)
+		s.markLinkDirty(l)
+	}
+}
+
+// detachLinks removes f from its links' membership lists by swap-delete:
+// f.linkPos makes each removal O(1), and the displaced flow's position
+// entry is patched through its own (short) route slice.
+func (s *Sim) detachLinks(f *Flow) {
+	for i, l := range f.links {
+		lst := s.linkFlows[l]
+		pos := f.linkPos[i]
+		last := len(lst) - 1
+		moved := lst[last]
+		lst[pos] = moved
+		lst[last] = nil
+		s.linkFlows[l] = lst[:last]
+		if moved != f {
+			for j, ml := range moved.links {
+				if ml == l && moved.linkPos[j] == last {
+					moved.linkPos[j] = pos
+					break
+				}
+			}
+		}
+		s.markLinkDirty(l)
+	}
+}
+
+// markLinkDirty seeds the next incremental recompute with a link whose
+// capacity or membership changed. The reference scheduler recomputes
+// everything and ignores seeds.
+func (s *Sim) markLinkDirty(l topology.LinkID) {
+	if s.cfg.Reference {
+		return
+	}
+	if !s.linkDirty[l] {
+		s.linkDirty[l] = true
+		s.dirtyLinks = append(s.dirtyLinks, l)
+	}
 }
 
 func (s *Sim) markStateChanged() {
 	s.ratesDirty = true
 	s.stateVersion++
+}
+
+// growLinkFlows resizes the membership table to hold n links in a single
+// allocation.
+func (s *Sim) growLinkFlows(n int) {
+	if n <= len(s.linkFlows) {
+		return
+	}
+	grown := make([][]*Flow, n)
+	copy(grown, s.linkFlows)
+	s.linkFlows = grown
 }
 
 // ElephantsOnLink returns the number of active elephant flows currently
@@ -309,6 +408,7 @@ func (s *Sim) SetLinkDown(l topology.LinkID, down bool) {
 		return
 	}
 	s.linkDown[l] = down
+	s.markLinkDirty(l)
 	s.markStateChanged()
 	if s.tracer.Enabled() {
 		kind := trace.KindLinkRecover
@@ -321,6 +421,13 @@ func (s *Sim) SetLinkDown(l topology.LinkID, down bool) {
 
 // Run executes the simulation until every flow completes or MaxTime is
 // exceeded, then reports per-flow statistics.
+//
+// Time advances event to event with no per-flow work in between: each
+// active flow carries a finishAt projection (syncAt + Remaining/Rate)
+// that stays valid until its rate changes, so the next completion is the
+// min of (finishAt, flow ID) — the completion heap's root, or a linear
+// scan under the reference scheduler. Remaining is materialized lazily,
+// only when a recompute actually changes the flow's rate (applyRate).
 func (s *Sim) Run() (*Results, error) {
 	for _, ev := range s.cfg.LinkEvents {
 		ev := ev
@@ -338,14 +445,10 @@ func (s *Sim) Run() (*Results, error) {
 		// Earliest of: next completion, next arrival, next timer.
 		const none = math.MaxFloat64
 		tComplete, completing := none, (*Flow)(nil)
-		for _, f := range s.active {
-			if f.Rate <= 0 {
-				continue
-			}
-			t := s.now + f.Remaining/f.Rate
-			if t < tComplete {
-				tComplete, completing = t, f
-			}
+		if s.cfg.Reference {
+			tComplete, completing = s.nextCompletionReference()
+		} else if f := s.done.min(); f != nil && f.finishAt < none {
+			tComplete, completing = f.finishAt, f
 		}
 		tArrival := none
 		if s.nextArrival < len(s.pending) {
@@ -366,19 +469,10 @@ func (s *Sim) Run() (*Results, error) {
 		if t > s.cfg.MaxTime {
 			break
 		}
-		if dt := t - s.now; dt > 0 {
-			for _, f := range s.active {
-				f.Remaining -= f.Rate * dt
-				if f.Remaining < 0 {
-					f.Remaining = 0
-				}
-			}
-			s.now = t
-		}
+		s.now = t
 
 		switch {
 		case tComplete <= tArrival && tComplete <= tTimer:
-			completing.Remaining = 0
 			s.complete(completing)
 		case tArrival <= tTimer:
 			s.arrive(s.pending[s.nextArrival])
@@ -406,7 +500,13 @@ func (s *Sim) probe() {
 	if s.ratesDirty {
 		s.recomputeRates()
 	}
-	load := make([]float64, s.g.NumLinks())
+	if s.loadScratch == nil {
+		s.loadScratch = make([]float64, s.g.NumLinks())
+	}
+	load := s.loadScratch
+	for i := range load {
+		load[i] = 0
+	}
 	for _, f := range s.active {
 		for _, l := range f.links {
 			load[l] += f.Rate
@@ -433,6 +533,10 @@ func (s *Sim) arrive(wf workload.Flow) {
 		Arrival:   s.now,
 		Finish:    math.NaN(),
 		active:    true,
+		activeIdx: -1,
+		heapIdx:   -1,
+		syncAt:    s.now,
+		finishAt:  math.Inf(1),
 	}
 	f.SrcToR = s.net.ToROf(f.Src)
 	f.DstToR = s.net.ToROf(f.Dst)
@@ -445,7 +549,12 @@ func (s *Sim) arrive(wf workload.Flow) {
 	}
 	f.PathIdx = idx
 	s.buildRoute(f, paths[idx])
+	s.attachLinks(f)
+	f.activeIdx = len(s.active)
 	s.active = append(s.active, f)
+	if !s.cfg.Reference {
+		s.done.push(f)
+	}
 	s.markStateChanged()
 	if s.tracer.Enabled() {
 		// T is f.Arrival, so a FlowEnd minus this is bit-for-bit the
@@ -489,6 +598,8 @@ func (s *Sim) classifyElephant(f *Flow) {
 
 func (s *Sim) complete(f *Flow) {
 	f.Finish = s.now
+	f.Remaining = 0
+	f.syncAt = s.now
 	f.active = false
 	if s.tracer.Enabled() {
 		s.tracer.Emit(trace.Event{
@@ -499,14 +610,17 @@ func (s *Sim) complete(f *Flow) {
 	if f.Elephant {
 		s.curElephants--
 	}
-	for i, a := range s.active {
-		if a == f {
-			last := len(s.active) - 1
-			s.active[i] = s.active[last]
-			s.active[last] = nil
-			s.active = s.active[:last]
-			break
-		}
+	s.detachLinks(f)
+	// O(1) swap-delete from the active set via the flow's stored index.
+	last := len(s.active) - 1
+	moved := s.active[last]
+	s.active[f.activeIdx] = moved
+	moved.activeIdx = f.activeIdx
+	s.active[last] = nil
+	s.active = s.active[:last]
+	f.activeIdx = -1
+	if !s.cfg.Reference {
+		s.done.remove(f)
 	}
 	s.markStateChanged()
 	if obs, ok := s.cfg.Controller.(FlowObserver); ok {

@@ -44,6 +44,17 @@ type Flow struct {
 
 	links  []topology.LinkID // current route incl. host first/last hop
 	active bool
+
+	// Incremental-engine bookkeeping (see maxmin.go). Remaining is lazily
+	// synchronized: it is exact as of syncAt and decays at Rate until the
+	// next rate change materializes it again.
+	linkPos   []int   // linkPos[i] = index of this flow in linkFlows[links[i]]
+	activeIdx int     // index in Sim.active; -1 once departed
+	syncAt    float64 // time Remaining was last materialized
+	finishAt  float64 // projected completion (syncAt + Remaining/Rate); +Inf while Rate <= 0
+	heapIdx   int     // position in the completion heap; -1 when absent
+	seen      uint64  // recompute-epoch marker for the component BFS
+	newRate   float64 // scratch: tentative rate while a recompute runs (<0 = unfrozen)
 }
 
 // TransferTime returns Finish-Arrival, or NaN if unfinished.

@@ -1,0 +1,228 @@
+package flowsim
+
+import "dard/internal/topology"
+
+// This file holds the two indexed min-heaps of the incremental engine
+// (see maxmin.go). Both break ties on a stable integer identity, so the
+// element they surface is a pure function of the keys — independent of
+// insertion order and of the heap's internal layout. That property is
+// what lets the reference implementation (reference.go) reproduce the
+// heaps' choices with plain linear scans.
+
+// finishHeap is an indexed min-heap of active flows keyed on
+// (finishAt, ID): the next completion is the root. Flows whose rate is
+// zero sit in the heap with finishAt = +Inf and simply never surface.
+type finishHeap struct{ a []*Flow }
+
+func finishLess(x, y *Flow) bool {
+	if x.finishAt != y.finishAt {
+		return x.finishAt < y.finishAt
+	}
+	return x.ID < y.ID
+}
+
+// min returns the earliest-finishing flow, nil when empty.
+func (h *finishHeap) min() *Flow {
+	if len(h.a) == 0 {
+		return nil
+	}
+	return h.a[0]
+}
+
+func (h *finishHeap) push(f *Flow) {
+	f.heapIdx = len(h.a)
+	h.a = append(h.a, f)
+	h.up(f.heapIdx)
+}
+
+// remove deletes f from the heap in O(log n).
+func (h *finishHeap) remove(f *Flow) {
+	i := f.heapIdx
+	if i < 0 {
+		return
+	}
+	last := len(h.a) - 1
+	h.swap(i, last)
+	h.a[last] = nil
+	h.a = h.a[:last]
+	f.heapIdx = -1
+	if i < last {
+		h.fixAt(i)
+	}
+}
+
+// fix restores heap order after f's finishAt changed.
+func (h *finishHeap) fix(f *Flow) {
+	if f.heapIdx >= 0 {
+		h.fixAt(f.heapIdx)
+	}
+}
+
+func (h *finishHeap) fixAt(i int) {
+	if !h.down(i) {
+		h.up(i)
+	}
+}
+
+func (h *finishHeap) swap(i, j int) {
+	h.a[i], h.a[j] = h.a[j], h.a[i]
+	h.a[i].heapIdx = i
+	h.a[j].heapIdx = j
+}
+
+func (h *finishHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !finishLess(h.a[i], h.a[parent]) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+// down sifts i toward the leaves; it reports whether i moved.
+func (h *finishHeap) down(i int) bool {
+	start := i
+	n := len(h.a)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && finishLess(h.a[right], h.a[left]) {
+			child = right
+		}
+		if !finishLess(h.a[child], h.a[i]) {
+			break
+		}
+		h.swap(i, child)
+		i = child
+	}
+	return i > start
+}
+
+// linkHeap is an indexed min-heap over links keyed on (fair share,
+// LinkID), used by the progressive-filling loop to pop the bottleneck
+// link in O(log L) instead of scanning every in-use link. pos is indexed
+// by LinkID (-1 = not in the heap) so key updates after a freeze are
+// O(log L) per touched link.
+type linkHeap struct {
+	ids []topology.LinkID
+	key []float64
+	pos []int32 // by LinkID; -1 when absent
+}
+
+func newLinkHeap(numLinks int) *linkHeap {
+	h := &linkHeap{pos: make([]int32, numLinks)}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+func (h *linkHeap) linkLess(i, j int) bool {
+	if h.key[i] != h.key[j] {
+		return h.key[i] < h.key[j]
+	}
+	return h.ids[i] < h.ids[j]
+}
+
+// reset empties the heap (defensive: a normal filling pass drains it).
+func (h *linkHeap) reset() {
+	for _, l := range h.ids {
+		h.pos[l] = -1
+	}
+	h.ids = h.ids[:0]
+	h.key = h.key[:0]
+}
+
+func (h *linkHeap) push(l topology.LinkID, share float64) {
+	i := len(h.ids)
+	h.ids = append(h.ids, l)
+	h.key = append(h.key, share)
+	h.pos[l] = int32(i)
+	h.up(i)
+}
+
+// popMin removes and returns the link with the smallest (share, ID) key.
+func (h *linkHeap) popMin() (topology.LinkID, float64, bool) {
+	if len(h.ids) == 0 {
+		return -1, 0, false
+	}
+	l, share := h.ids[0], h.key[0]
+	h.removeAt(0)
+	return l, share, true
+}
+
+// update re-keys a link if present; no-op otherwise.
+func (h *linkHeap) update(l topology.LinkID, share float64) {
+	i := h.pos[l]
+	if i < 0 {
+		return
+	}
+	h.key[i] = share
+	if !h.down(int(i)) {
+		h.up(int(i))
+	}
+}
+
+// remove deletes a link if present; no-op otherwise.
+func (h *linkHeap) remove(l topology.LinkID) {
+	if i := h.pos[l]; i >= 0 {
+		h.removeAt(int(i))
+	}
+}
+
+func (h *linkHeap) removeAt(i int) {
+	last := len(h.ids) - 1
+	h.swap(i, last)
+	h.pos[h.ids[last]] = -1
+	h.ids = h.ids[:last]
+	h.key = h.key[:last]
+	if i < last {
+		if !h.down(i) {
+			h.up(i)
+		}
+	}
+}
+
+func (h *linkHeap) swap(i, j int) {
+	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
+	h.key[i], h.key[j] = h.key[j], h.key[i]
+	h.pos[h.ids[i]] = int32(i)
+	h.pos[h.ids[j]] = int32(j)
+}
+
+func (h *linkHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.linkLess(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *linkHeap) down(i int) bool {
+	start := i
+	n := len(h.ids)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && h.linkLess(right, left) {
+			child = right
+		}
+		if !h.linkLess(child, i) {
+			break
+		}
+		h.swap(i, child)
+		i = child
+	}
+	return i > start
+}

@@ -1,79 +1,130 @@
 package flowsim
 
-import "dard/internal/topology"
+import "math"
 
-// recomputeRates assigns every active flow its max-min fair share by
-// progressive filling: repeatedly find the link with the smallest residual
-// fair share, freeze its unfrozen flows at that rate, subtract their
-// allocation from every link they cross, and continue until all flows are
-// frozen.
+// The incremental max-min engine.
 //
-// The computation keeps per-link flow lists so each flow is visited a
-// constant number of times: building the lists is O(F x pathlen), and the
-// bottleneck search is O(active links) per iteration with at most one
-// iteration per distinct bottleneck link.
+// Rates are assigned by progressive filling — repeatedly freeze the
+// flows of the link with the smallest residual fair share — exactly as
+// in the retained reference scheduler (reference.go). Three structural
+// optimizations keep the hot path sub-quadratic without changing a
+// single bit of the result:
+//
+//  1. Per-link flow-membership lists are maintained incrementally on
+//     arrival, departure, and path switch (attachLinks/detachLinks)
+//     instead of being rebuilt from every active flow on every
+//     recompute. List order is free: flows frozen in one filling batch
+//     all receive the same rate, and each link's residual is reduced by
+//     that one value once per member, so the arithmetic is independent
+//     of membership order.
+//
+//  2. Recomputation is scoped to the part of the flow/link sharing
+//     graph the triggering events actually touched. Every membership or
+//     capacity change seeds its link (markLinkDirty); a BFS over the
+//     bipartite sharing graph expands the seeds into the affected
+//     component. Progressive filling decomposes over connected
+//     components — a component's fill sequence never reads another
+//     component's state — so flows outside the affected component would
+//     recompute to bit-identical rates and can keep them frozen.
+//
+//  3. The per-iteration bottleneck search is an indexed min-heap over
+//     link fair shares keyed (share, LinkID) instead of a linear scan.
+//     The key is a total order, so the heap pops exactly the link the
+//     reference's tie-broken scan selects.
+//
+// Flow progress is lazy: Remaining is materialized only when a
+// recompute actually changes the flow's rate (applyRate), and the
+// projected completion finishAt stays valid in between. Both schedulers
+// share applyRate, so the floating-point op sequence — and therefore
+// every completion timestamp in the report — is identical.
+
+// recomputeRates reassigns max-min fair rates to every flow whose
+// allocation may have changed since the last recompute.
 func (s *Sim) recomputeRates() {
 	s.ratesDirty = false
+	if s.cfg.Reference {
+		s.recomputeRatesReference()
+		return
+	}
+	if len(s.dirtyLinks) == 0 {
+		return
+	}
 	if len(s.active) == 0 {
+		s.clearDirtyLinks()
 		return
 	}
 
-	// Stamp the links in use this round, reset their accumulators, and
-	// build the per-link membership lists.
-	s.stamp++
+	// Expand the dirty seeds into the affected component: alternate
+	// link -> member flows -> their links until the frontier closes.
+	// linkUsed doubles as the BFS queue; every link and flow is visited
+	// once per epoch.
+	s.epoch++
 	s.linkUsed = s.linkUsed[:0]
-	for _, f := range s.active {
-		f.Rate = -1 // unfrozen
-		for _, l := range f.links {
-			if s.linkStamp[l] != s.stamp {
-				s.linkStamp[l] = s.stamp
-				s.residual[l] = s.LinkCapacity(l)
-				s.unfrozen[l] = 0
-				if int(l) >= len(s.linkFlows) {
-					s.growLinkFlows(int(l) + 1)
-				}
-				s.linkFlows[l] = s.linkFlows[l][:0]
-				s.linkUsed = append(s.linkUsed, l)
-			}
-			s.unfrozen[l]++
-			s.linkFlows[l] = append(s.linkFlows[l], f)
+	for _, l := range s.dirtyLinks {
+		s.linkDirty[l] = false
+		if s.linkSeen[l] != s.epoch {
+			s.linkSeen[l] = s.epoch
+			s.linkUsed = append(s.linkUsed, l)
 		}
 	}
-
-	remaining := len(s.active)
-	for remaining > 0 {
-		// Bottleneck link: smallest residual fair share.
-		var bottleneck topology.LinkID = -1
-		best := 0.0
-		for _, l := range s.linkUsed {
-			if s.unfrozen[l] == 0 {
+	s.dirtyLinks = s.dirtyLinks[:0]
+	s.compFlows = s.compFlows[:0]
+	for i := 0; i < len(s.linkUsed); i++ {
+		for _, f := range s.linkFlows[s.linkUsed[i]] {
+			if f.seen == s.epoch {
 				continue
 			}
-			share := s.residual[l] / float64(s.unfrozen[l])
-			if bottleneck < 0 || share < best {
-				bottleneck, best = l, share
-			}
-		}
-		if bottleneck < 0 {
-			// Unreachable: every flow crosses at least its host links.
-			for _, f := range s.active {
-				if f.Rate < 0 {
-					f.Rate = 0
+			f.seen = s.epoch
+			f.newRate = -1 // unfrozen
+			s.compFlows = append(s.compFlows, f)
+			for _, fl := range f.links {
+				if s.linkSeen[fl] != s.epoch {
+					s.linkSeen[fl] = s.epoch
+					s.linkUsed = append(s.linkUsed, fl)
 				}
 			}
-			return
+		}
+	}
+	if len(s.compFlows) == 0 {
+		return // seeds only touched empty links (e.g. failing an idle link)
+	}
+
+	// Progressive filling over the component, bottleneck by bottleneck.
+	// Every link of the component starts from its full capacity: the
+	// component's flows are exactly its links' members, so the fill is
+	// self-contained.
+	s.lheap.reset()
+	for _, l := range s.linkUsed {
+		s.residual[l] = s.LinkCapacity(l)
+		n := len(s.linkFlows[l])
+		s.unfrozen[l] = n
+		if n > 0 {
+			s.lheap.push(l, s.residual[l]/float64(n))
+		}
+	}
+	remaining := len(s.compFlows)
+	for remaining > 0 {
+		bottleneck, best, ok := s.lheap.popMin()
+		if !ok {
+			// Unreachable: every flow crosses at least its host links.
+			for _, f := range s.compFlows {
+				if f.newRate < 0 {
+					f.newRate = 0
+				}
+			}
+			break
 		}
 		if best < 0 {
 			best = 0
 		}
 		// Freeze every unfrozen flow crossing the bottleneck. Once its
-		// unfrozen count reaches zero the link is never selected again,
-		// so each membership list is consumed at most once.
+		// unfrozen count reaches zero the link leaves the heap, so each
+		// membership list is consumed at most once.
 		for _, f := range s.linkFlows[bottleneck] {
-			if f.Rate >= 0 {
+			if f.newRate >= 0 {
 				continue
 			}
-			f.Rate = best
+			f.newRate = best
 			remaining--
 			for _, l := range f.links {
 				s.residual[l] -= best
@@ -81,13 +132,58 @@ func (s *Sim) recomputeRates() {
 					s.residual[l] = 0
 				}
 				s.unfrozen[l]--
+				if l == bottleneck {
+					continue // already popped
+				}
+				if s.unfrozen[l] == 0 {
+					s.lheap.remove(l)
+				} else {
+					s.lheap.update(l, s.residual[l]/float64(s.unfrozen[l]))
+				}
 			}
 		}
 	}
+
+	for _, f := range s.compFlows {
+		s.applyRate(f, f.newRate)
+	}
 }
 
-func (s *Sim) growLinkFlows(n int) {
-	for len(s.linkFlows) < n {
-		s.linkFlows = append(s.linkFlows, nil)
+// applyRate installs a freshly computed rate. If it differs from the
+// flow's current rate, the flow's progress is materialized first —
+// Remaining shrinks by the old rate over the elapsed span — and the
+// completion projection is rebuilt. An unchanged rate is a strict no-op:
+// Remaining, syncAt, and finishAt keep their bits, which is what lets
+// the incremental engine skip untouched components entirely. Both
+// schedulers share this function, so their floating-point op sequences
+// are identical by construction.
+func (s *Sim) applyRate(f *Flow, rate float64) {
+	if rate == f.Rate {
+		return
 	}
+	if dt := s.now - f.syncAt; dt > 0 {
+		f.Remaining -= f.Rate * dt
+		if f.Remaining < 0 {
+			f.Remaining = 0
+		}
+	}
+	f.syncAt = s.now
+	f.Rate = rate
+	if rate > 0 {
+		f.finishAt = s.now + f.Remaining/rate
+	} else {
+		f.finishAt = math.Inf(1)
+	}
+	if !s.cfg.Reference {
+		s.done.fix(f)
+	}
+}
+
+// clearDirtyLinks drops pending seeds without recomputing (no active
+// flows can depend on them).
+func (s *Sim) clearDirtyLinks() {
+	for _, l := range s.dirtyLinks {
+		s.linkDirty[l] = false
+	}
+	s.dirtyLinks = s.dirtyLinks[:0]
 }

@@ -1,7 +1,5 @@
 package flowsim
 
-import "container/heap"
-
 // timer is one scheduled control-plane callback.
 type timer struct {
 	at  float64
@@ -9,32 +7,60 @@ type timer struct {
 	fn  func()
 }
 
-// timerHeap is a min-heap on (at, seq).
+// timerHeap is a hand-rolled min-heap on (at, seq): the (time, sequence)
+// order is total, so the pop sequence is unique regardless of internal
+// layout. Direct sift methods avoid container/heap's interface{} boxing
+// on the engine's hot path.
 type timerHeap []*timer
 
-func (h timerHeap) Len() int { return len(h) }
-
-func (h timerHeap) Less(i, j int) bool {
+func (h timerHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
 
-func (h timerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) push(t *timer) {
+	*h = append(*h, t)
+	a := *h
+	i := len(a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !a.less(i, parent) {
+			break
+		}
+		a[i], a[parent] = a[parent], a[i]
+		i = parent
+	}
+}
 
-func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(*timer)) }
-
-func (h *timerHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+func (h *timerHeap) pop() *timer {
+	a := *h
+	t := a[0]
+	last := len(a) - 1
+	a[0] = a[last]
+	a[last] = nil
+	a = a[:last]
+	*h = a
+	// Sift the new root down.
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= len(a) {
+			break
+		}
+		child := left
+		if right := left + 1; right < len(a) && a.less(right, left) {
+			child = right
+		}
+		if !a.less(child, i) {
+			break
+		}
+		a[i], a[child] = a[child], a[i]
+		i = child
+	}
 	return t
 }
 
-func (h *timerHeap) push(t *timer)  { heap.Push(h, t) }
-func (h *timerHeap) pop() *timer    { return heap.Pop(h).(*timer) }
 func (h timerHeap) nextAt() float64 { return h[0].at }
 func (h timerHeap) empty() bool     { return len(h) == 0 }

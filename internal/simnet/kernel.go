@@ -17,13 +17,23 @@ type event struct {
 }
 
 // Timer is a handle to a scheduled event that can be canceled.
-type Timer struct{ ev *event }
+type Timer struct {
+	k  *Kernel
+	ev *event
+}
 
 // Cancel prevents the callback from firing; safe to call repeatedly or on
-// an already-fired timer.
+// an already-fired timer. Canceled events stay queued until they are
+// popped or the kernel compacts its heap; each cancellation is counted
+// once so compaction can trigger when dead events dominate the queue.
 func (t Timer) Cancel() {
-	if t.ev != nil {
-		t.ev.canceled = true
+	if t.ev == nil || t.ev.canceled {
+		return
+	}
+	t.ev.canceled = true
+	if t.k != nil {
+		t.k.canceled++
+		t.k.maybeCompact()
 	}
 }
 
@@ -52,9 +62,36 @@ func (h *eventHeap) Pop() interface{} {
 
 // Kernel is the event loop. The zero value is ready to use.
 type Kernel struct {
-	now    float64
-	seq    int64
-	events eventHeap
+	now      float64
+	seq      int64
+	events   eventHeap
+	canceled int // queued events whose timers were canceled
+}
+
+// compactMin is the queue size below which compaction is not worth the
+// rebuild; tiny queues drain canceled events quickly on their own.
+const compactMin = 64
+
+// maybeCompact rebuilds the heap without its canceled events once they
+// outnumber the live ones, keeping long runs that churn timers (every
+// in-flight TCP packet arms and cancels a retransmission timer) at
+// O(live) memory instead of O(ever scheduled).
+func (k *Kernel) maybeCompact() {
+	if len(k.events) < compactMin || k.canceled <= len(k.events)/2 {
+		return
+	}
+	live := k.events[:0]
+	for _, ev := range k.events {
+		if !ev.canceled {
+			live = append(live, ev)
+		}
+	}
+	for i := len(live); i < len(k.events); i++ {
+		k.events[i] = nil
+	}
+	k.events = live
+	k.canceled = 0
+	heap.Init(&k.events)
 }
 
 // Now returns the current simulation time in seconds.
@@ -69,7 +106,7 @@ func (k *Kernel) After(d float64, fn func()) Timer {
 	k.seq++
 	ev := &event{at: k.now + d, seq: k.seq, fn: fn}
 	heap.Push(&k.events, ev)
-	return Timer{ev: ev}
+	return Timer{k: k, ev: ev}
 }
 
 // Step runs the next pending event; it reports false when none remain.
@@ -77,6 +114,7 @@ func (k *Kernel) Step() bool {
 	for len(k.events) > 0 {
 		ev := heap.Pop(&k.events).(*event)
 		if ev.canceled {
+			k.canceled--
 			continue
 		}
 		k.now = ev.at
@@ -93,6 +131,7 @@ func (k *Kernel) Run(until float64) {
 		next := k.events[0]
 		if next.canceled {
 			heap.Pop(&k.events)
+			k.canceled--
 			continue
 		}
 		if next.at > until {

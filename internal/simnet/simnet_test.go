@@ -57,6 +57,63 @@ func TestKernelStep(t *testing.T) {
 	}
 }
 
+// TestKernelCompaction cancels most of a large queue and checks that the
+// kernel drops the dead events eagerly instead of carrying them until
+// their deadlines, while every surviving event still fires in order.
+func TestKernelCompaction(t *testing.T) {
+	var k Kernel
+	const n = 1000
+	var fired []int
+	timers := make([]Timer, n)
+	for i := 0; i < n; i++ {
+		i := i
+		timers[i] = k.After(float64(1+i), func() { fired = append(fired, i) })
+	}
+	// Cancel all but every 10th event; compaction should trigger long
+	// before the last Cancel and shed the canceled majority.
+	for i := 0; i < n; i++ {
+		if i%10 != 0 {
+			timers[i].Cancel()
+		}
+	}
+	live := n / 10
+	if k.Pending() > live+compactMin {
+		t.Errorf("Pending = %d after mass cancel, want ~%d (compaction did not run)", k.Pending(), live)
+	}
+	// Double Cancel must not skew the canceled count.
+	for i := 0; i < n; i++ {
+		timers[i].Cancel()
+	}
+	k.Run(math.Inf(1))
+	if len(fired) != 0 {
+		t.Errorf("%d canceled events fired", len(fired))
+	}
+
+	// Survivors fire in schedule order after heavy cancellation churn.
+	fired = nil
+	for i := 0; i < n; i++ {
+		i := i
+		timers[i] = k.After(float64(1+i), func() { fired = append(fired, i) })
+	}
+	for i := 0; i < n; i++ {
+		if i%10 != 0 {
+			timers[i].Cancel()
+		}
+	}
+	k.Run(math.Inf(1))
+	if len(fired) != live {
+		t.Fatalf("%d events fired, want %d", len(fired), live)
+	}
+	for j, i := range fired {
+		if i != j*10 {
+			t.Fatalf("fired[%d] = %d, want %d", j, i, j*10)
+		}
+	}
+	if k.Pending() != 0 {
+		t.Errorf("Pending = %d after drain, want 0", k.Pending())
+	}
+}
+
 func buildNet(t *testing.T, deliver func(*Packet)) (*Net, *topology.FatTree) {
 	t.Helper()
 	ft, err := topology.NewFatTree(topology.FatTreeConfig{P: 4})
