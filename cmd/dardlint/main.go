@@ -1,0 +1,120 @@
+// Command dardlint runs the DARD determinism analyzers (wallclock,
+// maporder, floateq, seedflow — see internal/lint) over the module and
+// exits non-zero on any unsuppressed finding. It is the multichecker
+// CI runs on every push; run it locally with
+//
+//	go run ./cmd/dardlint ./...
+//
+// Findings are silenced site-by-site with a justified
+// `//dardlint:KEY why` comment; dardlint itself flags suppressions that
+// are unjustified, unused, or misspelled, so the exception list cannot
+// rot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dard/internal/lint"
+)
+
+func main() {
+	showSuppressed := flag.Bool("suppressed", false,
+		"also list findings silenced by //dardlint comments (audit mode; never fails the run)")
+	only := flag.String("only", "",
+		"run a single analyzer by name (wallclock, maporder, floateq, seedflow)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: dardlint [-only analyzer] [-suppressed] [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *only != "" {
+		analyzers = nil
+		for _, a := range lint.All() {
+			if a.Name == *only {
+				analyzers = []*lint.Analyzer{a}
+			}
+		}
+		if analyzers == nil {
+			fmt.Fprintf(os.Stderr, "dardlint: unknown analyzer %q\n", *only)
+			os.Exit(2)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	diags, err := Check(".", patterns, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dardlint: %v\n", err)
+		os.Exit(2)
+	}
+	failed := false
+	for _, d := range diags {
+		if d.Suppressed {
+			if *showSuppressed {
+				fmt.Printf("%s [suppressed]\n", d)
+			}
+			continue
+		}
+		failed = true
+		fmt.Println(d)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// Check loads every package matching patterns (resolved against the
+// module containing startDir) and runs analyzers over each, returning
+// the combined diagnostics including suppressed ones.
+func Check(startDir string, patterns []string, analyzers []*lint.Analyzer) ([]lint.Diagnostic, error) {
+	root, err := findModuleRoot(startDir)
+	if err != nil {
+		return nil, err
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := loader.Expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var diags []lint.Diagnostic
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, lint.RunAnalyzers(pkg, analyzers)...)
+	}
+	return diags, nil
+}
+
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod at or above %s", abs)
+		}
+		d = parent
+	}
+}

@@ -24,11 +24,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"reflect"
 	"strings"
 
 	"dard"
+	"dard/internal/fpcmp"
 	"dard/internal/trace"
 )
 
@@ -169,7 +171,7 @@ func check(tr *trace.Trace, rep *dard.Report) error {
 		return fmt.Errorf("selfcheck: trace has %d completions, report has %d", len(got), len(want))
 	}
 	for i := range got {
-		if got[i] != want[i] {
+		if !fpcmp.SameBits(got[i], want[i]) {
 			return fmt.Errorf("selfcheck: transfer time %d: trace %v != report %v", i, got[i], want[i])
 		}
 	}
@@ -301,7 +303,7 @@ func printTimeline(out io.Writer, tl []trace.TimeBucket) {
 
 func printFlow(out io.Writer, ft *trace.FlowTimeline) {
 	end := "unfinished"
-	if !isNaN(ft.End) {
+	if !math.IsNaN(ft.End) {
 		end = fmt.Sprintf("%.3fs (%.3fs)", ft.End, ft.End-ft.Start)
 	}
 	fmt.Fprintf(out, "  flow %d: %.1f MB, start %.3fs, end %s, %d switches, %d retx, %d drops\n",
@@ -343,5 +345,3 @@ func sparkline(pts []trace.Point) string {
 	}
 	return fmt.Sprintf("min %.3g max %.3g [%s]", min, max, strings.Join(picks, " "))
 }
-
-func isNaN(v float64) bool { return v != v }

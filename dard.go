@@ -33,6 +33,7 @@ import (
 
 	idard "dard/internal/dard"
 	"dard/internal/flowsim"
+	"dard/internal/fpcmp"
 	"dard/internal/hedera"
 	"dard/internal/psim"
 	"dard/internal/sched"
@@ -188,13 +189,13 @@ func (s Scenario) withDefaults() Scenario {
 	if s.Pattern == "" {
 		s.Pattern = PatternRandom
 	}
-	if s.RatePerHost == 0 {
+	if fpcmp.IsZero(s.RatePerHost) {
 		s.RatePerHost = 1
 	}
-	if s.Duration == 0 {
+	if fpcmp.IsZero(s.Duration) {
 		s.Duration = 30
 	}
-	if s.FileSizeMB == 0 {
+	if fpcmp.IsZero(s.FileSizeMB) {
 		s.FileSizeMB = 128
 	}
 	if s.Seed == 0 {

@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"dard/internal/flowsim"
+	"dard/internal/fpcmp"
 	"dard/internal/sched"
 	"dard/internal/topology"
 )
@@ -77,7 +78,7 @@ func (o *Options) applyDefaults() {
 	if o.DisableJitter {
 		o.ScheduleJitter = 0
 	}
-	if o.Delta == 0 {
+	if fpcmp.IsZero(o.Delta) {
 		o.Delta = DefaultDelta
 	}
 	if o.Delta < 0 {
@@ -254,6 +255,7 @@ func (c *Controller) selfishSchedule(s *flowsim.Sim, m *monitor) {
 	}
 	// Shift one elephant flow from the overloaded path to the target.
 	var victim *flowsim.Flow
+	//dardlint:ordered victim choice is order-free: guarded min over unique flow IDs
 	for _, f := range m.flows {
 		if f.PathIdx == dec.From && s.IsActive(f) {
 			if victim == nil || f.ID < victim.ID { // deterministic choice

@@ -7,6 +7,7 @@ import (
 
 	"dard/internal/ctlmsg"
 	"dard/internal/flowsim"
+	"dard/internal/fpcmp"
 	"dard/internal/topology"
 	"dard/internal/trace"
 )
@@ -147,7 +148,7 @@ func (m *monitor) assemble(s *flowsim.Sim) error {
 			n := int(port.ElephantFlows)
 			bonf := math.Inf(1)
 			switch {
-			case capacity == 0:
+			case fpcmp.IsZero(capacity):
 				bonf = 0 // failed link
 			case n > 0:
 				bonf = capacity / float64(n)

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"dard"
+	"dard/internal/fpcmp"
 	"dard/internal/metrics"
 )
 
@@ -132,13 +133,13 @@ func Paper() Params {
 
 func (p Params) withDefaults() Params {
 	d := Default()
-	if p.FileSizeMB == 0 {
+	if fpcmp.IsZero(p.FileSizeMB) {
 		p.FileSizeMB = d.FileSizeMB
 	}
-	if p.RatePerHost == 0 {
+	if fpcmp.IsZero(p.RatePerHost) {
 		p.RatePerHost = d.RatePerHost
 	}
-	if p.Duration == 0 {
+	if fpcmp.IsZero(p.Duration) {
 		p.Duration = d.Duration
 	}
 	if len(p.FatTreeP) == 0 {
@@ -153,13 +154,13 @@ func (p Params) withDefaults() Params {
 	if p.BigD == 0 {
 		p.BigD = d.BigD
 	}
-	if p.PacketFileMB == 0 {
+	if fpcmp.IsZero(p.PacketFileMB) {
 		p.PacketFileMB = d.PacketFileMB
 	}
-	if p.PacketDuration == 0 {
+	if fpcmp.IsZero(p.PacketDuration) {
 		p.PacketDuration = d.PacketDuration
 	}
-	if p.PacketRate == 0 {
+	if fpcmp.IsZero(p.PacketRate) {
 		p.PacketRate = d.PacketRate
 	}
 	if p.Seed == 0 {

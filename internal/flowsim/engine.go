@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"dard/internal/fpcmp"
 	"dard/internal/topology"
 	"dard/internal/trace"
 	"dard/internal/workload"
@@ -130,10 +131,10 @@ func New(cfg Config) (*Sim, error) {
 	if cfg.Controller == nil {
 		return nil, fmt.Errorf("flowsim: nil controller")
 	}
-	if cfg.ElephantAge == 0 {
+	if fpcmp.IsZero(cfg.ElephantAge) {
 		cfg.ElephantAge = DefaultElephantAge
 	}
-	if cfg.MaxTime == 0 {
+	if fpcmp.IsZero(cfg.MaxTime) {
 		cfg.MaxTime = 1e6
 	}
 	for _, ev := range cfg.LinkEvents {
@@ -460,7 +461,7 @@ func (s *Sim) Run() (*Results, error) {
 		}
 
 		t := math.Min(tComplete, math.Min(tArrival, tTimer))
-		if t == none {
+		if fpcmp.Eq(t, none) {
 			// Every remaining flow is rate-zero (stranded on failed
 			// links) and no events are pending: end the run; the flows
 			// are reported unfinished.
@@ -566,7 +567,7 @@ func (s *Sim) arrive(wf workload.Flow) {
 	}
 
 	if s.cfg.ElephantAge >= 0 {
-		if s.cfg.ElephantAge == 0 {
+		if fpcmp.IsZero(s.cfg.ElephantAge) {
 			s.classifyElephant(f)
 		} else {
 			s.After(s.cfg.ElephantAge, func() {

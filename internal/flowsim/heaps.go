@@ -15,6 +15,7 @@ import "dard/internal/topology"
 type finishHeap struct{ a []*Flow }
 
 func finishLess(x, y *Flow) bool {
+	//dardlint:floateq total-order comparator: exact compare, then integer flow-ID tie-break
 	if x.finishAt != y.finishAt {
 		return x.finishAt < y.finishAt
 	}
@@ -123,6 +124,7 @@ func newLinkHeap(numLinks int) *linkHeap {
 }
 
 func (h *linkHeap) linkLess(i, j int) bool {
+	//dardlint:floateq total-order comparator: exact compare, then integer link-ID tie-break
 	if h.key[i] != h.key[j] {
 		return h.key[i] < h.key[j]
 	}

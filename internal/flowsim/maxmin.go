@@ -1,6 +1,10 @@
 package flowsim
 
-import "math"
+import (
+	"math"
+
+	"dard/internal/fpcmp"
+)
 
 // The incremental max-min engine.
 //
@@ -158,7 +162,7 @@ func (s *Sim) recomputeRates() {
 // schedulers share this function, so their floating-point op sequences
 // are identical by construction.
 func (s *Sim) applyRate(f *Flow, rate float64) {
-	if rate == f.Rate {
+	if fpcmp.Eq(rate, f.Rate) {
 		return
 	}
 	if dt := s.now - f.syncAt; dt > 0 {

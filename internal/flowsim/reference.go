@@ -63,6 +63,7 @@ func (s *Sim) recomputeRatesReference() {
 				continue
 			}
 			share := s.residual[l] / float64(s.unfrozen[l])
+			//dardlint:floateq reference scheduler mirrors the link heap's exact-compare + link-ID tie-break
 			if bottleneck < 0 || share < best || (share == best && l < bottleneck) {
 				bottleneck, best = l, share
 			}
@@ -114,6 +115,7 @@ func (s *Sim) nextCompletionReference() (float64, *Flow) {
 		if f.finishAt >= none {
 			continue // stranded (rate zero)
 		}
+		//dardlint:floateq reference scheduler mirrors the completion heap's exact-compare + flow-ID tie-break
 		if next == nil || f.finishAt < t || (f.finishAt == t && f.ID < next.ID) {
 			t, next = f.finishAt, f
 		}

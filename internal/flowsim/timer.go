@@ -14,6 +14,7 @@ type timer struct {
 type timerHeap []*timer
 
 func (h timerHeap) less(i, j int) bool {
+	//dardlint:floateq total-order comparator: exact compare, then integer sequence tie-break
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}

@@ -1,0 +1,35 @@
+// Package fpcmp holds the approved floating-point identity
+// comparisons. The dardlint floateq analyzer bans bare == / != on
+// floats everywhere else: exact FP identity is occasionally exactly
+// right — sentinel checks against an untouched zero value, the
+// incremental engine's "unchanged rate is a strict no-op" contract,
+// bit-identity selfchecks — but each such site must be a visible
+// decision. Routing them through this package (or, for hot total-order
+// comparators, a justified //dardlint:floateq comment) is how the
+// decision is made visible.
+//
+// None of these helpers change semantics relative to the operator they
+// wrap; they exist to name the intent.
+package fpcmp
+
+import "math"
+
+// Eq reports whether a and b are identical under IEEE-754 equality
+// (so NaN != NaN and 0 == -0). Use it where the algorithm's contract
+// is "exactly the same value", e.g. skipping work when a recomputed
+// rate lands on the current one.
+func Eq(a, b float64) bool { return a == b }
+
+// IsZero reports whether x is exactly zero. Use it for sentinel
+// semantics: a config field nobody set, a capacity that marks a failed
+// link, a denominator that would trap. It is NOT a tolerance check —
+// 1e-300 is not zero.
+func IsZero(x float64) bool { return x == 0 }
+
+// SameBits reports whether a and b have identical IEEE-754
+// representations (so NaN == NaN of the same payload, and 0 != -0).
+// Use it for bit-identity assertions: traced==untraced, serial==
+// parallel, incremental==reference.
+func SameBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}

@@ -1,0 +1,40 @@
+package fpcmp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEq(t *testing.T) {
+	if !Eq(1.5, 1.5) || Eq(1.5, 1.5000001) {
+		t.Fatal("Eq is not IEEE equality")
+	}
+	if Eq(math.NaN(), math.NaN()) {
+		t.Fatal("Eq must follow IEEE: NaN != NaN")
+	}
+	if !Eq(0, math.Copysign(0, -1)) {
+		t.Fatal("Eq must follow IEEE: 0 == -0")
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !IsZero(0) || IsZero(1e-300) || IsZero(math.SmallestNonzeroFloat64) {
+		t.Fatal("IsZero must be exact, not a tolerance")
+	}
+	if !IsZero(math.Copysign(0, -1)) {
+		t.Fatal("-0 is zero under IEEE equality")
+	}
+}
+
+func TestSameBits(t *testing.T) {
+	nan := math.NaN()
+	if !SameBits(nan, nan) {
+		t.Fatal("SameBits must treat an identical NaN as identical")
+	}
+	if SameBits(0, math.Copysign(0, -1)) {
+		t.Fatal("SameBits must distinguish 0 from -0")
+	}
+	if !SameBits(3.25, 3.25) || SameBits(1, 2) {
+		t.Fatal("SameBits on ordinary values")
+	}
+}

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloatEq flags == and != between floating-point operands, and switch
+// statements over a floating-point tag. Bit-identity comparisons are
+// load-bearing in this codebase — the incremental max-min engine's
+// "unchanged rate is a strict no-op" contract depends on them — but
+// each such site is a deliberate piece of the FP-semantics design and
+// must say so: either live inside an approved tie-break helper
+// (floatEqApproved) or carry `//dardlint:floateq <why>`. Everything
+// else should compare with a tolerance or on canonical integer keys
+// (math.Float64bits, flow IDs).
+//
+// Comparisons where both operands are untyped or typed constants are
+// exempt: they are evaluated exactly at compile time.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc: "flag ==/!= and switch on floating-point values outside approved " +
+		"tie-break helpers; exact FP identity must be a documented decision",
+	Run: runFloatEq,
+}
+
+// floatEqApproved names functions (as "pkgname.FuncName" or
+// "pkgname.Recv.Method") whose whole body is an approved canonical
+// comparison helper; findings inside them are not reported. The real
+// helpers live in internal/fpcmp.
+var floatEqApproved = map[string]bool{
+	"fpcmp.Eq":       true,
+	"fpcmp.IsZero":   true,
+	"fpcmp.SameBits": true,
+}
+
+func runFloatEq(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if ok && floatEqApproved[approvedKey(pass, fd)] {
+				return false
+			}
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				if e.Op != token.EQL && e.Op != token.NEQ {
+					return true
+				}
+				if !isFloat(pass.TypeOf(e.X)) && !isFloat(pass.TypeOf(e.Y)) {
+					return true
+				}
+				if isConst(pass, e.X) && isConst(pass, e.Y) {
+					return true
+				}
+				pass.Reportf(e.OpPos,
+					"%s on floating-point values; use a canonical comparison (math.Float64bits, integer IDs, tolerance) or justify with //dardlint:floateq",
+					e.Op)
+			case *ast.SwitchStmt:
+				if e.Tag != nil && isFloat(pass.TypeOf(e.Tag)) {
+					pass.Reportf(e.Switch,
+						"switch on a floating-point value compares with ==; restructure or justify with //dardlint:floateq")
+				}
+			}
+			return true
+		})
+	}
+}
+
+func approvedKey(pass *Pass, fd *ast.FuncDecl) string {
+	key := pass.Pkg.Name() + "."
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		t := fd.Recv.List[0].Type
+		if st, ok := t.(*ast.StarExpr); ok {
+			t = st.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			key += id.Name + "."
+		}
+	}
+	return key + fd.Name.Name
+}
+
+func isConst(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.Value != nil
+}

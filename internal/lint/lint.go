@@ -1,0 +1,239 @@
+// Package lint is a small, dependency-free static-analysis framework
+// plus the four DARD-specific analyzers that machine-check the
+// simulator's determinism invariants (see DESIGN.md "Determinism
+// rules"). The headline equivalence tests — serial==parallel,
+// traced==untraced, incremental==reference — all assume that no
+// simulation code reads wall-clock time, draws from unseeded
+// randomness, leaks map-iteration order into outputs, or compares
+// floats for identity outside the canonical tie-break sites. Those
+// assumptions used to be enforced only probabilistically, by byte-diff
+// tests; this package enforces them at the syntax/type level.
+//
+// The framework mirrors golang.org/x/tools/go/analysis (Analyzer, Pass,
+// Reportf) so analyzers could be ported to the real multichecker if the
+// dependency ever becomes available; it is hand-rolled here because the
+// module is intentionally stdlib-only.
+//
+// Suppression: a finding is silenced by a comment of the form
+//
+//	//dardlint:KEY one-line justification
+//
+// on the flagged line or on the line immediately above it, where KEY is
+// the analyzer's suppression key (wallclock, ordered, floateq,
+// seedflow). A suppression comment with an empty justification is
+// itself a diagnostic: every exception in the tree must say why it is
+// safe.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics ("wallclock").
+	Name string
+	// Doc is a one-paragraph description of the invariant.
+	Doc string
+	// SuppressKey is the token accepted after "//dardlint:" to silence
+	// this analyzer at a site. Defaults to Name when empty.
+	SuppressKey string
+	// Run inspects one package and reports findings on the pass.
+	Run func(*Pass)
+}
+
+func (a *Analyzer) suppressKey() string {
+	if a.SuppressKey != "" {
+		return a.SuppressKey
+	}
+	return a.Name
+}
+
+// All returns the full DARD analyzer suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Wallclock, MapOrder, FloatEq, SeedFlow}
+}
+
+// A Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	// PkgPath is the import path ("dard/internal/flowsim"). For fixture
+	// packages it is the fixture directory name.
+	PkgPath string
+	Info    *types.Info
+
+	diags []Diagnostic
+}
+
+// A Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+	// Suppressed is set when a //dardlint comment silences the finding.
+	// Suppressed findings are kept (tests assert on them) but excluded
+	// from Unsuppressed().
+	Suppressed bool
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expression e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Info.TypeOf(e)
+}
+
+// suppressRe matches "//dardlint:KEY justification..." comments. The
+// whole-line form ("// dardlint:...") is deliberately not accepted:
+// like //go:build, the directive must start the comment.
+var suppressRe = regexp.MustCompile(`^//dardlint:([a-z]+)(.*)$`)
+
+// suppression is one //dardlint comment found in a file.
+type suppression struct {
+	key           string
+	line          int // line the comment sits on
+	justification string
+	used          bool
+	pos           token.Position
+}
+
+// RunAnalyzers runs every analyzer over the package and returns the
+// combined, position-sorted diagnostics with suppressions applied.
+// Findings silenced by a matching //dardlint comment are returned with
+// Suppressed=true; unused or justification-less suppression comments
+// produce extra "dardlint" meta-diagnostics so dead or lazy exceptions
+// cannot accumulate.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	sups := collectSuppressions(pkg)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			PkgPath:  pkg.Path,
+			Info:     pkg.Info,
+		}
+		a.Run(pass)
+		key := a.suppressKey()
+		for _, d := range pass.diags {
+			for _, s := range sups[d.Pos.Filename] {
+				if s.key == key && (s.line == d.Pos.Line || s.line == d.Pos.Line-1) {
+					d.Suppressed = true
+					s.used = true
+					break
+				}
+			}
+			out = append(out, d)
+		}
+	}
+	// Key validity is judged against the full registered suite, not the
+	// analyzers that happened to run: narrowing with -only must not turn
+	// another analyzer's suppressions into "unknown key" noise. The
+	// unused-suppression check, by contrast, only applies to keys whose
+	// analyzer ran — without running it there is no way to know whether
+	// the suppression matches a finding.
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.suppressKey()] = true
+	}
+	ran := make(map[string]bool)
+	for _, a := range analyzers {
+		known[a.suppressKey()] = true // fixture analyzers outside All()
+		ran[a.suppressKey()] = true
+	}
+	for _, file := range sortedKeys(sups) {
+		for _, s := range sups[file] {
+			switch {
+			case !known[s.key]:
+				out = append(out, Diagnostic{Pos: s.pos, Analyzer: "dardlint",
+					Message: fmt.Sprintf("unknown suppression key %q", s.key)})
+			case s.justification == "":
+				out = append(out, Diagnostic{Pos: s.pos, Analyzer: "dardlint",
+					Message: fmt.Sprintf("suppression //dardlint:%s needs a one-line justification", s.key)})
+			case !s.used && ran[s.key]:
+				out = append(out, Diagnostic{Pos: s.pos, Analyzer: "dardlint",
+					Message: fmt.Sprintf("unused suppression //dardlint:%s (nothing flagged here)", s.key)})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+// Unsuppressed filters diags down to the findings that should fail a
+// build: real findings without a justification comment, plus the
+// framework's own meta-diagnostics.
+func Unsuppressed(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func collectSuppressions(pkg *Package) map[string][]*suppression {
+	out := make(map[string][]*suppression)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := suppressRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				out[pos.Filename] = append(out[pos.Filename], &suppression{
+					key:           m[1],
+					line:          pos.Line,
+					justification: strings.TrimSpace(m[2]),
+					pos:           pos,
+				})
+			}
+		}
+	}
+	return out
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

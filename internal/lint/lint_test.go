@@ -1,0 +1,141 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dard/internal/lint"
+	"dard/internal/lint/linttest"
+)
+
+func TestWallclockFixtures(t *testing.T) {
+	linttest.Run(t, "testdata/src/wallclock/simpkg", lint.Wallclock)
+	linttest.Run(t, "testdata/src/wallclock/nonsim", lint.Wallclock)
+}
+
+func TestMapOrderFixtures(t *testing.T) {
+	linttest.Run(t, "testdata/src/maporder", lint.MapOrder)
+}
+
+func TestFloatEqFixtures(t *testing.T) {
+	linttest.Run(t, "testdata/src/floateq", lint.FloatEq)
+}
+
+func TestSeedFlowFixtures(t *testing.T) {
+	linttest.Run(t, "testdata/src/seedflow", lint.SeedFlow)
+}
+
+// TestSuppressionHygiene asserts the framework's own diagnostics:
+// justification-less, unused, and unknown-key suppressions are all
+// findings in their own right.
+func TestSuppressionHygiene(t *testing.T) {
+	loader, err := lint.NewLoader("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := filepath.Abs("testdata/src/meta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.RunAnalyzers(pkg, lint.All())
+
+	wantMessages := []string{
+		"needs a one-line justification", // //dardlint:ordered with nothing after it
+		"unused suppression",             // justified comment over a commutative loop
+		"unknown suppression key",        // //dardlint:bogus
+	}
+	for _, want := range wantMessages {
+		found := false
+		for _, d := range diags {
+			if !d.Suppressed && d.Analyzer == "dardlint" && strings.Contains(d.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("expected a dardlint meta-diagnostic containing %q, got:\n%s", want, render(diags))
+		}
+	}
+	// The append in lazy() must still be suppressed — hygiene findings
+	// point at the comment, they do not re-open the silenced site.
+	for _, d := range diags {
+		if d.Analyzer == "maporder" && !d.Suppressed {
+			t.Errorf("maporder finding in meta fixture should be suppressed: %s", d)
+		}
+	}
+}
+
+// TestNarrowedRunKeepsOtherKeysValid pins the -only behavior: running a
+// subset of analyzers must not report other analyzers' suppressions as
+// unknown keys, and must not call them unused (their analyzer didn't
+// run, so usage is unknowable).
+func TestNarrowedRunKeepsOtherKeysValid(t *testing.T) {
+	loader, err := lint.NewLoader("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := filepath.Abs("testdata/src/meta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The meta fixture carries //dardlint:ordered comments; run only the
+	// floateq analyzer against it.
+	diags := lint.RunAnalyzers(pkg, []*lint.Analyzer{lint.FloatEq})
+	for _, d := range diags {
+		if strings.Contains(d.Message, `unknown suppression key "ordered"`) {
+			t.Errorf("narrowed run mis-reported a registered key as unknown: %s", d)
+		}
+		if strings.Contains(d.Message, "unused suppression //dardlint:ordered") {
+			t.Errorf("narrowed run reported unused for an analyzer that did not run: %s", d)
+		}
+	}
+	// The genuinely bogus key is still caught.
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, `unknown suppression key "bogus"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("narrowed run lost the unknown-key diagnostic:\n%s", render(diags))
+	}
+}
+
+func render(diags []lint.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TestExpandSkipsTestdata pins the pattern walker's matching rules:
+// wildcards skip testdata and dot-directories like the go tool does.
+func TestExpandSkipsTestdata(t *testing.T) {
+	loader, err := lint.NewLoader("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := loader.Expand([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("Expand(./...) returned no packages")
+	}
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("Expand descended into testdata: %s", d)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Package linttest runs lint analyzers over fixture packages and
+// checks their findings against expectations written in the fixtures
+// themselves, in the style of golang.org/x/tools' analysistest (which
+// this module deliberately does not depend on).
+//
+// An expectation is a comment of the form
+//
+//	// want "regexp" "another regexp"
+//
+// on the line a diagnostic is reported at. Every unsuppressed
+// diagnostic must match an expectation on its line, and every
+// expectation must be matched by a diagnostic; either mismatch fails
+// the test. Suppressed findings (silenced by a justified //dardlint
+// comment) must NOT carry a want comment — that they produce nothing is
+// exactly what the fixture asserts.
+package linttest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"testing"
+
+	"dard/internal/lint"
+)
+
+var (
+	wantRe = regexp.MustCompile(`// want (.*)$`)
+	// Patterns may be "double-quoted" or `backtick-quoted`.
+	quoteRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+)
+
+// expectation is one want-regexp at one file:line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads the fixture package in dir (relative paths resolve against
+// the caller's directory) and checks analyzers' findings against the
+// fixture's want comments.
+func Run(t *testing.T, dir string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	if !filepath.IsAbs(dir) {
+		_, caller, _, ok := runtime.Caller(1)
+		if !ok {
+			t.Fatal("linttest: cannot locate caller to resolve fixture dir")
+		}
+		dir = filepath.Join(filepath.Dir(caller), dir)
+	}
+	root, err := moduleRoot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load(dir)
+	if err != nil {
+		t.Fatalf("linttest: loading fixture %s: %v", dir, err)
+	}
+	diags := lint.Unsuppressed(lint.RunAnalyzers(pkg, analyzers))
+
+	expects := collectWants(t, pkg)
+	for _, d := range diags {
+		if !consume(expects, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.raw)
+		}
+	}
+}
+
+func consume(expects []*expectation, d lint.Diagnostic) bool {
+	for _, e := range expects {
+		if !e.matched && e.file == d.Pos.Filename && e.line == d.Pos.Line && e.re.MatchString(d.Message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func collectWants(t *testing.T, pkg *lint.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				quoted := quoteRe.FindAllStringSubmatch(m[1], -1)
+				if len(quoted) == 0 {
+					t.Fatalf("%s: malformed want comment %q", pos, c.Text)
+				}
+				for _, q := range quoted {
+					pat := q[1]
+					if q[2] != "" {
+						pat = q[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func moduleRoot(dir string) (string, error) {
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("linttest: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}

@@ -1,0 +1,232 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path, or fixture directory name
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Loader parses and type-checks packages of one module without
+// shelling out to the go tool. Imports within the module are resolved
+// by loading the corresponding directory recursively; everything else
+// is type-checked from GOROOT source via go/importer's "source" mode,
+// which works offline. Test files (_test.go) are excluded: the
+// determinism invariants bind simulation code, while tests measure
+// wall time and fabricate seeds on purpose.
+type Loader struct {
+	ModuleRoot string // absolute path of the directory holding go.mod
+	ModulePath string // module path from go.mod ("dard")
+
+	fset *token.FileSet
+	std  types.Importer
+	pkgs map[string]*Package // keyed by directory
+}
+
+// NewLoader returns a loader rooted at moduleRoot. The module path is
+// read from go.mod.
+func NewLoader(moduleRoot string) (*Loader, error) {
+	abs, err := filepath.Abs(moduleRoot)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: loader root must contain go.mod: %w", err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("lint: no module directive in %s/go.mod", abs)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModuleRoot: abs,
+		ModulePath: modPath,
+		fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*Package),
+	}, nil
+}
+
+// Load parses and type-checks the package in dir (absolute or relative
+// to the module root) and memoizes the result.
+func (l *Loader) Load(dir string) (*Package, error) {
+	if !filepath.IsAbs(dir) {
+		dir = filepath.Join(l.ModuleRoot, dir)
+	}
+	dir = filepath.Clean(dir)
+	if p, ok := l.pkgs[dir]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("lint: import cycle through %s", dir)
+		}
+		return p, nil
+	}
+	l.pkgs[dir] = nil // cycle guard
+	p, err := l.load(dir)
+	if err != nil {
+		delete(l.pkgs, dir)
+		return nil, err
+	}
+	l.pkgs[dir] = p
+	return p, nil
+}
+
+func (l *Loader) load(dir string) (*Package, error) {
+	names, err := goFilesIn(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no non-test Go files in %s", dir)
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	path := l.importPathFor(dir)
+	conf := types.Config{Importer: (*loaderImporter)(l)}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// importPathFor maps a directory under the module root to its import
+// path; directories outside the module (fixtures) get their base name.
+func (l *Loader) importPathFor(dir string) string {
+	rel, err := filepath.Rel(l.ModuleRoot, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.Base(dir)
+	}
+	if rel == "." {
+		return l.ModulePath
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel)
+}
+
+// loaderImporter resolves imports during type checking: module-internal
+// paths load recursively, everything else comes from GOROOT source.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+		p, err := l.Load(filepath.Join(l.ModuleRoot, rel))
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// goFilesIn lists the buildable non-test Go files of dir in lexical
+// order (the order the go tool compiles them in).
+func goFilesIn(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Expand resolves go-tool-style package patterns against the module
+// tree. "./..."-style wildcards walk the tree; plain relative paths
+// name one directory. Directories named testdata, hidden directories,
+// and directories without buildable Go files are skipped, matching the
+// go tool's matching rules.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		root, wild := strings.CutSuffix(pat, "...")
+		root = strings.TrimSuffix(root, "/")
+		if root == "" || root == "." {
+			root = l.ModuleRoot
+		} else if !filepath.IsAbs(root) {
+			root = filepath.Join(l.ModuleRoot, root)
+		}
+		if !wild {
+			names, err := goFilesIn(root)
+			if err != nil {
+				return nil, err
+			}
+			if len(names) == 0 {
+				return nil, fmt.Errorf("lint: no Go files in %s", root)
+			}
+			add(root)
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			base := filepath.Base(path)
+			if path != root && (base == "testdata" || strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_")) {
+				return filepath.SkipDir
+			}
+			if names, err := goFilesIn(path); err == nil && len(names) > 0 {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dirs, nil
+}

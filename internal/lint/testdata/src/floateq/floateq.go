@@ -1,0 +1,53 @@
+// Package fpcmp (floateq fixture) — the package is named fpcmp so the
+// approved-helper allowlist entries ("fpcmp.Eq", ...) apply to the
+// stand-in helpers below.
+package fpcmp
+
+import "math"
+
+type rate float64
+
+func comparisons(a, b float64, r1, r2 rate, i, j int) {
+	_ = a == b          // want `== on floating-point values`
+	_ = a != b          // want `!= on floating-point values`
+	_ = r1 == r2        // want `== on floating-point values`
+	_ = a < b           // ordering comparisons are fine: no identity semantics
+	_ = i == j          // integers compare exactly
+	_ = 1.5 == 3.0/2    // both operands constant: evaluated exactly at compile time
+	_ = a == 0          // want `== on floating-point values`
+	_ = math.Float64bits(a) == math.Float64bits(b) // canonical integer comparison
+}
+
+func floatSwitch(x float64) int {
+	switch x { // want `switch on a floating-point value`
+	case 0:
+		return 0
+	default:
+		return 1
+	}
+}
+
+func intSwitch(n int) int {
+	switch n {
+	case 0:
+		return 0
+	default:
+		return 1
+	}
+}
+
+// Eq is on the approved-helper list: its body IS the canonical
+// comparison everything else should call.
+func Eq(a, b float64) bool {
+	return a == b
+}
+
+// notApproved has the wrong name, so its body is still checked.
+func notApproved(a, b float64) bool {
+	return a == b // want `== on floating-point values`
+}
+
+func suppressed(a, b float64) bool {
+	//dardlint:floateq fixture: exact-identity check is the documented contract here
+	return a == b
+}

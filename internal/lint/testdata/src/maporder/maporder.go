@@ -1,0 +1,122 @@
+// Package maporder exercises every effect shape the maporder analyzer
+// knows, plus the safe idioms it must keep quiet about.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Appending map elements without sorting leaks iteration order.
+func appendUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `append to out \(not sorted afterwards\)`
+		out = append(out, k)
+	}
+	return out
+}
+
+// The collect-then-sort idiom is the canonical fix and stays quiet.
+func appendSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sort.Slice with a comparator also counts as sorting the collection.
+func appendSortSlice(m map[int]float64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Sends publish elements in iteration order.
+func send(m map[string]int, ch chan<- string) {
+	for k := range m { // want `channel send`
+		ch <- k
+	}
+}
+
+// FP accumulation depends on order; integer accumulation does not.
+func sums(m map[string]float64, n map[string]int) (float64, int) {
+	var fsum float64
+	var isum int
+	for _, v := range m { // want `floating-point accumulation into fsum`
+		fsum += v
+	}
+	for _, v := range n {
+		isum += v
+	}
+	return fsum, isum
+}
+
+// Printing from inside the loop emits in iteration order.
+func dump(m map[string]int) {
+	for k, v := range m { // want `call to fmt.Printf`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// Returning a loop-derived value picks an arbitrary element...
+func anyKey(m map[string]int) string {
+	for k := range m { // want `return of a value picked by iteration order`
+		return k
+	}
+	return ""
+}
+
+// ...but returning a constant (existence check) is order-free.
+func nonEmpty(m map[string]int) bool {
+	for range m {
+		return true
+	}
+	return false
+}
+
+// Plain assignment of a loop value races for one slot: last writer
+// wins, and "last" is whatever order the runtime picked.
+func lastWins(m map[string]int) int {
+	best := -1
+	for _, v := range m { // want `assignment of a loop-dependent value to best`
+		best = v
+	}
+	return best
+}
+
+// Writes keyed by the range key are per-slot and commutative.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	inv := make(map[string]string, len(m))
+	for k, v := range m { // want `assignment of a loop-dependent value to out`
+		out[v] = k // indexed by the range VALUE: two keys can race for one slot
+		inv[k] = k // keyed by the range key: each iteration owns its slot
+	}
+	return out
+}
+
+// Assignments of loop-independent values (flags) are order-free.
+func hasNegative(m map[string]int) bool {
+	found := false
+	for _, v := range m {
+		if v < 0 {
+			found = true
+		}
+	}
+	return found
+}
+
+// A justified suppression silences the finding.
+func suppressed(m map[string]int) []string {
+	var out []string
+	//dardlint:ordered fixture: output feeds a test helper that sorts before comparing
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,26 @@
+// Package meta exercises the suppression-comment hygiene checks, which
+// are asserted directly in lint_test.go rather than with want comments
+// (a want comment inside a //dardlint directive would read as its
+// justification).
+package meta
+
+func lazy(m map[string]int) []string {
+	var out []string
+	//dardlint:ordered
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func unused(m map[string]int) int {
+	n := 0
+	//dardlint:ordered integer counting is commutative, nothing is flagged here
+	for range m {
+		n++
+	}
+	return n
+}
+
+//dardlint:bogus not a real analyzer key
+func unknown() {}

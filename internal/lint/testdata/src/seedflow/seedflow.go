@@ -1,0 +1,41 @@
+// Package seedflow exercises the seed-provenance analyzer. Note the
+// package is not on the simulation list, so wallclock stays out of the
+// way and time-derived seeds are flagged by seedflow alone.
+package seedflow
+
+import (
+	"math/rand"
+	"time"
+)
+
+type Params struct {
+	Seed int64
+}
+
+// CellSeed stands in for the real derivation helper: seed-named calls
+// are trusted sources.
+func CellSeed(base int64, cell string) int64 { return base + int64(len(cell)) }
+
+func hash(s string) int64 { return int64(len(s)) }
+
+func good(p Params, seed int64, src int) {
+	_ = rand.New(rand.NewSource(seed))               // explicit seed parameter
+	_ = rand.NewSource(p.Seed)                       // seed-named field
+	_ = rand.NewSource(1)                            // literal: explicit and reproducible
+	_ = rand.NewSource(CellSeed(p.Seed, "cell"))     // derivation helper
+	_ = rand.NewSource(p.Seed + int64(src)*7919)     // seed mixed with a stream index
+	_ = rand.New(rand.NewSource(CellSeed(seed, ""))) // nested constructor form
+}
+
+func bad(p Params, i int, now time.Time) {
+	_ = rand.NewSource(time.Now().UnixNano()) // want `non-seed call or wall-clock read`
+	_ = rand.NewSource(now.UnixNano())        // want `non-seed call or wall-clock read`
+	_ = rand.NewSource(hash("state"))         // want `non-seed call or wall-clock read`
+	_ = rand.NewSource(int64(i))              // want `does not trace back to an explicit seed`
+	_ = rand.New(rand.NewSource(int64(i)))    // want `does not trace back to an explicit seed`
+}
+
+func suppressed(i int) {
+	//dardlint:seedflow fixture: generator feeds a non-deterministic smoke test on purpose
+	_ = rand.NewSource(int64(i))
+}

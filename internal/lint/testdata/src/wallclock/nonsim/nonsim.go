@@ -1,0 +1,16 @@
+// Package nonsim is the wallclock negative fixture: a package off the
+// simulation list (CLI drivers, benchmarks) may read the wall clock and
+// use global rand freely.
+package nonsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Measure() time.Duration {
+	t0 := time.Now()
+	time.Sleep(time.Millisecond)
+	_ = rand.Intn(10)
+	return time.Since(t0)
+}

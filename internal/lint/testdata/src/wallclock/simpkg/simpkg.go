@@ -1,0 +1,42 @@
+// Package flowsim is a wallclock fixture: its name is on the
+// simulation-package list, so host-clock reads and global math/rand
+// calls must be flagged while seeded-generator methods and pure time
+// helpers stay legal.
+package flowsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+type Config struct {
+	Seed int64
+}
+
+func bad(cfg Config) {
+	_ = time.Now()                      // want `time.Now reads the wall clock`
+	t0 := time.Unix(0, 0)               // pure value construction: legal
+	_ = time.Since(t0)                  // want `time.Since reads the wall clock`
+	time.Sleep(time.Millisecond)        // want `time.Sleep reads the wall clock`
+	_ = time.After(time.Second)         // want `time.After reads the wall clock`
+	_ = time.NewTimer(time.Second)      // want `time.NewTimer reads the wall clock`
+	_ = rand.Intn(10)                   // want `rand.Intn uses the process-global generator`
+	_ = rand.Float64()                  // want `rand.Float64 uses the process-global generator`
+	rand.Shuffle(1, func(i, j int) {})  // want `rand.Shuffle uses the process-global generator`
+	_ = rand.New(rand.NewSource(cfg.Seed)) // constructors are legal; seedflow owns their seeds
+}
+
+func good(cfg Config) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	_ = rng.Intn(10)    // method on a seeded generator: legal
+	_ = rng.Float64()   // legal
+	d := 3 * time.Second
+	_ = d.Seconds()     // Duration arithmetic never reads the clock
+	_, _ = time.ParseDuration("1s")
+}
+
+func suppressed() {
+	//dardlint:wallclock fixture: proves a justified suppression silences the finding
+	_ = time.Now()
+	_ = rand.Int() //dardlint:wallclock fixture: same-line suppression form
+}

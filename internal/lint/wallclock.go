@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// simPackages names the packages whose code runs inside (or feeds) the
+// deterministic simulation: wall-clock reads and global RNG state are
+// banned there outright. Matching is by package name — the facade
+// package at the module root and internal/dard are both "dard".
+var simPackages = map[string]bool{
+	"simnet": true, "flowsim": true, "psim": true, "tcp": true,
+	"dard": true, "sched": true, "game": true, "topology": true,
+	"addressing": true, "workload": true,
+}
+
+// wallclockTime lists the time functions that read the host clock or
+// schedule against it. Pure-value helpers (ParseDuration, Unix,
+// Duration arithmetic) stay legal: they do not observe the machine.
+var wallclockTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// globalRandAllowed lists the math/rand identifiers simulation code may
+// still reference: constructors (their seeds are policed by the
+// seedflow analyzer) and types. Every other package-level function
+// touches the process-global generator, whose state is shared across
+// cells and goroutines.
+var globalRandAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"Rand": true, "Source": true, "Source64": true, "Zipf": true,
+}
+
+// Wallclock forbids host-clock reads (time.Now and friends) and
+// process-global math/rand state inside simulation packages. Simulated
+// time comes from the event kernel; randomness comes from per-cell
+// generators seeded via CellSeed. Either leaking in breaks the
+// serial==parallel and traced==untraced bit-identity guarantees.
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc: "forbid wall-clock time and global math/rand in simulation packages; " +
+		"use sim-time and CellSeed-derived generators instead",
+	Run: runWallclock,
+}
+
+func runWallclock(pass *Pass) {
+	if !simPackages[pass.Pkg.Name()] {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if fn.Type().(*types.Signature).Recv() != nil {
+				// Methods (rng.Intn on a seeded *rand.Rand, t.Sub on a
+				// time value) carry their own state; only package-level
+				// functions reach the host clock or the global
+				// generator.
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallclockTime[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"time.%s reads the wall clock inside simulation package %q; use sim-time from the event kernel",
+						fn.Name(), pass.Pkg.Name())
+				}
+			case "math/rand":
+				if !globalRandAllowed[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"rand.%s uses the process-global generator inside simulation package %q; draw from a CellSeed-seeded *rand.Rand",
+						fn.Name(), pass.Pkg.Name())
+				}
+			}
+			return true
+		})
+	}
+}

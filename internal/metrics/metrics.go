@@ -8,6 +8,8 @@ package metrics
 import (
 	"math"
 	"sort"
+
+	"dard/internal/fpcmp"
 )
 
 // Sample is an ordered collection of float64 observations. The zero value
@@ -125,7 +127,7 @@ func (s *Sample) CDF() []CDFPoint {
 	n := float64(len(s.values))
 	for i := 0; i < len(s.values); {
 		j := i
-		for j < len(s.values) && s.values[j] == s.values[i] {
+		for j < len(s.values) && fpcmp.Eq(s.values[j], s.values[i]) {
 			j++
 		}
 		pts = append(pts, CDFPoint{X: s.values[i], F: float64(j) / n})
@@ -148,7 +150,7 @@ func (s *Sample) CDFAt(x float64) float64 {
 // an approach over a baseline on a smaller-is-better metric,
 // (base - x) / base.
 func Improvement(base, x float64) float64 {
-	if base == 0 {
+	if fpcmp.IsZero(base) {
 		return 0
 	}
 	return (base - x) / base

@@ -322,6 +322,7 @@ func (d *DARD) selfishSchedule(rt *Runtime, m *dardMonitor) {
 		return
 	}
 	var victim *FlowState
+	//dardlint:ordered victim choice is order-free: guarded min over unique flow IDs
 	for _, f := range m.flows {
 		if f.PathIdx == dec.From && rt.IsActive(f) {
 			if victim == nil || f.ID < victim.ID {

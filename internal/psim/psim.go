@@ -11,6 +11,7 @@ import (
 	"math"
 	"math/rand"
 
+	"dard/internal/fpcmp"
 	"dard/internal/metrics"
 	"dard/internal/simnet"
 	"dard/internal/tcp"
@@ -126,10 +127,10 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	if cfg.Policy == nil {
 		return nil, fmt.Errorf("psim: nil policy")
 	}
-	if cfg.ElephantAge == 0 {
+	if fpcmp.IsZero(cfg.ElephantAge) {
 		cfg.ElephantAge = 1.0
 	}
-	if cfg.MaxTime == 0 {
+	if fpcmp.IsZero(cfg.MaxTime) {
 		cfg.MaxTime = 1e4
 	}
 	hosts := cfg.Topo.Hosts()
@@ -471,7 +472,7 @@ func (rt *Runtime) coreUtilization() float64 {
 		carried += rt.net.BitsSent(l)
 		capacityTime += link.Capacity * rt.Now()
 	}
-	if capacityTime == 0 {
+	if fpcmp.IsZero(capacityTime) {
 		return 0
 	}
 	return carried / capacityTime

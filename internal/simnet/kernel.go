@@ -42,6 +42,7 @@ type eventHeap []*event
 func (h eventHeap) Len() int { return len(h) }
 
 func (h eventHeap) Less(i, j int) bool {
+	//dardlint:floateq total-order comparator: exact compare, then integer sequence tie-break
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}

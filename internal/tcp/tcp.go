@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 
+	"dard/internal/fpcmp"
 	"dard/internal/simnet"
 	"dard/internal/topology"
 	"dard/internal/trace"
@@ -340,7 +341,7 @@ func (c *Conn) onAck(ack int) {
 }
 
 func (c *Conn) sampleRTT(sample float64) {
-	if c.srtt == 0 {
+	if fpcmp.IsZero(c.srtt) {
 		c.srtt = sample
 		c.rttvar = sample / 2
 	} else {

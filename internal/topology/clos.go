@@ -1,6 +1,10 @@
 package topology
 
-import "fmt"
+import (
+	"fmt"
+
+	"dard/internal/fpcmp"
+)
 
 // ClosConfig parameterizes a VL2-style Clos network (Greenberg et al.,
 // SIGCOMM 2009): D_I intermediate switches at the top, D_A aggregation
@@ -44,10 +48,10 @@ func (c *ClosConfig) applyDefaults() error {
 	if c.HostsPerToR < 0 {
 		return fmt.Errorf("negative hosts per ToR %d", c.HostsPerToR)
 	}
-	if c.LinkCapacity == 0 {
+	if fpcmp.IsZero(c.LinkCapacity) {
 		c.LinkCapacity = 1e9
 	}
-	if c.LinkDelay == 0 {
+	if fpcmp.IsZero(c.LinkDelay) {
 		c.LinkDelay = 0.1e-3
 	}
 	return nil

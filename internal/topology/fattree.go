@@ -1,6 +1,10 @@
 package topology
 
-import "fmt"
+import (
+	"fmt"
+
+	"dard/internal/fpcmp"
+)
 
 // FatTreeConfig parameterizes a p-port fat-tree (Al-Fares et al., SIGCOMM
 // 2008), the main topology in the paper's evaluation.
@@ -26,13 +30,13 @@ func (c *FatTreeConfig) applyDefaults() error {
 	if c.P < 4 || c.P%2 != 0 {
 		return fmt.Errorf("fat-tree port count must be an even integer >= 4, got %d", c.P)
 	}
-	if c.LinkCapacity == 0 {
+	if fpcmp.IsZero(c.LinkCapacity) {
 		c.LinkCapacity = 1e9
 	}
 	if c.LinkCapacity < 0 {
 		return fmt.Errorf("negative link capacity %g", c.LinkCapacity)
 	}
-	if c.LinkDelay == 0 {
+	if fpcmp.IsZero(c.LinkDelay) {
 		c.LinkDelay = 0.1e-3
 	}
 	if c.HostsPerToR == 0 {

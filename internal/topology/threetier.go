@@ -1,6 +1,10 @@
 package topology
 
-import "fmt"
+import (
+	"fmt"
+
+	"dard/internal/fpcmp"
+)
 
 // ThreeTierConfig parameterizes a traditional 8-core-3-tier datacenter
 // network in the style of the Cisco Data Center Infrastructure 2.5 design
@@ -46,16 +50,16 @@ func (c *ThreeTierConfig) applyDefaults() error {
 	if c.HostsPerAccess == 0 {
 		c.HostsPerAccess = 10
 	}
-	if c.HostCapacity == 0 {
+	if fpcmp.IsZero(c.HostCapacity) {
 		c.HostCapacity = 1e9
 	}
-	if c.AccessUplink == 0 {
+	if fpcmp.IsZero(c.AccessUplink) {
 		c.AccessUplink = 2e9
 	}
-	if c.AggrUplink == 0 {
+	if fpcmp.IsZero(c.AggrUplink) {
 		c.AggrUplink = 1e9
 	}
-	if c.LinkDelay == 0 {
+	if fpcmp.IsZero(c.LinkDelay) {
 		c.LinkDelay = 0.1e-3
 	}
 	if c.NumCores < 1 || c.NumPods < 1 || c.AccessPerPod < 1 || c.HostsPerAccess < 0 {

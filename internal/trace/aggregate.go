@@ -216,6 +216,7 @@ func (a *Aggregator) TopLinks(n int) []LinkLoad {
 		loads = append(loads, LinkLoad{Link: id, Name: linkName(lm), Drops: drops[id], Capacity: lm.Capacity})
 	}
 	sort.Slice(loads, func(i, j int) bool {
+		//dardlint:floateq total-order sort: exact compare, then link-ID tie-break below
 		if loads[i].MeanUtil != loads[j].MeanUtil {
 			return loads[i].MeanUtil > loads[j].MeanUtil
 		}

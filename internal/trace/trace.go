@@ -69,14 +69,21 @@ func (k Kind) String() string {
 	return "Unknown"
 }
 
+// kindsByName is the reverse of kindNames, built once up front so
+// ParseKind is a plain lookup rather than a map iteration.
+var kindsByName = func() map[string]Kind {
+	out := make(map[string]Kind, len(kindNames))
+	//dardlint:ordered kindNames is a bijection, so each name owns its slot
+	for k, n := range kindNames {
+		out[n] = k
+	}
+	return out
+}()
+
 // ParseKind is the inverse of Kind.String; ok is false for unknown names.
 func ParseKind(name string) (Kind, bool) {
-	for k, n := range kindNames {
-		if n == name {
-			return k, true
-		}
-	}
-	return 0, false
+	k, ok := kindsByName[name]
+	return k, ok
 }
 
 // Kinds lists every event kind in declaration order.
@@ -143,14 +150,21 @@ func (m Metric) String() string {
 	return "unknown"
 }
 
+// metricsByName is the reverse of metricNames, built once up front so
+// ParseMetric is a plain lookup rather than a map iteration.
+var metricsByName = func() map[string]Metric {
+	out := make(map[string]Metric, len(metricNames))
+	//dardlint:ordered metricNames is a bijection, so each name owns its slot
+	for m, n := range metricNames {
+		out[n] = m
+	}
+	return out
+}()
+
 // ParseMetric is the inverse of Metric.String.
 func ParseMetric(name string) (Metric, bool) {
-	for m, n := range metricNames {
-		if n == name {
-			return m, true
-		}
-	}
-	return 0, false
+	m, ok := metricsByName[name]
+	return m, ok
 }
 
 // Tracer receives events and probe samples from a running simulation.

@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"dard/internal/fpcmp"
 	"dard/internal/topology"
 )
 
@@ -229,7 +230,7 @@ func Generate(l *Layout, cfg Config) ([]Flow, error) {
 	if cfg.RatePerHost <= 0 || cfg.Duration <= 0 {
 		return nil, fmt.Errorf("workload: rate %g and duration %g must be positive", cfg.RatePerHost, cfg.Duration)
 	}
-	if cfg.SizeBytes == 0 {
+	if fpcmp.IsZero(cfg.SizeBytes) {
 		cfg.SizeBytes = DefaultSizeBytes
 	}
 	if l.NumHosts < 2 {

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"dard/internal/fpcmp"
 	"dard/internal/topology"
 	"dard/internal/trace"
 )
@@ -26,7 +27,7 @@ func (s Scenario) probeInterval() float64 {
 	switch {
 	case s.TraceProbeInterval < 0:
 		return 0
-	case s.TraceProbeInterval == 0:
+	case fpcmp.IsZero(s.TraceProbeInterval):
 		return DefaultTraceProbeInterval
 	}
 	return s.TraceProbeInterval
