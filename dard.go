@@ -30,7 +30,9 @@ package dard
 
 import (
 	"fmt"
+	"math"
 
+	"dard/internal/ctlmsg"
 	idard "dard/internal/dard"
 	"dard/internal/flowsim"
 	"dard/internal/fpcmp"
@@ -100,9 +102,25 @@ type Tuning struct {
 	DeltaBps float64
 	// PerFlowMonitors disables §2.4.1's monitor sharing (ablation).
 	PerFlowMonitors bool
+	// CtlLossProb is the per-message control-channel loss probability in
+	// [0,1); monitors retry lost exchanges with exponential backoff.
+	CtlLossProb float64
+	// CtlDupProb is the per-message control-channel duplication
+	// probability in [0,1); duplicates cost wire bytes, nothing else.
+	CtlDupProb float64
+	// CtlDelaySec adds a fixed extra round-trip delay to every control
+	// exchange attempt.
+	CtlDelaySec float64
+	// CtlRetryMax caps the retries per lost exchange within a query
+	// round (0: default 2, negative: no retries).
+	CtlRetryMax int
+	// DeadAfterMisses is how many consecutive missed query rounds make a
+	// monitor presume a switch dead (0: default 3); on the packet engine
+	// it is also the zero-goodput rounds before a path is declared dead.
+	DeadAfterMisses int
 }
 
-func (t Tuning) options() idard.Options {
+func (t Tuning) options(seed int64) idard.Options {
 	return idard.Options{
 		QueryInterval:    t.QueryInterval,
 		ScheduleInterval: t.ScheduleInterval,
@@ -110,11 +128,31 @@ func (t Tuning) options() idard.Options {
 		DisableJitter:    t.DisableJitter,
 		Delta:            t.DeltaBps,
 		PerFlowMonitors:  t.PerFlowMonitors,
+		Faults:           t.faults(seed),
+		CtlRetryMax:      t.CtlRetryMax,
+		DeadAfter:        t.DeadAfterMisses,
+	}
+}
+
+// faults builds the control-channel fault model; the scenario seed keys
+// the fault randomness so runs stay deterministic without a second knob.
+func (t Tuning) faults(seed int64) ctlmsg.Faults {
+	if fpcmp.IsZero(t.CtlLossProb) && fpcmp.IsZero(t.CtlDupProb) && fpcmp.IsZero(t.CtlDelaySec) {
+		return ctlmsg.Faults{}
+	}
+	return ctlmsg.Faults{
+		LossProb: t.CtlLossProb,
+		DupProb:  t.CtlDupProb,
+		DelayS:   t.CtlDelaySec,
+		Seed:     seed,
 	}
 }
 
 // LinkFailure schedules a duplex link failure (or repair) during a run,
-// identified by the two switch/host names it connects. Flow engine only.
+// identified by the two switch/host names it connects. The same
+// schedule drives either engine: the flow engine zeroes the link's
+// capacity, the packet engine drops its packets, and in both cases DARD
+// monitors see the link's bandwidth collapse and route around it.
 type LinkFailure struct {
 	// AtSec is the event time.
 	AtSec float64
@@ -154,8 +192,8 @@ type Scenario struct {
 	ElephantAgeSec float64
 	// MaxTimeSec aborts stuck runs (default: engine default).
 	MaxTimeSec float64
-	// LinkFailures schedules link failures and repairs (flow engine
-	// only): DARD reroutes around them, static schedulers strand.
+	// LinkFailures schedules link failures and repairs on either engine:
+	// DARD reroutes around them, static schedulers strand until repair.
 	LinkFailures []LinkFailure
 	// Topo, when non-nil, reuses a pre-built topology instead of
 	// building Topology (useful to share one across scenarios).
@@ -211,6 +249,9 @@ func (s Scenario) withDefaults() Scenario {
 // and executes the scenario.
 func (s Scenario) Run() (*Report, error) {
 	s = s.withDefaults()
+	if err := s.DARD.faults(s.Seed).Validate(); err != nil {
+		return nil, err
+	}
 	topo := s.Topo
 	if topo == nil {
 		var err error
@@ -273,7 +314,7 @@ func (s Scenario) runFlow(topo *Topology, flows []workload.Flow, tr trace.Tracer
 	case SchedulerPVLB:
 		ctl = &sched.PVLB{Interval: s.VLBIntervalSec}
 	case SchedulerDARD:
-		ctl = idard.New(s.DARD.options())
+		ctl = idard.New(s.DARD.options(s.Seed))
 	case SchedulerAnnealing:
 		ctl = hedera.New(hedera.Options{})
 	case SchedulerTeXCP:
@@ -322,6 +363,9 @@ func (s Scenario) linkEvents(topo *Topology) ([]flowsim.LinkEvent, error) {
 	g := topo.net.Graph()
 	var events []flowsim.LinkEvent
 	for _, lf := range s.LinkFailures {
+		if math.IsNaN(lf.AtSec) || math.IsInf(lf.AtSec, 0) || lf.AtSec < 0 {
+			return nil, fmt.Errorf("dard: link failure at invalid time %g", lf.AtSec)
+		}
 		from, ok := g.FindNode(lf.From)
 		if !ok {
 			return nil, fmt.Errorf("dard: link failure references unknown node %q", lf.From)
@@ -343,9 +387,6 @@ func (s Scenario) linkEvents(topo *Topology) ([]flowsim.LinkEvent, error) {
 }
 
 func (s Scenario) runPacket(topo *Topology, flows []workload.Flow, tr trace.Tracer) (*Report, error) {
-	if len(s.LinkFailures) > 0 {
-		return nil, fmt.Errorf("dard: link failures are only supported on the flow engine")
-	}
 	var pol psim.Policy
 	switch s.Scheduler {
 	case SchedulerECMP:
@@ -353,13 +394,21 @@ func (s Scenario) runPacket(topo *Topology, flows []workload.Flow, tr trace.Trac
 	case SchedulerPVLB:
 		pol = &psim.PVLB{Interval: s.VLBIntervalSec}
 	case SchedulerDARD:
-		pol = psim.NewDARD(s.DARD.options())
+		pol = psim.NewDARD(s.DARD.options(s.Seed))
 	case SchedulerTeXCP:
 		pol = texcp.New()
 	case SchedulerAnnealing:
 		return nil, fmt.Errorf("dard: the centralized scheduler runs on Engine: EngineFlow")
 	default:
 		return nil, fmt.Errorf("dard: unknown scheduler %q", s.Scheduler)
+	}
+	events, err := s.linkEvents(topo)
+	if err != nil {
+		return nil, err
+	}
+	pevents := make([]psim.LinkEvent, len(events))
+	for i, ev := range events {
+		pevents[i] = psim.LinkEvent{At: ev.At, Link: ev.Link, Down: ev.Down}
 	}
 	rt, err := psim.NewRuntime(psim.Config{
 		Topo:          topo.net,
@@ -368,6 +417,7 @@ func (s Scenario) runPacket(topo *Topology, flows []workload.Flow, tr trace.Trac
 		Seed:          s.Seed,
 		ElephantAge:   s.ElephantAgeSec,
 		MaxTime:       s.MaxTimeSec,
+		LinkEvents:    pevents,
 		TCP:           tcp.Options{},
 		Tracer:        tr,
 		ProbeInterval: s.probeInterval(),

@@ -1,0 +1,50 @@
+package dard
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzLinkFailureSchedule drives arbitrary failure schedules through
+// both engines: they must agree on accept/reject and never panic —
+// unknown nodes, host endpoints, repairs before failures, duplicate
+// events, and hostile times included. The seed corpus doubles as the
+// validation regression suite under plain `go test`.
+func FuzzLinkFailureSchedule(f *testing.F) {
+	f.Add(1.0, "aggr1_1", "core1", false, 2.0, "aggr1_1", "core1", true)
+	f.Add(0.0, "tor1_1", "aggr1_1", false, 0.0, "tor1_1", "aggr1_1", false)
+	f.Add(0.5, "core1", "aggr1_1", true, 0.7, "aggr2_1", "core1", false) // repair before any failure
+	f.Add(1.0, "nosuch", "core1", false, 1.0, "core1", "nosuch", true)
+	f.Add(1.0, "core1", "core2", false, 1.0, "host1_1_1", "tor1_1", false)
+	f.Add(math.NaN(), "aggr1_1", "core1", false, -1.0, "aggr1_1", "core1", true)
+	f.Add(math.Inf(1), "aggr1_1", "core1", false, 1e300, "aggr1_1", "core1", false)
+	f.Add(1.0, "", "", false, 1.0, "aggr1_1", "aggr1_1", true)
+	f.Fuzz(func(t *testing.T, at1 float64, from1, to1 string, repair1 bool,
+		at2 float64, from2, to2 string, repair2 bool) {
+		failures := []LinkFailure{
+			{AtSec: at1, From: from1, To: to1, Repair: repair1},
+			{AtSec: at2, From: from2, To: to2, Repair: repair2},
+		}
+		// Tiny on purpose: the fuzzer probes schedule validation, not
+		// steady-state behavior, and a run per input must stay cheap.
+		base := Scenario{
+			Topology:     TopologySpec{Kind: FatTree, P: 4},
+			Duration:     0.2,
+			RatePerHost:  0.5,
+			FileSizeMB:   1,
+			Seed:         3,
+			MaxTimeSec:   30,
+			LinkFailures: failures,
+		}
+		flowScn := base
+		flowScn.Engine = EngineFlow
+		_, flowErr := flowScn.Run()
+		packetScn := base
+		packetScn.Engine = EnginePacket
+		_, packetErr := packetScn.Run()
+		if (flowErr == nil) != (packetErr == nil) {
+			t.Fatalf("engines disagree on schedule %+v:\n flow:   %v\n packet: %v",
+				failures, flowErr, packetErr)
+		}
+	})
+}

@@ -38,6 +38,11 @@ func NewSwitchAgent(src StateSource, switchID topology.NodeID) (*SwitchAgent, er
 	return &SwitchAgent{src: src, switchID: switchID, out: g.Out(switchID)}, nil
 }
 
+// Links returns the exit links the agent reports on, in stable order.
+// Monitors that give a switch up for dead use this set to synthesize
+// zero-bandwidth state for every port it covered.
+func (a *SwitchAgent) Links() []topology.LinkID { return a.out }
+
 // Serve handles one marshaled query and returns the marshaled reply with
 // the current state of every exit port.
 func (a *SwitchAgent) Serve(queryBytes []byte) ([]byte, error) {

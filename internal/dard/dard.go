@@ -12,6 +12,7 @@ package dard
 import (
 	"sort"
 
+	"dard/internal/ctlmsg"
 	"dard/internal/flowsim"
 	"dard/internal/fpcmp"
 	"dard/internal/sched"
@@ -41,6 +42,16 @@ const (
 	// DefaultDelta is the BoNF improvement threshold δ in bits/s; the
 	// testbed uses 10 Mbps.
 	DefaultDelta = 10e6
+	// DefaultCtlRetryMax is how many times a monitor retries a lost
+	// control exchange within one query round.
+	DefaultCtlRetryMax = 2
+	// DefaultCtlRetryBackoff is the base retry backoff in seconds,
+	// doubled per retry.
+	DefaultCtlRetryBackoff = 0.05
+	// DefaultDeadAfter is how many consecutive missed query rounds (or
+	// zero-goodput scheduling rounds, on the packet engine) declare a
+	// switch or path dead.
+	DefaultDeadAfter = 3
 )
 
 // Options tunes the DARD control loop. The zero value uses the paper's
@@ -63,6 +74,24 @@ type Options struct {
 	// is the ablation for §2.4.1's On-demand Monitoring — same
 	// scheduling behaviour, strictly more control traffic.
 	PerFlowMonitors bool
+	// Faults injects control-channel faults (message loss, duplication,
+	// fixed delay) into every monitor↔switch exchange. The zero value is
+	// a reliable channel, which keeps the original synchronous exchange
+	// path bit for bit.
+	Faults ctlmsg.Faults
+	// CtlRetryMax is how many times a monitor retries a lost exchange
+	// within one query round before giving the switch up for that round.
+	// Zero means DefaultCtlRetryMax; negative disables retries.
+	CtlRetryMax int
+	// CtlRetryBackoff is the base backoff in seconds before the first
+	// retry, doubled per subsequent retry. Zero or negative means
+	// DefaultCtlRetryBackoff.
+	CtlRetryBackoff float64
+	// DeadAfter is how many consecutive missed query rounds make a
+	// monitor presume a switch dead (its ports then read zero bandwidth),
+	// and, on the packet engine, how many zero-progress scheduling rounds
+	// mark a flow's path dead. Zero or negative means DefaultDeadAfter.
+	DeadAfter int
 }
 
 func (o *Options) applyDefaults() {
@@ -83,6 +112,18 @@ func (o *Options) applyDefaults() {
 	}
 	if o.Delta < 0 {
 		o.Delta = 0
+	}
+	if o.CtlRetryMax == 0 {
+		o.CtlRetryMax = DefaultCtlRetryMax
+	}
+	if o.CtlRetryMax < 0 {
+		o.CtlRetryMax = 0
+	}
+	if o.CtlRetryBackoff <= 0 {
+		o.CtlRetryBackoff = DefaultCtlRetryBackoff
+	}
+	if o.DeadAfter <= 0 {
+		o.DeadAfter = DefaultDeadAfter
 	}
 }
 
@@ -254,19 +295,45 @@ func (c *Controller) selfishSchedule(s *flowsim.Sim, m *monitor) {
 		return
 	}
 	// Shift one elephant flow from the overloaded path to the target.
-	var victim *flowsim.Flow
-	//dardlint:ordered victim choice is order-free: guarded min over unique flow IDs
-	for _, f := range m.flows {
-		if f.PathIdx == dec.From && s.IsActive(f) {
-			if victim == nil || f.ID < victim.ID { // deterministic choice
-				victim = f
-			}
-		}
-	}
+	victim := m.victimOn(s, dec.From)
 	if victim == nil {
 		return
 	}
 	if err := s.SetPath(victim, dec.To); err == nil {
+		c.Shifts++
+	}
+}
+
+// evacuate re-runs selection immediately over the surviving paths when a
+// path has died (§2.3's failover motivation): without it, flows stranded
+// on a zero-BoNF path would drain at Algorithm 1's one-shift-per-round
+// pace. Each iteration moves one stranded flow; the loop stops as soon
+// as no dead path holds an active flow, Algorithm 1 declines the shift,
+// or every stranded flow has had its chance.
+func (c *Controller) evacuate(s *flowsim.Sim, m *monitor) {
+	for i := 0; i < len(m.flows); i++ {
+		fv := m.flowVector(len(m.pv))
+		stranded := false
+		for p, n := range fv {
+			if n > 0 && p < len(m.dead) && m.dead[p] {
+				stranded = true
+				break
+			}
+		}
+		if !stranded {
+			return
+		}
+		dec, ok := Decide(m.pv, fv, c.opts.Delta)
+		if !ok || dec.From >= len(m.dead) || !m.dead[dec.From] {
+			return
+		}
+		victim := m.victimOn(s, dec.From)
+		if victim == nil {
+			return
+		}
+		if err := s.SetPath(victim, dec.To); err != nil {
+			return
+		}
 		c.Shifts++
 	}
 }

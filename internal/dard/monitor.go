@@ -2,32 +2,22 @@ package dard
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
 	"dard/internal/ctlmsg"
 	"dard/internal/flowsim"
-	"dard/internal/fpcmp"
 	"dard/internal/topology"
 	"dard/internal/trace"
 )
-
-// PathState is one entry of a monitor's path state vector PV (§2.5): the
-// state of the most congested switch-switch link along the path.
-type PathState struct {
-	// Bandwidth is the bottleneck link's capacity in bits/s.
-	Bandwidth float64
-	// Flows is the number of elephant flows on the bottleneck link.
-	Flows int
-	// BoNF is Bandwidth/Flows, +Inf when Flows is zero.
-	BoNF float64
-}
 
 // monitor tracks the BoNF of every equal-cost path between one
 // source-destination ToR pair on behalf of one source end host (§2.4).
 // Path state is assembled by exchanging marshaled ctlmsg queries and
 // replies with per-switch agents — the OpenFlow statistics interface of
 // the prototype — so control-byte accounting reflects real wire sizes.
+// The exchange itself lives in the Collector, shared with the
+// packet-level engine, which also gives this monitor retry/backoff and
+// dead-switch detection when control-channel faults are enabled.
 type monitor struct {
 	ctl            *Controller
 	srcHost        topology.NodeID
@@ -35,14 +25,15 @@ type monitor struct {
 	paths          []topology.Path
 	// flows holds the host's elephant flows towards dstToR, by flow ID.
 	flows map[int]*flowsim.Flow
-	// pv is the path state vector assembled at the last query tick; nil
-	// until the first query completes.
+	// pv is the path state vector assembled at the last completed query
+	// round; nil until the first round completes. An incomplete round
+	// (faults, no cached state yet) leaves the previous pv in place.
 	pv []PathState
-	// switches are the devices covering every path (§2.4.2): the source
-	// ToR, the aggregation switches next to both ToRs, and the top tier.
-	switches []topology.NodeID
-	agents   map[topology.NodeID]*ctlmsg.SwitchAgent
-	seqNo    uint32
+	// dead marks paths whose BoNF collapsed to zero, for PathDead
+	// transition events and immediate evacuation.
+	dead []bool
+	coll *Collector
+
 	released bool
 }
 
@@ -54,7 +45,6 @@ func newMonitor(s *flowsim.Sim, c *Controller, srcHost, srcToR, dstToR topology.
 		dstToR:  dstToR,
 		paths:   s.Paths(srcToR, dstToR),
 		flows:   make(map[int]*flowsim.Flow),
-		agents:  make(map[topology.NodeID]*ctlmsg.SwitchAgent),
 	}
 	// The switches to query are the upstream endpoints of every path
 	// link: exactly the four groups of §2.4.2.
@@ -65,12 +55,17 @@ func newMonitor(s *flowsim.Sim, c *Controller, srcHost, srcToR, dstToR topology.
 			seen[g.Link(l).From] = true
 		}
 	}
+	switches := make([]topology.NodeID, 0, len(seen))
 	for sw := range seen {
-		m.switches = append(m.switches, sw)
+		switches = append(switches, sw)
 	}
-	sort.Slice(m.switches, func(i, j int) bool { return m.switches[i] < m.switches[j] })
+	sort.Slice(switches, func(i, j int) bool { return switches[i] < switches[j] })
+	m.coll = NewCollector(s, m.entity(), switches, c.opts)
 	return m
 }
+
+// entity is the monitor's identity in queries and trace records.
+func (m *monitor) entity() uint64 { return uint64(m.srcHost)<<32 | uint64(m.dstToR) }
 
 // scheduleQuery arms the periodic path-state assembly. The first query
 // fires after a uniform random fraction of the interval so monitors
@@ -91,92 +86,42 @@ func (m *monitor) scheduleQuery(s *flowsim.Sim) {
 	s.After(first, tick)
 }
 
-// assemble runs one round of Path State Assembling (§2.4.2): send one
-// state query to every covering switch, collect the marshaled replies,
-// and fold the per-port states into the path state vector.
+// assemble runs one round of Path State Assembling (§2.4.2) through the
+// shared collector and folds the per-port states into the path state
+// vector when the round completes.
 func (m *monitor) assemble(s *flowsim.Sim) error {
-	m.seqNo++
-	linkState := make(map[topology.LinkID]ctlmsg.PortState)
-	totalBytes := 0
-	for _, sw := range m.switches {
-		agent := m.agents[sw]
-		if agent == nil {
-			var err error
-			agent, err = ctlmsg.NewSwitchAgent(s, sw)
-			if err != nil {
-				return err
-			}
-			m.agents[sw] = agent
+	return m.coll.Assemble(func(linkState map[topology.LinkID]ctlmsg.PortState, wireBytes int, complete bool) {
+		s.RecordControl(float64(wireBytes))
+		if m.released || !complete {
+			return // keep the previous pv until a full round lands
 		}
-		q := ctlmsg.Query{
-			MonitorID:       uint64(m.srcHost)<<32 | uint64(m.dstToR),
-			SwitchID:        uint32(sw),
-			SeqNo:           m.seqNo,
-			TimestampMicros: uint64(s.Now() * 1e6),
-		}
-		qb, err := q.MarshalBinary()
+		pv, err := FoldPV(m.paths, linkState)
 		if err != nil {
-			return err
+			panic(fmt.Sprintf("dard: path state assembling: %v", err))
 		}
-		rb, err := agent.Serve(qb)
-		if err != nil {
-			return err
+		m.pv = pv
+		m.dead = MarkDeadPaths(s.Tracer(), s.Now(), int64(m.entity()), pv, m.dead)
+		if tr := s.Tracer(); tr.Enabled() {
+			// One congestion signal per monitor and tick: the worst
+			// path's BoNF.
+			tr.Sample(trace.MetricMinBoNF, int64(m.entity()), s.Now(), MinBoNF(pv))
 		}
-		totalBytes += len(qb) + len(rb)
-		var reply ctlmsg.Reply
-		if err := reply.UnmarshalBinary(rb); err != nil {
-			return err
-		}
-		if reply.SeqNo != m.seqNo {
-			return fmt.Errorf("reply sequence %d for query %d", reply.SeqNo, m.seqNo)
-		}
-		for _, p := range reply.Ports {
-			linkState[topology.LinkID(p.LinkID)] = p
-		}
-	}
-	s.RecordControl(float64(totalBytes))
+		m.ctl.evacuate(s, m)
+	})
+}
 
-	pv := make([]PathState, len(m.paths))
-	for i, p := range m.paths {
-		st := PathState{Bandwidth: math.Inf(1), BoNF: math.Inf(1)}
-		for _, l := range p.Links {
-			port, ok := linkState[l]
-			if !ok {
-				return fmt.Errorf("no switch reported state for link %d", l)
-			}
-			capacity := float64(port.BandwidthMbps) * 1e6
-			n := int(port.ElephantFlows)
-			bonf := math.Inf(1)
-			switch {
-			case fpcmp.IsZero(capacity):
-				bonf = 0 // failed link
-			case n > 0:
-				bonf = capacity / float64(n)
-			}
-			if bonf < st.BoNF || (math.IsInf(st.BoNF, 1) && capacity < st.Bandwidth) {
-				st = PathState{Bandwidth: capacity, Flows: n, BoNF: bonf}
+// victimOn picks the monitor's lowest-ID active flow on a path.
+func (m *monitor) victimOn(s *flowsim.Sim, path int) *flowsim.Flow {
+	var victim *flowsim.Flow
+	//dardlint:ordered victim choice is order-free: guarded min over unique flow IDs
+	for _, f := range m.flows {
+		if f.PathIdx == path && s.IsActive(f) {
+			if victim == nil || f.ID < victim.ID { // deterministic choice
+				victim = f
 			}
 		}
-		pv[i] = st
 	}
-	m.pv = pv
-	if tr := s.Tracer(); tr.Enabled() {
-		// One congestion signal per monitor and tick: the worst path's
-		// BoNF. An idle path's +Inf BoNF counts as its bottleneck
-		// capacity (the whole link is available to a first elephant).
-		min := math.Inf(1)
-		for _, st := range pv {
-			b := st.BoNF
-			if math.IsInf(b, 1) {
-				b = st.Bandwidth
-			}
-			if b < min {
-				min = b
-			}
-		}
-		tr.Sample(trace.MetricMinBoNF, int64(m.srcHost)<<32|int64(m.dstToR), s.Now(), min)
-	}
-	return nil
+	return victim
 }
 
 // flowVector builds FV: the number of the monitor's elephant flows on

@@ -91,6 +91,17 @@ func TestFigure13SerialParallelIdentical(t *testing.T) {
 	})
 }
 
+func TestFailureRecoverySerialParallelIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("packet engine experiment")
+	}
+	assertWorkerInvariant(t, func(workers int) (*Result, error) {
+		p := Quick()
+		p.Workers = workers
+		return FailureRecovery(p)
+	})
+}
+
 func TestNashConvergenceSerialParallelIdentical(t *testing.T) {
 	assertWorkerInvariant(t, func(workers int) (*Result, error) {
 		return NashConvergence(40, 9, workers)

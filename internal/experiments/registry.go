@@ -40,6 +40,7 @@ func All() []Entry {
 			return NashConvergence(50, p.Seed, p.Workers)
 		}},
 		{"scale", "flow-level engine wall clock vs fabric size", EngineScale},
+		{"failure", "link blackout and repair under ECMP vs DARD", FailureRecovery},
 	}
 }
 

@@ -141,8 +141,8 @@ func New(cfg Config) (*Sim, error) {
 		if ev.Link < 0 || int(ev.Link) >= cfg.Net.Graph().NumLinks() {
 			return nil, fmt.Errorf("flowsim: link event references link %d out of range", ev.Link)
 		}
-		if ev.At < 0 {
-			return nil, fmt.Errorf("flowsim: link event at negative time %g", ev.At)
+		if math.IsNaN(ev.At) || math.IsInf(ev.At, 0) || ev.At < 0 {
+			return nil, fmt.Errorf("flowsim: link event at invalid time %g", ev.At)
 		}
 	}
 	hosts := cfg.Net.Hosts()

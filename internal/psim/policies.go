@@ -2,7 +2,6 @@ package psim
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
 	"dard/internal/ctlmsg"
@@ -77,8 +76,12 @@ func (*PVLB) OnDepart(*Runtime, *FlowState) {}
 
 // DARD is the end-host adaptive policy at packet level: the same
 // monitors, path-state assembling, and Algorithm 1 rule as the flow-level
-// controller (shared through dard.Decide), driving TCP connections over
-// source routes.
+// controller (shared through dard.Collector, dard.FoldPV, and
+// dard.Decide), driving TCP connections over source routes. On top of
+// the control-plane view it watches each elephant's cumulative-ACK
+// progress: a flow that makes no progress for DeadAfter consecutive
+// scheduling rounds marks its path dead even when the switches still
+// answer — the persistent-zero-goodput half of failure detection.
 type DARD struct {
 	Opts dard.Options
 
@@ -99,10 +102,13 @@ type dardMonitor struct {
 	paths          []topology.Path
 	flows          map[int]*FlowState
 	pv             []dard.PathState
-	switches       []topology.NodeID
-	agents         map[topology.NodeID]*ctlmsg.SwitchAgent
-	seqNo          uint32
-	released       bool
+	dead           []bool
+	coll           *dard.Collector
+	// lastUna/stall track each elephant's cumulative-ACK pointer across
+	// scheduling rounds for zero-goodput dead-path detection.
+	lastUna  map[int]int
+	stall    map[int]int
+	released bool
 }
 
 // NewDARD builds the packet-level DARD policy.
@@ -147,7 +153,8 @@ func (d *DARD) OnElephant(rt *Runtime, f *FlowState) {
 			dstToR:  f.DstToR,
 			paths:   rt.Paths(f.SrcToR, f.DstToR),
 			flows:   make(map[int]*FlowState),
-			agents:  make(map[topology.NodeID]*ctlmsg.SwitchAgent),
+			lastUna: make(map[int]int),
+			stall:   make(map[int]int),
 		}
 		seen := make(map[topology.NodeID]bool)
 		g := rt.Topo().Graph()
@@ -156,10 +163,12 @@ func (d *DARD) OnElephant(rt *Runtime, f *FlowState) {
 				seen[g.Link(l).From] = true
 			}
 		}
+		switches := make([]topology.NodeID, 0, len(seen))
 		for sw := range seen {
-			m.switches = append(m.switches, sw)
+			switches = append(switches, sw)
 		}
-		sort.Slice(m.switches, func(i, j int) bool { return m.switches[i] < m.switches[j] })
+		sort.Slice(switches, func(i, j int) bool { return switches[i] < switches[j] })
+		m.coll = dard.NewCollector(rt, m.entity(), switches, d.Opts)
 		h.monitors[f.DstToR] = m
 		d.scheduleQuery(rt, m)
 	}
@@ -187,11 +196,16 @@ func (d *DARD) OnDepart(rt *Runtime, f *FlowState) {
 		return
 	}
 	delete(m.flows, f.ID)
+	delete(m.lastUna, f.ID)
+	delete(m.stall, f.ID)
 	if len(m.flows) == 0 {
 		m.released = true
 		delete(h.monitors, f.DstToR)
 	}
 }
+
+// entity is the monitor's identity in queries and trace records.
+func (m *dardMonitor) entity() uint64 { return uint64(m.srcHost)<<32 | uint64(m.dstToR) }
 
 func (d *DARD) scheduleQuery(rt *Runtime, m *dardMonitor) {
 	first := rt.Rand().Float64() * d.Opts.QueryInterval
@@ -206,81 +220,28 @@ func (d *DARD) scheduleQuery(rt *Runtime, m *dardMonitor) {
 	rt.After(first, tick)
 }
 
-// assemble exchanges marshaled state queries/replies with every covering
-// switch and folds the per-port records into the path state vector —
-// identical machinery to the flow-level monitor.
+// assemble runs one query round through the shared collector and folds
+// the per-port records into the path state vector — identical machinery
+// to the flow-level monitor.
 func (d *DARD) assemble(rt *Runtime, m *dardMonitor) {
-	m.seqNo++
-	linkState := make(map[topology.LinkID]ctlmsg.PortState)
-	totalBytes := 0
-	for _, sw := range m.switches {
-		agent := m.agents[sw]
-		if agent == nil {
-			var err error
-			agent, err = ctlmsg.NewSwitchAgent(rt, sw)
-			if err != nil {
-				panic(fmt.Sprintf("psim: switch agent: %v", err))
-			}
-			m.agents[sw] = agent
+	err := m.coll.Assemble(func(linkState map[topology.LinkID]ctlmsg.PortState, wireBytes int, complete bool) {
+		rt.RecordControl(float64(wireBytes))
+		if m.released || !complete {
+			return // keep the previous pv until a full round lands
 		}
-		q := ctlmsg.Query{
-			MonitorID:       uint64(m.srcHost)<<32 | uint64(m.dstToR),
-			SwitchID:        uint32(sw),
-			SeqNo:           m.seqNo,
-			TimestampMicros: uint64(rt.Now() * 1e6),
-		}
-		qb, err := q.MarshalBinary()
+		pv, err := dard.FoldPV(m.paths, linkState)
 		if err != nil {
-			panic(fmt.Sprintf("psim: marshal query: %v", err))
+			panic(fmt.Sprintf("psim: path state assembling: %v", err))
 		}
-		rb, err := agent.Serve(qb)
-		if err != nil {
-			panic(fmt.Sprintf("psim: serve query: %v", err))
+		m.pv = pv
+		m.dead = dard.MarkDeadPaths(rt.tracer, rt.Now(), int64(m.entity()), pv, m.dead)
+		if rt.tracer.Enabled() {
+			rt.tracer.Sample(trace.MetricMinBoNF, int64(m.entity()), rt.Now(), dard.MinBoNF(pv))
 		}
-		totalBytes += len(qb) + len(rb)
-		var reply ctlmsg.Reply
-		if err := reply.UnmarshalBinary(rb); err != nil {
-			panic(fmt.Sprintf("psim: unmarshal reply: %v", err))
-		}
-		for _, p := range reply.Ports {
-			linkState[topology.LinkID(p.LinkID)] = p
-		}
-	}
-	rt.RecordControl(float64(totalBytes))
-
-	pv := make([]dard.PathState, len(m.paths))
-	for i, p := range m.paths {
-		st := dard.PathState{Bandwidth: math.Inf(1), BoNF: math.Inf(1)}
-		for _, l := range p.Links {
-			port := linkState[l]
-			capacity := float64(port.BandwidthMbps) * 1e6
-			n := int(port.ElephantFlows)
-			bonf := math.Inf(1)
-			if n > 0 {
-				bonf = capacity / float64(n)
-			}
-			if bonf < st.BoNF || (math.IsInf(st.BoNF, 1) && capacity < st.Bandwidth) {
-				st = dard.PathState{Bandwidth: capacity, Flows: n, BoNF: bonf}
-			}
-		}
-		pv[i] = st
-	}
-	m.pv = pv
-	if rt.tracer.Enabled() {
-		// Same congestion signal as the flow-level monitor: the worst
-		// path's BoNF, with an idle path's +Inf counted as its
-		// bottleneck capacity.
-		min := math.Inf(1)
-		for _, st := range pv {
-			b := st.BoNF
-			if math.IsInf(b, 1) {
-				b = st.Bandwidth
-			}
-			if b < min {
-				min = b
-			}
-		}
-		rt.tracer.Sample(trace.MetricMinBoNF, int64(m.srcHost)<<32|int64(m.dstToR), rt.Now(), min)
+		d.evacuate(rt, m)
+	})
+	if err != nil {
+		panic(fmt.Sprintf("psim: path state assembling: %v", err))
 	}
 }
 
@@ -307,33 +268,115 @@ func (d *DARD) scheduleRound(rt *Runtime, h *dardHost) {
 	})
 }
 
+// detectStalls advances the zero-goodput trackers one scheduling round:
+// a flow whose cumulative ACK has not moved for DeadAfter consecutive
+// rounds marks its current path dead in the monitor's PV (the switches
+// may still be answering — this is the data-plane half of failure
+// detection). The next assemble rebuilds the PV from switch state, so a
+// recovered path clears naturally.
+func (d *DARD) detectStalls(rt *Runtime, m *dardMonitor) {
+	if m.pv == nil {
+		return
+	}
+	ids := make([]int, 0, len(m.flows))
+	for id := range m.flows {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	marked := false
+	for _, id := range ids {
+		f := m.flows[id]
+		if !rt.IsActive(f) || f.Conn == nil {
+			continue
+		}
+		una := f.Conn.State().SndUna
+		if prev, seen := m.lastUna[id]; seen && una == prev {
+			m.stall[id]++
+		} else {
+			m.stall[id] = 0
+		}
+		m.lastUna[id] = una
+		if m.stall[id] >= d.Opts.DeadAfter && f.PathIdx >= 0 && f.PathIdx < len(m.pv) {
+			m.pv[f.PathIdx].BoNF = 0
+			marked = true
+		}
+	}
+	if marked {
+		m.dead = dard.MarkDeadPaths(rt.tracer, rt.Now(), int64(m.entity()), m.pv, m.dead)
+	}
+}
+
+// evacuate mirrors the flow engine's immediate failover: when paths are
+// dead, shift every stranded flow in one pass instead of one flow per
+// scheduling round.
+func (d *DARD) evacuate(rt *Runtime, m *dardMonitor) {
+	for i := 0; i < len(m.flows); i++ {
+		fv := m.flowVector()
+		stranded := false
+		for p, n := range fv {
+			if n > 0 && p < len(m.dead) && m.dead[p] {
+				stranded = true
+				break
+			}
+		}
+		if !stranded {
+			return
+		}
+		dec, ok := dard.Decide(m.pv, fv, d.Opts.Delta)
+		if !ok || dec.From >= len(m.dead) || !m.dead[dec.From] {
+			return
+		}
+		victim := m.victimOn(rt, dec.From)
+		if victim == nil {
+			return
+		}
+		if err := rt.SetPath(victim, dec.To); err != nil {
+			return
+		}
+		d.Shifts++
+	}
+}
+
 func (d *DARD) selfishSchedule(rt *Runtime, m *dardMonitor) {
 	if m.pv == nil {
 		return
 	}
-	fv := make([]int, len(m.pv))
-	for _, f := range m.flows {
-		if f.PathIdx >= 0 && f.PathIdx < len(fv) {
-			fv[f.PathIdx]++
-		}
-	}
+	d.detectStalls(rt, m)
+	fv := m.flowVector()
 	dec, ok := dard.Decide(m.pv, fv, d.Opts.Delta)
 	if !ok {
 		return
 	}
-	var victim *FlowState
-	//dardlint:ordered victim choice is order-free: guarded min over unique flow IDs
-	for _, f := range m.flows {
-		if f.PathIdx == dec.From && rt.IsActive(f) {
-			if victim == nil || f.ID < victim.ID {
-				victim = f
-			}
-		}
-	}
+	victim := m.victimOn(rt, dec.From)
 	if victim == nil {
 		return
 	}
 	if err := rt.SetPath(victim, dec.To); err == nil {
 		d.Shifts++
 	}
+}
+
+// flowVector builds FV: the monitor's elephant flows per path (§2.5).
+func (m *dardMonitor) flowVector() []int {
+	fv := make([]int, len(m.pv))
+	for _, f := range m.flows {
+		if f.PathIdx >= 0 && f.PathIdx < len(fv) {
+			fv[f.PathIdx]++
+		}
+	}
+	return fv
+}
+
+// victimOn picks the monitor's lowest-ID active flow on a path.
+func (m *dardMonitor) victimOn(rt *Runtime, path int) *FlowState {
+	var victim *FlowState
+	//dardlint:ordered victim choice is order-free: guarded min over unique flow IDs
+	for _, f := range m.flows {
+		if f.PathIdx == path && rt.IsActive(f) {
+			if victim == nil || f.ID < victim.ID {
+				victim = f
+			}
+		}
+	}
+	return victim
 }

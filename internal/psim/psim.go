@@ -62,6 +62,19 @@ type PacketRouter interface {
 	PacketRoute(rt *Runtime, f *FlowState) func() []topology.LinkID
 }
 
+// LinkEvent schedules a link failure or repair during the run: at time
+// At, the directed link stops carrying packets (Down) or returns to
+// service. Both directions of a duplex link are separate events,
+// mirroring flowsim.LinkEvent so one facade schedule drives either
+// engine. A failed link flushes its queue and drops arrivals (traced as
+// FailDrop); the owning switch reports zero bandwidth for it, which is
+// how DARD monitors learn of the failure.
+type LinkEvent struct {
+	At   float64
+	Link topology.LinkID
+	Down bool
+}
+
 // Config parameterizes a packet-level run.
 type Config struct {
 	// Topo is the network.
@@ -79,6 +92,8 @@ type Config struct {
 	BufferPackets int
 	// MaxTime stops the run (0 means 1e4 s).
 	MaxTime float64
+	// LinkEvents schedules link failures and repairs.
+	LinkEvents []LinkEvent
 	// TCP tunes the endpoints.
 	TCP tcp.Options
 	// Tracer receives structured events (flow lifecycle, path switches,
@@ -137,6 +152,14 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	for _, wf := range cfg.Flows {
 		if wf.Src < 0 || wf.Src >= len(hosts) || wf.Dst < 0 || wf.Dst >= len(hosts) || wf.Src == wf.Dst {
 			return nil, fmt.Errorf("psim: flow %d has invalid endpoints", wf.ID)
+		}
+	}
+	for _, ev := range cfg.LinkEvents {
+		if ev.Link < 0 || int(ev.Link) >= cfg.Topo.Graph().NumLinks() {
+			return nil, fmt.Errorf("psim: link event references link %d out of range", ev.Link)
+		}
+		if math.IsNaN(ev.At) || math.IsInf(ev.At, 0) || ev.At < 0 {
+			return nil, fmt.Errorf("psim: link event at invalid time %g", ev.At)
 		}
 	}
 	rt := &Runtime{
@@ -203,8 +226,15 @@ func (rt *Runtime) RecordControl(bytes float64) {
 // ElephantsOnLink reports the active elephant flows assigned to a link.
 func (rt *Runtime) ElephantsOnLink(l topology.LinkID) int { return rt.eleCounts[l] }
 
-// LinkCapacity returns a link's bandwidth.
-func (rt *Runtime) LinkCapacity(l topology.LinkID) float64 { return rt.g.Link(l).Capacity }
+// LinkCapacity returns a link's effective bandwidth: zero while failed,
+// nominal otherwise — the bandwidth half of the switch state monitors
+// query, matching flowsim.Sim.LinkCapacity.
+func (rt *Runtime) LinkCapacity(l topology.LinkID) float64 {
+	if rt.net.LinkDown(l) {
+		return 0
+	}
+	return rt.g.Link(l).Capacity
+}
 
 // Route materializes a flow's host-to-host source route for a path index.
 func (rt *Runtime) Route(f *FlowState, pathIdx int) []topology.LinkID {
@@ -260,6 +290,10 @@ func (rt *Runtime) Run() (*Results, error) {
 	hosts := rt.topo.Hosts()
 	rt.flows = make([]*FlowState, len(cfg.Flows))
 	rt.remaining = len(cfg.Flows)
+	for _, ev := range cfg.LinkEvents {
+		ev := ev
+		rt.net.K.After(ev.At, func() { rt.net.SetLinkDown(ev.Link, ev.Down) })
+	}
 	cfg.Policy.Start(rt)
 	for i := range cfg.Flows {
 		wf := cfg.Flows[i]

@@ -45,6 +45,11 @@ type linkState struct {
 	// TeXCP probes).
 	bitsSent float64
 	drops    int64
+
+	// down marks a failed link: arriving packets are dropped and the
+	// queue was flushed when the failure hit. failDrops counts both.
+	down      bool
+	failDrops int64
 }
 
 // Net couples a kernel with a topology's links and delivers packets to
@@ -121,9 +126,13 @@ func (n *Net) Send(p *Packet) {
 }
 
 // enqueue places the packet on its current link's queue, dropping it if
-// the drop-tail buffer is full.
+// the link is down or the drop-tail buffer is full.
 func (n *Net) enqueue(p *Packet) {
 	ls := &n.links[p.Route[p.Hop]]
+	if ls.down {
+		n.failDrop(p.Route[p.Hop], p)
+		return
+	}
 	if ls.queueBits+p.SizeBits > ls.bufBits {
 		ls.drops++
 		if n.tracer.Enabled() {
@@ -171,6 +180,55 @@ func (n *Net) arrive(p *Packet) {
 	}
 	n.enqueue(p)
 }
+
+// failDrop loses a packet to a failed link and traces the loss with its
+// own cause so recovery analysis can tell blackout losses from
+// congestion drops.
+func (n *Net) failDrop(l topology.LinkID, p *Packet) {
+	n.links[l].failDrops++
+	if n.tracer.Enabled() {
+		n.tracer.Emit(trace.Event{
+			T: n.K.Now(), Kind: trace.KindFailDrop,
+			Flow: int32(p.FlowID), Link: int32(l), A: int64(p.Seq),
+		})
+	}
+}
+
+// SetLinkDown fails or repairs a directed link immediately. Failing a
+// link flushes its queue deterministically, in FIFO order — every queued
+// packet is lost and traced as a FailDrop — and drops all later arrivals
+// until the link is repaired. A packet already serializing when the
+// failure hits was committed before the cut and escapes onto the wire
+// (packet-boundary failure semantics); repairing restores the nominal
+// rate with an empty queue.
+func (n *Net) SetLinkDown(l topology.LinkID, down bool) {
+	ls := &n.links[l]
+	if ls.down == down {
+		return
+	}
+	ls.down = down
+	if down {
+		for _, p := range ls.queue {
+			n.failDrop(l, p)
+		}
+		ls.queue = ls.queue[:0]
+		ls.queueBits = 0
+	}
+	if n.tracer.Enabled() {
+		kind := trace.KindLinkRecover
+		if down {
+			kind = trace.KindLinkFail
+		}
+		n.tracer.Emit(trace.Event{T: n.K.Now(), Kind: kind, Flow: -1, Link: int32(l)})
+	}
+}
+
+// LinkDown reports whether a directed link is currently failed.
+func (n *Net) LinkDown(l topology.LinkID) bool { return n.links[l].down }
+
+// FailDrops reports the packets a link has lost to failure so far
+// (flushed on link-down plus arrivals while down).
+func (n *Net) FailDrops(l topology.LinkID) int64 { return n.links[l].failDrops }
 
 // Drops reports the packets dropped at a link's queue so far.
 func (n *Net) Drops(l topology.LinkID) int64 { return n.links[l].drops }

@@ -231,3 +231,55 @@ func TestEmptyRouteDelivers(t *testing.T) {
 		t.Errorf("empty-route packet delivered %d times, want 1", got)
 	}
 }
+
+// TestLinkDownFlushesAndDrops pins the packet-boundary failure
+// semantics: failing a link flushes its queue deterministically and
+// counts every queued packet plus every later arrival as a FailDrop,
+// while the packet already serializing escapes; repairing restores
+// delivery with an empty queue.
+func TestLinkDownFlushesAndDrops(t *testing.T) {
+	delivered := 0
+	n, ft := buildNet(t, func(p *Packet) { delivered++ })
+	route := hostRoute(ft, 0, 1, 0)
+	l := route[0]
+	// 1 serializing + 4 queued fill the buffer exactly.
+	for i := 0; i < 5; i++ {
+		n.Send(&Packet{FlowID: 1, Seq: i, SizeBits: 1500 * 8, Route: route})
+	}
+	n.SetLinkDown(l, true)
+	if !n.LinkDown(l) {
+		t.Fatal("link not reported down")
+	}
+	if got := n.FailDrops(l); got != 4 {
+		t.Errorf("flush counted %d fail drops, want the 4 queued packets", got)
+	}
+	if n.QueueBits(l) != 0 {
+		t.Errorf("queue holds %g bits after the flush", n.QueueBits(l))
+	}
+	// Arrivals while down are lost too.
+	n.Send(&Packet{FlowID: 1, Seq: 5, SizeBits: 1500 * 8, Route: route})
+	if got := n.FailDrops(l); got != 5 {
+		t.Errorf("fail drops = %d after an arrival while down, want 5", got)
+	}
+	// Redundant transitions are no-ops: no double flush, no event spam.
+	n.SetLinkDown(l, true)
+	if got := n.FailDrops(l); got != 5 {
+		t.Errorf("repeated SetLinkDown recounted drops: %d", got)
+	}
+	n.K.Run(math.Inf(1))
+	if delivered != 1 {
+		t.Errorf("%d packets escaped the failure, want only the serializing one", delivered)
+	}
+	n.SetLinkDown(l, false)
+	if n.LinkDown(l) {
+		t.Fatal("link still reported down after repair")
+	}
+	n.Send(&Packet{FlowID: 1, Seq: 6, SizeBits: 1500 * 8, Route: route})
+	n.K.Run(math.Inf(1))
+	if delivered != 2 {
+		t.Errorf("repaired link delivered %d packets total, want 2", delivered)
+	}
+	if got := n.FailDrops(l); got != 5 {
+		t.Errorf("fail drops moved after repair: %d, want 5", got)
+	}
+}

@@ -48,6 +48,15 @@ const (
 	// KindDrop marks a drop-tail queue drop: Flow is the flow ID, Link
 	// the dropping link, A the segment sequence number (0 for ACKs).
 	KindDrop
+	// KindFailDrop marks a packet lost to a failed link — either flushed
+	// from the queue when the link went down or arriving while it is down:
+	// Flow is the flow ID, Link the failed link, A the segment sequence
+	// number (0 for ACKs).
+	KindFailDrop
+	// KindPathDead marks a DARD monitor declaring a path dead (bottleneck
+	// capacity collapsed to zero or its switches stopped answering): A is
+	// the path index, B the monitor identity (srcHost<<32|dstToR).
+	KindPathDead
 )
 
 var kindNames = map[Kind]string{
@@ -59,6 +68,8 @@ var kindNames = map[Kind]string{
 	KindControlMsg:  "ControlMsg",
 	KindRetransmit:  "Retransmit",
 	KindDrop:        "Drop",
+	KindFailDrop:    "FailDrop",
+	KindPathDead:    "PathDead",
 }
 
 // String returns the stable event name used in exports.
@@ -89,7 +100,8 @@ func ParseKind(name string) (Kind, bool) {
 // Kinds lists every event kind in declaration order.
 func Kinds() []Kind {
 	return []Kind{KindFlowStart, KindFlowEnd, KindPathSwitch, KindLinkFail,
-		KindLinkRecover, KindControlMsg, KindRetransmit, KindDrop}
+		KindLinkRecover, KindControlMsg, KindRetransmit, KindDrop,
+		KindFailDrop, KindPathDead}
 }
 
 // Event is one structured trace record. The struct is flat and fixed-size
