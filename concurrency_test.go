@@ -131,3 +131,65 @@ func TestPrewarmConcurrentWithRuns(t *testing.T) {
 	}()
 	wg.Wait()
 }
+
+// TestIntraWorkersScenariosConcurrently overlaps scenarios that each
+// own an intra-run worker pool (component-parallel recompute) and an
+// event tracer: pools inside sims running inside concurrent goroutines,
+// with tracing on, is the deepest nesting the runner produces. Each
+// traced parallel run must match its serial untraced twin exactly.
+func TestIntraWorkersScenariosConcurrently(t *testing.T) {
+	topo, err := TopologySpec{Kind: FatTree, P: 4}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scenarios []Scenario
+	for _, sch := range []Scheduler{SchedulerAnnealing, SchedulerDARD} {
+		for _, pat := range []Pattern{PatternRandom, PatternStride} {
+			scenarios = append(scenarios, Scenario{
+				Topo:           topo,
+				Scheduler:      sch,
+				Pattern:        pat,
+				RatePerHost:    1.5,
+				Duration:       6,
+				FileSizeMB:     32,
+				Seed:           11,
+				ElephantAgeSec: 0.25,
+				DARD:           Tuning{QueryInterval: 0.25, ScheduleInterval: 1, ScheduleJitter: 1},
+			})
+		}
+	}
+	serial := make([]*Report, len(scenarios))
+	for i := range scenarios {
+		rep, err := scenarios[i].Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = rep
+	}
+	parallelReports := make([]*Report, len(scenarios))
+	var wg sync.WaitGroup
+	for i := range scenarios {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := scenarios[i]
+			s.IntraWorkers = 4
+			s.TraceDir = t.TempDir()
+			rep, err := s.Run()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			parallelReports[i] = rep
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for i := range scenarios {
+		label := string(scenarios[i].Pattern) + "/" + string(scenarios[i].Scheduler)
+		assertReportsEqual(t, label, serial[i], parallelReports[i])
+	}
+}

@@ -3,18 +3,17 @@ package dard_test
 import (
 	"bytes"
 	"encoding/json"
+	"runtime"
 	"testing"
 
 	"dard"
 )
 
-// TestReportEquivalence runs public-API scenarios on both the
-// incremental flowsim engine and its retained reference scheduler and
-// requires the serialized reports to match byte for byte. This is the
-// acceptance gate for the incremental max-min engine: any divergence —
-// a finish time off by one ULP, one extra path switch, one control
-// byte — fails the diff. CI runs this on every push.
-func TestReportEquivalence(t *testing.T) {
+// equivalenceCases builds the scenario set both equivalence gates run:
+// every scheduler x pattern cell at p=4, DARD with an active control
+// loop, the failure scenarios, and (outside -short) the p=16 switching
+// fabric with mid-run failures.
+func equivalenceCases(short bool) map[string]dard.Scenario {
 	base := dard.Scenario{
 		Topology:       dard.TopologySpec{Kind: dard.FatTree, P: 4},
 		RatePerHost:    0.5,
@@ -65,7 +64,7 @@ func TestReportEquivalence(t *testing.T) {
 		s.Pattern = dard.PatternStride
 		cases["ECMP/stride-failures"] = s
 	}
-	if !testing.Short() {
+	if !short {
 		// The paper-scale switching fabric with mid-run failures.
 		s := dard.Scenario{
 			Topology:       dard.TopologySpec{Kind: dard.FatTree, P: 16, HostsPerToR: 1},
@@ -85,8 +84,17 @@ func TestReportEquivalence(t *testing.T) {
 		}
 		cases["DARD/p16-fabric-failures"] = s
 	}
+	return cases
+}
 
-	for name, scenario := range cases {
+// TestReportEquivalence runs public-API scenarios on both the
+// incremental flowsim engine and its retained reference scheduler and
+// requires the serialized reports to match byte for byte. This is the
+// acceptance gate for the incremental max-min engine: any divergence —
+// a finish time off by one ULP, one extra path switch, one control
+// byte — fails the diff. CI runs this on every push.
+func TestReportEquivalence(t *testing.T) {
+	for name, scenario := range equivalenceCases(testing.Short()) {
 		scenario := scenario
 		t.Run(name, func(t *testing.T) {
 			fast, err := scenario.Run()
@@ -109,6 +117,52 @@ func TestReportEquivalence(t *testing.T) {
 				t.Errorf("incremental engine diverges from reference:\n  incremental: %s\n  reference:   %s",
 					firstDiff(fastJSON, refJSON), firstDiff(refJSON, fastJSON))
 			}
+		})
+	}
+}
+
+// TestIntraWorkersReportEquivalence is the facade-level bit-identity
+// gate for component-parallel recompute: every equivalence scenario —
+// all patterns, schedulers, and failure cases — must serialize to the
+// same report bytes with IntraWorkers 2, 4, and 8 as with the serial
+// engine, and stay that way when the Go scheduler has 1, 2, or 8 CPUs
+// to play with (GOMAXPROCS changes goroutine interleavings, which must
+// never reach the output).
+func TestIntraWorkersReportEquivalence(t *testing.T) {
+	origProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(origProcs)
+
+	for name, scenario := range equivalenceCases(testing.Short()) {
+		scenario := scenario
+		t.Run(name, func(t *testing.T) {
+			serial, err := scenario.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			serialJSON, err := json.Marshal(serial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, procs := range []int{1, 2, 8} {
+				runtime.GOMAXPROCS(procs)
+				for _, w := range []int{2, 4, 8} {
+					par := scenario
+					par.IntraWorkers = w
+					rep, err := par.Run()
+					if err != nil {
+						t.Fatal(err)
+					}
+					parJSON, err := json.Marshal(rep)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(parJSON, serialJSON) {
+						t.Errorf("GOMAXPROCS=%d IntraWorkers=%d diverges from serial:\n  parallel: %s\n  serial:   %s",
+							procs, w, firstDiff(parJSON, serialJSON), firstDiff(serialJSON, parJSON))
+					}
+				}
+			}
+			runtime.GOMAXPROCS(origProcs)
 		})
 	}
 }

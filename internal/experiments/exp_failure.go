@@ -55,6 +55,7 @@ func FailureRecovery(p Params) (*Result, error) {
 			Duration:       duration,
 			FileSizeMB:     fileMB,
 			Seed:           p.Seed,
+			IntraWorkers:   p.IntraWorkers,
 			ElephantAgeSec: 0.5,
 			DARD:           quickDARDTuning(),
 			LinkFailures: []dard.LinkFailure{

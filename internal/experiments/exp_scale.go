@@ -33,13 +33,14 @@ func EngineScale(p Params) (*Result, error) {
 		}
 		topo.Prewarm()
 		s := dard.Scenario{
-			Topo:        topo,
-			Scheduler:   dard.SchedulerECMP,
-			Pattern:     dard.PatternStride,
-			RatePerHost: 2,
-			Duration:    10,
-			FileSizeMB:  64,
-			Seed:        parallel.Seed(p.Seed, fmt.Sprintf("scale/p=%d", pp)),
+			Topo:         topo,
+			Scheduler:    dard.SchedulerECMP,
+			Pattern:      dard.PatternStride,
+			RatePerHost:  2,
+			Duration:     10,
+			FileSizeMB:   64,
+			Seed:         parallel.Seed(p.Seed, fmt.Sprintf("scale/p=%d", pp)),
+			IntraWorkers: p.IntraWorkers,
 		}
 		start := time.Now()
 		rep, err := s.Run()

@@ -9,8 +9,10 @@ import (
 
 	idard "dard/internal/dard"
 	"dard/internal/flowsim"
+	"dard/internal/hedera"
 	"dard/internal/sched"
 	"dard/internal/topology"
+	"dard/internal/trace"
 	"dard/internal/workload"
 )
 
@@ -95,6 +97,90 @@ func TestSimsShareNetworkConcurrently(t *testing.T) {
 		}
 		if !reflect.DeepEqual(a.TransferTimes().Values(), b.TransferTimes().Values()) {
 			t.Errorf("controller %d: transfer time distribution diverged under sharing", i)
+		}
+	}
+}
+
+// TestIntraWorkersTracedConcurrently is the race gate for
+// component-parallel recompute: several sims, each with its own
+// 8-worker intra-run pool AND an enabled tracer, run on overlapping
+// goroutines. Hedera's central rounds batch-SetPath many elephants per
+// timer, so recomputes really partition into multiple components and
+// really dispatch to the pools. The engine's contract is that fill
+// workers only touch disjoint recompute scratch — all tracer emission
+// and rate installation stays on the event goroutine — so -race must
+// stay silent (trace.Recorder appends unsynchronized) and every run
+// must reproduce the serial single-pool baseline exactly.
+func TestIntraWorkersTracedConcurrently(t *testing.T) {
+	ft, err := topology.NewFatTree(topology.FatTreeConfig{P: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := workload.Generate(workload.NewLayout(ft), workload.Config{
+		Pattern:     workload.Stride{N: len(ft.Hosts()), Step: 4},
+		RatePerHost: 2,
+		Duration:    6,
+		SizeBytes:   24 << 20,
+		Seed:        9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runOne := func(workers int) (*flowsim.Results, *trace.Recorder, flowsim.IntraStats) {
+		rec := trace.NewRecorder(trace.RecorderOptions{})
+		sim, err := flowsim.New(flowsim.Config{
+			Net:           ft,
+			Controller:    hedera.New(hedera.Options{Interval: 0.5}),
+			Flows:         flows,
+			Seed:          9,
+			ElephantAge:   0.25,
+			Tracer:        rec,
+			ProbeInterval: 0.5,
+			IntraWorkers:  workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, rec, sim.IntraStats()
+	}
+
+	serialRes, serialRec, stats := runOne(1)
+	if stats.MultiComponent == 0 {
+		t.Fatalf("no multi-component recomputes; the concurrent fill path is untested (stats %+v)", stats)
+	}
+
+	const sims = 4
+	results := make([]*flowsim.Results, sims)
+	recs := make([]*trace.Recorder, sims)
+	var wg sync.WaitGroup
+	for i := 0; i < sims; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, rec, st := runOne(8)
+			if st.ParallelDispatches == 0 {
+				t.Errorf("sim %d: pool never dispatched (stats %+v)", i, st)
+			}
+			results[i] = res
+			recs[i] = rec
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for i := 0; i < sims; i++ {
+		if !reflect.DeepEqual(results[i].TransferTimes().Values(), serialRes.TransferTimes().Values()) {
+			t.Errorf("sim %d: transfer times diverged from the serial traced baseline", i)
+		}
+		if !reflect.DeepEqual(recs[i].Events(), serialRec.Events()) {
+			t.Errorf("sim %d: trace event stream diverged from the serial traced baseline", i)
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"dard/internal/fpcmp"
+	"dard/internal/parallel"
 	"dard/internal/topology"
 	"dard/internal/trace"
 	"dard/internal/workload"
@@ -55,6 +56,17 @@ type Config struct {
 	// of their own, so enabling them cannot perturb the simulation.
 	// Zero or negative disables probing.
 	ProbeInterval float64
+	// IntraWorkers parallelizes the inside of this one run: when a
+	// recompute's dirty links span several disjoint components of the
+	// flow/link sharing graph, each component's progressive fill is
+	// dispatched to a worker pool and the results are merged in stable
+	// component order (see maxmin.go). Components are independent by
+	// construction and the merge order is fixed, so output is
+	// bit-identical to serial for every worker count — the equivalence
+	// suite pins this. 0 or 1 runs serial (the zero value preserves the
+	// historical behavior); n > 1 uses n workers; negative uses one
+	// worker per CPU.
+	IntraWorkers int
 	// Reference selects the retained reference scheduler (reference.go):
 	// rebuild-everything recomputes and linear scans instead of the
 	// incremental engine. Reports must be byte-identical either way —
@@ -62,6 +74,15 @@ type Config struct {
 	// off outside those tests: it restores the O(events x flows)
 	// behavior the incremental engine exists to avoid.
 	Reference bool
+}
+
+// intraWorkers resolves the config knob: 0/1 serial, negative = one per
+// CPU.
+func (c Config) intraWorkers() int {
+	if c.IntraWorkers == 0 || c.Reference {
+		return 1
+	}
+	return parallel.Workers(c.IntraWorkers)
 }
 
 // Sim is one simulation run. Controllers receive it in their callbacks to
@@ -73,11 +94,13 @@ type Sim struct {
 	rng *rand.Rand
 
 	now         float64
-	flows       []*Flow // by workload flow ID
+	flowSlab    []Flow  // all flows, one slab, indexed by workload flow ID
+	flows       []*Flow // by workload flow ID; nil until arrival
 	active      []*Flow
 	pending     []workload.Flow
 	nextArrival int
 	timers      timerHeap
+	timerFree   []*timer // recycled timer events (After allocates from here)
 	timerSeq    int64
 
 	ratesDirty bool
@@ -96,27 +119,52 @@ type Sim struct {
 	probeEvery float64      // 0 when probing is off
 	nextProbe  float64
 
+	// Struct-of-arrays flow state, indexed by workload flow ID. The
+	// recompute, completion, and probe paths touch only these and the
+	// membership lists, never the cold Flow structs, so the hot loops
+	// walk contiguous memory.
+	rate      []float64 // current max-min allocation (bits/s)
+	remaining []float64 // unsent bits, exact as of syncAt
+	syncAt    []float64 // time remaining was last materialized
+	finishAt  []float64 // projected completion; +Inf while rate <= 0
+	newRate   []float64 // recompute scratch: tentative rate (<0 = unfrozen)
+	seen      []uint64  // recompute-epoch marker for the component BFS
+	activeIdx []int32   // index in Sim.active; -1 once departed
+	heapIdx   []int32   // position in the completion heap; -1 when absent
+
 	// Incremental engine state (maxmin.go): per-link flow-membership
 	// lists maintained on arrival/departure/path-switch, the dirty-link
 	// seeds accumulated since the last recompute, the component-BFS
-	// epoch marks, and the two indexed heaps.
-	linkFlows  [][]*Flow
+	// epoch marks, the component spans of the current recompute, and the
+	// two indexed heaps.
+	linkFlows  [][]int32
 	dirtyLinks []topology.LinkID
 	linkDirty  []bool
 	linkSeen   []uint64
 	epoch      uint64
-	compFlows  []*Flow
+	compFlows  []int32
+	comps      []compSpan
 	lheap      *linkHeap
 	done       finishHeap
 
+	// Intra-run worker pool (Config.IntraWorkers > 1): component fills
+	// dispatch here during Run; each slot owns one bottleneck heap so
+	// concurrent fills never share mutable heap state. Nil while serial
+	// and outside Run.
+	pool       *parallel.Pool
+	slotHeaps  []*linkHeap
+	intraStats IntraStats
+
 	// Progressive-filling accumulators, shared by both schedulers.
+	// Disjoint components touch disjoint links, so concurrent component
+	// fills may share these arrays without synchronization.
 	residual []float64
 	unfrozen []int
 	linkUsed []topology.LinkID // links of the current recompute (doubles as the BFS queue)
 
 	// Reference-engine scratch (reference.go): membership lists rebuilt
 	// from scratch on every recompute, stamped per round.
-	refFlows [][]*Flow
+	refFlows [][]int32
 	refStamp []uint64
 	stamp    uint64
 
@@ -147,6 +195,9 @@ func New(cfg Config) (*Sim, error) {
 	}
 	hosts := cfg.Net.Hosts()
 	for _, wf := range cfg.Flows {
+		if wf.ID < 0 || wf.ID >= len(cfg.Flows) {
+			return nil, fmt.Errorf("flowsim: flow ID %d outside the dense [0,%d) range", wf.ID, len(cfg.Flows))
+		}
 		if wf.Src < 0 || wf.Src >= len(hosts) || wf.Dst < 0 || wf.Dst >= len(hosts) {
 			return nil, fmt.Errorf("flowsim: flow %d references host out of range", wf.ID)
 		}
@@ -158,25 +209,36 @@ func New(cfg Config) (*Sim, error) {
 		}
 	}
 	g := cfg.Net.Graph()
+	n := len(cfg.Flows)
 	s := &Sim{
 		cfg:       cfg,
 		net:       cfg.Net,
 		g:         g,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		pending:   cfg.Flows,
-		flows:     make([]*Flow, len(cfg.Flows)),
+		flowSlab:  make([]Flow, n),
+		flows:     make([]*Flow, n),
+		rate:      make([]float64, n),
+		remaining: make([]float64, n),
+		syncAt:    make([]float64, n),
+		finishAt:  make([]float64, n),
+		newRate:   make([]float64, n),
+		seen:      make([]uint64, n),
+		activeIdx: make([]int32, n),
+		heapIdx:   make([]int32, n),
 		eleCounts: make([]int, g.NumLinks()),
 		linkDown:  make([]bool, g.NumLinks()),
 		residual:  make([]float64, g.NumLinks()),
 		unfrozen:  make([]int, g.NumLinks()),
-		linkFlows: make([][]*Flow, g.NumLinks()),
+		linkFlows: make([][]int32, g.NumLinks()),
 		linkDirty: make([]bool, g.NumLinks()),
 		linkSeen:  make([]uint64, g.NumLinks()),
 		lheap:     newLinkHeap(g.NumLinks()),
 		tracer:    trace.OrNop(cfg.Tracer),
 	}
+	s.done.s = s
 	if cfg.Reference {
-		s.refFlows = make([][]*Flow, g.NumLinks())
+		s.refFlows = make([][]int32, g.NumLinks())
 		s.refStamp = make([]uint64, g.NumLinks())
 	}
 	if s.tracer.Enabled() && cfg.ProbeInterval > 0 {
@@ -231,13 +293,36 @@ func (s *Sim) IsActive(f *Flow) bool { return f.active }
 
 // After schedules fn to run d seconds from now. Timers fire in timestamp
 // order (FIFO among equal timestamps) and are dropped once the workload
-// has drained.
+// has drained. Timer events are pool-allocated: fired timers are
+// recycled, so steady-state control loops schedule without allocating.
 func (s *Sim) After(d float64, fn func()) {
 	if d < 0 {
 		d = 0
 	}
 	s.timerSeq++
-	s.timers.push(&timer{at: s.now + d, seq: s.timerSeq, fn: fn})
+	tm := s.newTimer()
+	tm.at = s.now + d
+	tm.seq = s.timerSeq
+	tm.fn = fn
+	s.timers.push(tm)
+}
+
+// newTimer takes a timer event from the free list, or allocates one.
+func (s *Sim) newTimer() *timer {
+	if n := len(s.timerFree); n > 0 {
+		tm := s.timerFree[n-1]
+		s.timerFree[n-1] = nil
+		s.timerFree = s.timerFree[:n-1]
+		return tm
+	}
+	return &timer{}
+}
+
+// freeTimer recycles a fired timer. The closure is dropped immediately
+// so the free list never pins controller state.
+func (s *Sim) freeTimer(tm *timer) {
+	tm.fn = nil
+	s.timerFree = append(s.timerFree, tm)
 }
 
 // RecordControl accounts control-plane message bytes (probes, replies,
@@ -290,37 +375,37 @@ func (s *Sim) buildRoute(f *Flow, p topology.Path) {
 // attachLinks adds f to the membership list of every link on its route
 // and seeds the next recompute with those links.
 func (s *Sim) attachLinks(f *Flow) {
-	if cap(f.linkPos) < len(f.links) {
-		f.linkPos = make([]int, len(f.links))
+	if cap(f.pos) < len(f.links) {
+		f.pos = make([]int32, len(f.links))
 	} else {
-		f.linkPos = f.linkPos[:len(f.links)]
+		f.pos = f.pos[:len(f.links)]
 	}
 	if n := int(f.links[len(f.links)-1]) + 1; n > len(s.linkFlows) {
 		s.growLinkFlows(n)
 	}
+	id := int32(f.ID)
 	for i, l := range f.links {
-		f.linkPos[i] = len(s.linkFlows[l])
-		s.linkFlows[l] = append(s.linkFlows[l], f)
+		f.pos[i] = int32(len(s.linkFlows[l]))
+		s.linkFlows[l] = append(s.linkFlows[l], id)
 		s.markLinkDirty(l)
 	}
 }
 
 // detachLinks removes f from its links' membership lists by swap-delete:
-// f.linkPos makes each removal O(1), and the displaced flow's position
+// f.pos makes each removal O(1), and the displaced flow's position
 // entry is patched through its own (short) route slice.
 func (s *Sim) detachLinks(f *Flow) {
 	for i, l := range f.links {
 		lst := s.linkFlows[l]
-		pos := f.linkPos[i]
-		last := len(lst) - 1
-		moved := lst[last]
-		lst[pos] = moved
-		lst[last] = nil
+		pos := f.pos[i]
+		last := int32(len(lst) - 1)
+		movedID := lst[last]
+		lst[pos] = movedID
 		s.linkFlows[l] = lst[:last]
-		if moved != f {
+		if moved := &s.flowSlab[movedID]; moved != f {
 			for j, ml := range moved.links {
-				if ml == l && moved.linkPos[j] == last {
-					moved.linkPos[j] = pos
+				if ml == l && moved.pos[j] == last {
+					moved.pos[j] = pos
 					break
 				}
 			}
@@ -353,9 +438,10 @@ func (s *Sim) growLinkFlows(n int) {
 	if n <= len(s.linkFlows) {
 		return
 	}
-	grown := make([][]*Flow, n)
+	grown := make([][]int32, n)
 	copy(grown, s.linkFlows)
 	s.linkFlows = grown
+	s.lheap.ensure(n)
 }
 
 // ElephantsOnLink returns the number of active elephant flows currently
@@ -424,12 +510,20 @@ func (s *Sim) SetLinkDown(l topology.LinkID, down bool) {
 // exceeded, then reports per-flow statistics.
 //
 // Time advances event to event with no per-flow work in between: each
-// active flow carries a finishAt projection (syncAt + Remaining/Rate)
+// active flow carries a finishAt projection (syncAt + remaining/rate)
 // that stays valid until its rate changes, so the next completion is the
 // min of (finishAt, flow ID) — the completion heap's root, or a linear
-// scan under the reference scheduler. Remaining is materialized lazily,
+// scan under the reference scheduler. remaining is materialized lazily,
 // only when a recompute actually changes the flow's rate (applyRate).
 func (s *Sim) Run() (*Results, error) {
+	if w := s.cfg.intraWorkers(); w > 1 && s.pool == nil {
+		s.pool = parallel.NewPool(w)
+		s.slotHeaps = make([]*linkHeap, s.pool.Workers())
+		defer func() {
+			s.pool.Close()
+			s.pool = nil
+		}()
+	}
 	for _, ev := range s.cfg.LinkEvents {
 		ev := ev
 		s.After(ev.At-s.now, func() { s.SetLinkDown(ev.Link, ev.Down) })
@@ -448,8 +542,8 @@ func (s *Sim) Run() (*Results, error) {
 		tComplete, completing := none, (*Flow)(nil)
 		if s.cfg.Reference {
 			tComplete, completing = s.nextCompletionReference()
-		} else if f := s.done.min(); f != nil && f.finishAt < none {
-			tComplete, completing = f.finishAt, f
+		} else if id := s.done.min(); id >= 0 && s.finishAt[id] < none {
+			tComplete, completing = s.finishAt[id], &s.flowSlab[id]
 		}
 		tArrival := none
 		if s.nextArrival < len(s.pending) {
@@ -481,13 +575,14 @@ func (s *Sim) Run() (*Results, error) {
 		default:
 			tm := s.timers.pop()
 			tm.fn()
+			s.freeTimer(tm)
 		}
 
 		// Probes piggyback on event boundaries: once an interval has
 		// elapsed, sample at the first event at or past the boundary.
 		// No timers are scheduled and no flow state is touched, so an
 		// enabled tracer cannot change event order or the floating-point
-		// Remaining arithmetic — traced and untraced runs stay
+		// remaining arithmetic — traced and untraced runs stay
 		// bit-identical.
 		if s.probeEvery > 0 && s.now >= s.nextProbe {
 			s.probe()
@@ -509,8 +604,9 @@ func (s *Sim) probe() {
 		load[i] = 0
 	}
 	for _, f := range s.active {
+		r := s.rate[f.ID]
 		for _, l := range f.links {
-			load[l] += f.Rate
+			load[l] += r
 		}
 	}
 	for l := range load {
@@ -518,27 +614,32 @@ func (s *Sim) probe() {
 		s.tracer.Sample(trace.MetricLinkUtil, int64(l), s.now, load[l]/capacity)
 	}
 	for _, f := range s.active {
-		s.tracer.Sample(trace.MetricFlowRate, int64(f.ID), s.now, f.Rate)
+		s.tracer.Sample(trace.MetricFlowRate, int64(f.ID), s.now, s.rate[f.ID])
 	}
 	s.nextProbe = (math.Floor(s.now/s.probeEvery) + 1) * s.probeEvery
 }
 
 func (s *Sim) arrive(wf workload.Flow) {
 	hosts := s.net.Hosts()
-	f := &Flow{
-		ID:        wf.ID,
-		Src:       hosts[wf.Src],
-		Dst:       hosts[wf.Dst],
-		SizeBits:  wf.SizeBits,
-		Remaining: wf.SizeBits,
-		Arrival:   s.now,
-		Finish:    math.NaN(),
-		active:    true,
-		activeIdx: -1,
-		heapIdx:   -1,
-		syncAt:    s.now,
-		finishAt:  math.Inf(1),
+	f := &s.flowSlab[wf.ID]
+	*f = Flow{
+		ID:       wf.ID,
+		Src:      hosts[wf.Src],
+		Dst:      hosts[wf.Dst],
+		SizeBits: wf.SizeBits,
+		Arrival:  s.now,
+		Finish:   math.NaN(),
+		sim:      s,
+		active:   true,
+		links:    f.links[:0], // keep any slab capacity from a prior run
+		pos:      f.pos[:0],
 	}
+	s.rate[wf.ID] = 0
+	s.remaining[wf.ID] = wf.SizeBits
+	s.syncAt[wf.ID] = s.now
+	s.finishAt[wf.ID] = math.Inf(1)
+	s.activeIdx[wf.ID] = -1
+	s.heapIdx[wf.ID] = -1
 	f.SrcToR = s.net.ToROf(f.Src)
 	f.DstToR = s.net.ToROf(f.Dst)
 	s.flows[wf.ID] = f
@@ -551,10 +652,10 @@ func (s *Sim) arrive(wf workload.Flow) {
 	f.PathIdx = idx
 	s.buildRoute(f, paths[idx])
 	s.attachLinks(f)
-	f.activeIdx = len(s.active)
+	s.activeIdx[wf.ID] = int32(len(s.active))
 	s.active = append(s.active, f)
 	if !s.cfg.Reference {
-		s.done.push(f)
+		s.done.push(int32(wf.ID))
 	}
 	s.markStateChanged()
 	if s.tracer.Enabled() {
@@ -599,8 +700,8 @@ func (s *Sim) classifyElephant(f *Flow) {
 
 func (s *Sim) complete(f *Flow) {
 	f.Finish = s.now
-	f.Remaining = 0
-	f.syncAt = s.now
+	s.remaining[f.ID] = 0
+	s.syncAt[f.ID] = s.now
 	f.active = false
 	if s.tracer.Enabled() {
 		s.tracer.Emit(trace.Event{
@@ -615,13 +716,14 @@ func (s *Sim) complete(f *Flow) {
 	// O(1) swap-delete from the active set via the flow's stored index.
 	last := len(s.active) - 1
 	moved := s.active[last]
-	s.active[f.activeIdx] = moved
-	moved.activeIdx = f.activeIdx
+	idx := s.activeIdx[f.ID]
+	s.active[idx] = moved
+	s.activeIdx[moved.ID] = idx
 	s.active[last] = nil
 	s.active = s.active[:last]
-	f.activeIdx = -1
+	s.activeIdx[f.ID] = -1
 	if !s.cfg.Reference {
-		s.done.remove(f)
+		s.done.remove(int32(f.ID))
 	}
 	s.markStateChanged()
 	if obs, ok := s.cfg.Controller.(FlowObserver); ok {

@@ -410,9 +410,9 @@ func checkMaxMin(t *testing.T, s *Sim) {
 	maxRate := make(map[topology.LinkID]float64)
 	for _, f := range s.Active() {
 		for _, l := range f.Links() {
-			load[l] += f.Rate
-			if f.Rate > maxRate[l] {
-				maxRate[l] = f.Rate
+			load[l] += f.Rate()
+			if f.Rate() > maxRate[l] {
+				maxRate[l] = f.Rate()
 			}
 		}
 	}
@@ -426,13 +426,13 @@ func checkMaxMin(t *testing.T, s *Sim) {
 		hasBottleneck := false
 		for _, l := range f.Links() {
 			saturated := load[l] >= g.Link(l).Capacity*(1-eps)
-			if saturated && f.Rate >= maxRate[l]-eps {
+			if saturated && f.Rate() >= maxRate[l]-eps {
 				hasBottleneck = true
 				break
 			}
 		}
 		if !hasBottleneck {
-			t.Fatalf("flow %d (rate %g) has no bottleneck link", f.ID, f.Rate)
+			t.Fatalf("flow %d (rate %g) has no bottleneck link", f.ID, f.Rate())
 		}
 	}
 }

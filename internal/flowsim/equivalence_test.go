@@ -151,6 +151,121 @@ func TestReferenceEquivalence(t *testing.T) {
 	}
 }
 
+// batchController re-routes a whole batch of active flows from a single
+// timer — the recompute shape Hedera-style central rounds produce. One
+// event dirties many flows at once, so the seeds typically partition
+// into several disjoint components, exercising the component partition
+// and (with IntraWorkers > 1) the parallel fill path. All randomness
+// comes from the simulation's seeded RNG, so runs are identical across
+// worker counts.
+type batchController struct {
+	interval float64
+	batch    int
+}
+
+func (c *batchController) Name() string { return "batcher" }
+
+func (c *batchController) Start(s *Sim) {
+	var tick func()
+	tick = func() {
+		act := s.Active()
+		for i := 0; i < c.batch && len(act) > 0; i++ {
+			f := act[s.Rand().Intn(len(act))]
+			if err := s.SetPath(f, s.Rand().Intn(len(s.Paths(f.SrcToR, f.DstToR)))); err != nil {
+				panic(err)
+			}
+			s.RecordControl(64)
+		}
+		s.After(c.interval, tick)
+	}
+	s.After(c.interval, tick)
+}
+
+func (c *batchController) AssignPath(s *Sim, f *Flow) int {
+	return s.Rand().Intn(len(s.Paths(f.SrcToR, f.DstToR)))
+}
+
+// TestIntraWorkersEquivalence pins the component-parallel recompute's
+// bit-identity at the engine level: a run with IntraWorkers 2, 4, and 8
+// must reproduce the serial run's results AND its mid-run per-flow rate
+// allocations to the exact Float64bits, on a workload whose batched
+// path switches force multi-component recomputes.
+func TestIntraWorkersEquivalence(t *testing.T) {
+	ft := testFatTree(t)
+	g := ft.Graph()
+	fabric := fabricLinks(g)
+	rng := rand.New(rand.NewSource(42))
+	flows := randomFlows(rng, 48, 16, 2e9)
+	var events []LinkEvent
+	l := fabric[rng.Intn(len(fabric))]
+	events = append(events, duplexEvent(g, 0.6, l, true)...)
+	events = append(events, duplexEvent(g, 2.2, l, false)...)
+
+	// collect runs the scenario and records, at fixed checkpoints, the
+	// Float64bits of every flow's current rate (inactive flows as a
+	// sentinel), flow-ID major.
+	collect := func(workers int) (*Results, []uint64, IntraStats) {
+		cfg := Config{
+			Net:          ft,
+			Controller:   &batchController{interval: 0.15, batch: 6},
+			Flows:        flows,
+			Seed:         42,
+			ElephantAge:  0.25,
+			MaxTime:      120,
+			LinkEvents:   events,
+			IntraWorkers: workers,
+		}
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rates []uint64
+		for _, at := range []float64{0.5, 1.0, 1.5, 2.0, 2.5, 3.0} {
+			s.After(at, func() {
+				s.recomputeRates()
+				for id := range flows {
+					f := s.Flow(id)
+					if f == nil || !s.IsActive(f) {
+						rates = append(rates, ^uint64(0))
+						continue
+					}
+					rates = append(rates, math.Float64bits(f.Rate()))
+				}
+			})
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, rates, s.IntraStats()
+	}
+
+	serialRes, serialRates, serialStats := collect(1)
+	if serialStats.MultiComponent == 0 {
+		t.Fatalf("scenario produced no multi-component recomputes; the parallel path is untested (stats %+v)", serialStats)
+	}
+	for _, w := range []int{2, 4, 8} {
+		res, rates, stats := collect(w)
+		diffResults(t, res, serialRes)
+		if len(rates) != len(serialRates) {
+			t.Fatalf("IntraWorkers=%d: %d rate samples vs %d serial", w, len(rates), len(serialRates))
+		}
+		for i := range rates {
+			if rates[i] != serialRates[i] {
+				t.Fatalf("IntraWorkers=%d: rate sample %d (flow %d) = %x, serial %x",
+					w, i, i%len(flows), rates[i], serialRates[i])
+			}
+		}
+		if stats.ParallelDispatches == 0 {
+			t.Fatalf("IntraWorkers=%d: no recompute was dispatched to the pool (stats %+v)", w, stats)
+		}
+		if stats.Recomputes != serialStats.Recomputes || stats.Components != serialStats.Components ||
+			stats.MultiComponent != serialStats.MultiComponent {
+			t.Fatalf("IntraWorkers=%d: partition shape diverged: %+v vs serial %+v", w, stats, serialStats)
+		}
+	}
+}
+
 // checkMaxMinLive is checkMaxMin against the effective (failure-aware)
 // link capacities: a dead link has capacity zero, so the flows stranded
 // on it are bottlenecked there at rate zero.
@@ -160,9 +275,9 @@ func checkMaxMinLive(t *testing.T, s *Sim) {
 	maxRate := make(map[topology.LinkID]float64)
 	for _, f := range s.Active() {
 		for _, l := range f.Links() {
-			load[l] += f.Rate
-			if f.Rate > maxRate[l] {
-				maxRate[l] = f.Rate
+			load[l] += f.Rate()
+			if f.Rate() > maxRate[l] {
+				maxRate[l] = f.Rate()
 			}
 		}
 	}
@@ -176,13 +291,13 @@ func checkMaxMinLive(t *testing.T, s *Sim) {
 		hasBottleneck := false
 		for _, l := range f.Links() {
 			saturated := load[l] >= s.LinkCapacity(l)*(1-eps)
-			if saturated && f.Rate >= maxRate[l]-eps {
+			if saturated && f.Rate() >= maxRate[l]-eps {
 				hasBottleneck = true
 				break
 			}
 		}
 		if !hasBottleneck {
-			t.Fatalf("flow %d (rate %g) has no bottleneck link", f.ID, f.Rate)
+			t.Fatalf("flow %d (rate %g) has no bottleneck link", f.ID, f.Rate())
 		}
 	}
 }

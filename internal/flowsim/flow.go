@@ -17,8 +17,18 @@ import (
 )
 
 // Flow is the runtime state of one transfer.
+//
+// The engine stores flow state in two layers: the fields below are the
+// cold, mostly-write-once identity of the flow (all Flow structs live in
+// one slab allocated at Sim construction), while the hot per-event
+// quantities — remaining bits, current rate, projected completion, the
+// recompute scratch — live in struct-of-arrays slices on the Sim indexed
+// by flow ID (see engine.go), so the recompute and completion paths walk
+// contiguous memory instead of chasing per-flow pointers. Rate and
+// Remaining read through to those arrays.
 type Flow struct {
-	// ID is the workload flow ID.
+	// ID is the workload flow ID. IDs are dense: the engine uses them to
+	// index its struct-of-arrays state.
 	ID int
 	// Src and Dst are host node IDs.
 	Src, Dst topology.NodeID
@@ -26,12 +36,8 @@ type Flow struct {
 	SrcToR, DstToR topology.NodeID
 	// SizeBits is the total transfer size.
 	SizeBits float64
-	// Remaining is the unsent portion in bits.
-	Remaining float64
 	// PathIdx indexes the equal-cost path set between SrcToR and DstToR.
 	PathIdx int
-	// Rate is the current max-min allocation in bits/s.
-	Rate float64
 	// Arrival and Finish are simulation timestamps; Finish is NaN while
 	// the flow is active.
 	Arrival, Finish float64
@@ -42,20 +48,19 @@ type Flow struct {
 	// elephant (a TCP connection older than the detection threshold).
 	Elephant bool
 
+	sim    *Sim              // owner, for the struct-of-arrays accessors
 	links  []topology.LinkID // current route incl. host first/last hop
+	pos    []int32           // pos[i] = index of this flow in linkFlows[links[i]]
 	active bool
-
-	// Incremental-engine bookkeeping (see maxmin.go). Remaining is lazily
-	// synchronized: it is exact as of syncAt and decays at Rate until the
-	// next rate change materializes it again.
-	linkPos   []int   // linkPos[i] = index of this flow in linkFlows[links[i]]
-	activeIdx int     // index in Sim.active; -1 once departed
-	syncAt    float64 // time Remaining was last materialized
-	finishAt  float64 // projected completion (syncAt + Remaining/Rate); +Inf while Rate <= 0
-	heapIdx   int     // position in the completion heap; -1 when absent
-	seen      uint64  // recompute-epoch marker for the component BFS
-	newRate   float64 // scratch: tentative rate while a recompute runs (<0 = unfrozen)
 }
+
+// Rate returns the flow's current max-min allocation in bits/s.
+func (f *Flow) Rate() float64 { return f.sim.rate[f.ID] }
+
+// Remaining returns the unsent portion in bits. The engine materializes
+// progress lazily (only when the flow's rate changes), so the value is
+// exact as of the last rate change and decays at Rate() until the next.
+func (f *Flow) Remaining() float64 { return f.sim.remaining[f.ID] }
 
 // TransferTime returns Finish-Arrival, or NaN if unfinished.
 func (f *Flow) TransferTime() float64 {

@@ -7,55 +7,60 @@ import "dard/internal/topology"
 // element they surface is a pure function of the keys — independent of
 // insertion order and of the heap's internal layout. That property is
 // what lets the reference implementation (reference.go) reproduce the
-// heaps' choices with plain linear scans.
+// heaps' choices with plain linear scans, and what makes the order in
+// which applyRate re-fixes heap entries observably irrelevant.
 
-// finishHeap is an indexed min-heap of active flows keyed on
-// (finishAt, ID): the next completion is the root. Flows whose rate is
-// zero sit in the heap with finishAt = +Inf and simply never surface.
-type finishHeap struct{ a []*Flow }
-
-func finishLess(x, y *Flow) bool {
-	//dardlint:floateq total-order comparator: exact compare, then integer flow-ID tie-break
-	if x.finishAt != y.finishAt {
-		return x.finishAt < y.finishAt
-	}
-	return x.ID < y.ID
+// finishHeap is an indexed min-heap of active flow IDs keyed on
+// (finishAt, ID): the next completion is the root. Keys live in the
+// Sim's struct-of-arrays state (s.finishAt) and positions in s.heapIdx,
+// so the heap itself is a flat []int32. Flows whose rate is zero sit in
+// the heap with finishAt = +Inf and simply never surface.
+type finishHeap struct {
+	s *Sim
+	a []int32
 }
 
-// min returns the earliest-finishing flow, nil when empty.
-func (h *finishHeap) min() *Flow {
+func (h *finishHeap) less(x, y int32) bool {
+	//dardlint:floateq total-order comparator: exact compare, then integer flow-ID tie-break
+	if h.s.finishAt[x] != h.s.finishAt[y] {
+		return h.s.finishAt[x] < h.s.finishAt[y]
+	}
+	return x < y
+}
+
+// min returns the earliest-finishing flow's ID, -1 when empty.
+func (h *finishHeap) min() int32 {
 	if len(h.a) == 0 {
-		return nil
+		return -1
 	}
 	return h.a[0]
 }
 
-func (h *finishHeap) push(f *Flow) {
-	f.heapIdx = len(h.a)
-	h.a = append(h.a, f)
-	h.up(f.heapIdx)
+func (h *finishHeap) push(id int32) {
+	h.s.heapIdx[id] = int32(len(h.a))
+	h.a = append(h.a, id)
+	h.up(int(h.s.heapIdx[id]))
 }
 
-// remove deletes f from the heap in O(log n).
-func (h *finishHeap) remove(f *Flow) {
-	i := f.heapIdx
+// remove deletes id from the heap in O(log n).
+func (h *finishHeap) remove(id int32) {
+	i := int(h.s.heapIdx[id])
 	if i < 0 {
 		return
 	}
 	last := len(h.a) - 1
 	h.swap(i, last)
-	h.a[last] = nil
 	h.a = h.a[:last]
-	f.heapIdx = -1
+	h.s.heapIdx[id] = -1
 	if i < last {
 		h.fixAt(i)
 	}
 }
 
-// fix restores heap order after f's finishAt changed.
-func (h *finishHeap) fix(f *Flow) {
-	if f.heapIdx >= 0 {
-		h.fixAt(f.heapIdx)
+// fix restores heap order after id's finishAt changed.
+func (h *finishHeap) fix(id int32) {
+	if i := h.s.heapIdx[id]; i >= 0 {
+		h.fixAt(int(i))
 	}
 }
 
@@ -67,14 +72,14 @@ func (h *finishHeap) fixAt(i int) {
 
 func (h *finishHeap) swap(i, j int) {
 	h.a[i], h.a[j] = h.a[j], h.a[i]
-	h.a[i].heapIdx = i
-	h.a[j].heapIdx = j
+	h.s.heapIdx[h.a[i]] = int32(i)
+	h.s.heapIdx[h.a[j]] = int32(j)
 }
 
 func (h *finishHeap) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !finishLess(h.a[i], h.a[parent]) {
+		if !h.less(h.a[i], h.a[parent]) {
 			break
 		}
 		h.swap(i, parent)
@@ -92,10 +97,10 @@ func (h *finishHeap) down(i int) bool {
 			break
 		}
 		child := left
-		if right := left + 1; right < n && finishLess(h.a[right], h.a[left]) {
+		if right := left + 1; right < n && h.less(h.a[right], h.a[left]) {
 			child = right
 		}
-		if !finishLess(h.a[child], h.a[i]) {
+		if !h.less(h.a[child], h.a[i]) {
 			break
 		}
 		h.swap(i, child)
@@ -108,7 +113,9 @@ func (h *finishHeap) down(i int) bool {
 // LinkID), used by the progressive-filling loop to pop the bottleneck
 // link in O(log L) instead of scanning every in-use link. pos is indexed
 // by LinkID (-1 = not in the heap) so key updates after a freeze are
-// O(log L) per touched link.
+// O(log L) per touched link. Component-parallel recompute instantiates
+// one linkHeap per worker slot: components are link-disjoint, so a
+// slot's heap only ever holds that slot's current component.
 type linkHeap struct {
 	ids []topology.LinkID
 	key []float64
@@ -121,6 +128,13 @@ func newLinkHeap(numLinks int) *linkHeap {
 		h.pos[i] = -1
 	}
 	return h
+}
+
+// ensure grows the position index to cover numLinks links.
+func (h *linkHeap) ensure(numLinks int) {
+	for len(h.pos) < numLinks {
+		h.pos = append(h.pos, -1)
+	}
 }
 
 func (h *linkHeap) linkLess(i, j int) bool {

@@ -25,22 +25,75 @@ import (
 //  2. Recomputation is scoped to the part of the flow/link sharing
 //     graph the triggering events actually touched. Every membership or
 //     capacity change seeds its link (markLinkDirty); a BFS over the
-//     bipartite sharing graph expands the seeds into the affected
+//     bipartite sharing graph expands each seed into its connected
 //     component. Progressive filling decomposes over connected
 //     components — a component's fill sequence never reads another
-//     component's state — so flows outside the affected component would
-//     recompute to bit-identical rates and can keep them frozen.
+//     component's state — so flows outside the affected components keep
+//     their frozen rates, and the affected components themselves can be
+//     filled in any order, or concurrently.
 //
 //  3. The per-iteration bottleneck search is an indexed min-heap over
 //     link fair shares keyed (share, LinkID) instead of a linear scan.
 //     The key is a total order, so the heap pops exactly the link the
 //     reference's tie-broken scan selects.
 //
+// Component-parallel recompute (Config.IntraWorkers > 1): when one
+// recompute covers several disjoint components — batch path-switch
+// rounds and multi-link failure events dirty many at once — each
+// component's fill is dispatched to the run's worker pool. This
+// preserves bit-identity by construction:
+//
+//   - The partition itself is serial and deterministic: seeds are
+//     expanded in dirty-link order, so the component list, and the
+//     flow/link order within each component, never depend on worker
+//     count or scheduling.
+//   - Component fills are data-disjoint. A component's links and flows
+//     appear in no other component, so concurrent fills write disjoint
+//     elements of the shared newRate/residual/unfrozen arrays; each
+//     worker slot owns a private bottleneck heap.
+//   - Each per-component fill performs exactly the floating-point op
+//     sequence the serial merged fill performs for that component
+//     (filling decomposes over components), so every newRate bit
+//     matches serial.
+//   - Rates are installed by the merge loop below — serial, on the
+//     event goroutine, in the fixed compFlows order — so applyRate's
+//     lazy materialization, the completion heap, and tracer emission
+//     never run concurrently.
+//
 // Flow progress is lazy: Remaining is materialized only when a
 // recompute actually changes the flow's rate (applyRate), and the
 // projected completion finishAt stays valid in between. Both schedulers
 // share applyRate, so the floating-point op sequence — and therefore
 // every completion timestamp in the report — is identical.
+
+// IntraStats counts the shapes the incremental recompute encountered
+// over a run. The counters are observability only — they never feed
+// back into the simulation — and exist so tests and benchmarks can
+// verify a scenario actually exercises the multi-component (and hence
+// parallel) path instead of silently degenerating to serial.
+type IntraStats struct {
+	// Recomputes counts recomputes that filled at least one component.
+	Recomputes int64
+	// Components is the total number of components filled.
+	Components int64
+	// MultiComponent counts recomputes that partitioned into >= 2
+	// components — the ones eligible for parallel dispatch.
+	MultiComponent int64
+	// ParallelDispatches counts recomputes whose fills ran on the
+	// worker pool.
+	ParallelDispatches int64
+}
+
+// IntraStats returns the run's recompute-shape counters so far.
+func (s *Sim) IntraStats() IntraStats { return s.intraStats }
+
+// compSpan is one connected component of the current recompute: index
+// ranges into the shared s.compFlows (flow IDs) and s.linkUsed (links)
+// scratch slices. Spans are disjoint by construction.
+type compSpan struct {
+	flowLo, flowHi int32 // s.compFlows[flowLo:flowHi]
+	linkLo, linkHi int32 // s.linkUsed[linkLo:linkHi]
+}
 
 // recomputeRates reassigns max-min fair rates to every flow whose
 // allocation may have changed since the last recompute.
@@ -58,62 +111,107 @@ func (s *Sim) recomputeRates() {
 		return
 	}
 
-	// Expand the dirty seeds into the affected component: alternate
-	// link -> member flows -> their links until the frontier closes.
-	// linkUsed doubles as the BFS queue; every link and flow is visited
-	// once per epoch.
+	// Partition the dirty seeds into connected components. Each unseen
+	// seed starts a BFS that alternates link -> member flows -> their
+	// links until that component's frontier closes; a later seed already
+	// absorbed by an earlier component is skipped. linkUsed doubles as
+	// the BFS queue (a component occupies a contiguous range of it), so
+	// every link and flow is visited once per epoch. Seed order is the
+	// deterministic dirty-link order, so the partition is a pure
+	// function of simulation state.
 	s.epoch++
 	s.linkUsed = s.linkUsed[:0]
-	for _, l := range s.dirtyLinks {
-		s.linkDirty[l] = false
-		if s.linkSeen[l] != s.epoch {
-			s.linkSeen[l] = s.epoch
-			s.linkUsed = append(s.linkUsed, l)
-		}
-	}
-	s.dirtyLinks = s.dirtyLinks[:0]
 	s.compFlows = s.compFlows[:0]
-	for i := 0; i < len(s.linkUsed); i++ {
-		for _, f := range s.linkFlows[s.linkUsed[i]] {
-			if f.seen == s.epoch {
-				continue
-			}
-			f.seen = s.epoch
-			f.newRate = -1 // unfrozen
-			s.compFlows = append(s.compFlows, f)
-			for _, fl := range f.links {
-				if s.linkSeen[fl] != s.epoch {
-					s.linkSeen[fl] = s.epoch
-					s.linkUsed = append(s.linkUsed, fl)
+	s.comps = s.comps[:0]
+	for _, seed := range s.dirtyLinks {
+		s.linkDirty[seed] = false
+		if s.linkSeen[seed] == s.epoch {
+			continue
+		}
+		flowLo, linkLo := int32(len(s.compFlows)), int32(len(s.linkUsed))
+		s.linkSeen[seed] = s.epoch
+		s.linkUsed = append(s.linkUsed, seed)
+		for i := int(linkLo); i < len(s.linkUsed); i++ {
+			for _, fid := range s.linkFlows[s.linkUsed[i]] {
+				if s.seen[fid] == s.epoch {
+					continue
+				}
+				s.seen[fid] = s.epoch
+				s.newRate[fid] = -1 // unfrozen
+				s.compFlows = append(s.compFlows, fid)
+				for _, fl := range s.flowSlab[fid].links {
+					if s.linkSeen[fl] != s.epoch {
+						s.linkSeen[fl] = s.epoch
+						s.linkUsed = append(s.linkUsed, fl)
+					}
 				}
 			}
 		}
+		if int32(len(s.compFlows)) == flowLo {
+			continue // seed only touched an empty link (e.g. failing an idle one)
+		}
+		s.comps = append(s.comps, compSpan{
+			flowLo: flowLo, flowHi: int32(len(s.compFlows)),
+			linkLo: linkLo, linkHi: int32(len(s.linkUsed)),
+		})
 	}
-	if len(s.compFlows) == 0 {
-		return // seeds only touched empty links (e.g. failing an idle link)
+	s.dirtyLinks = s.dirtyLinks[:0]
+	if len(s.comps) == 0 {
+		return
+	}
+	s.intraStats.Recomputes++
+	s.intraStats.Components += int64(len(s.comps))
+	if len(s.comps) > 1 {
+		s.intraStats.MultiComponent++
 	}
 
-	// Progressive filling over the component, bottleneck by bottleneck.
-	// Every link of the component starts from its full capacity: the
-	// component's flows are exactly its links' members, so the fill is
-	// self-contained.
-	s.lheap.reset()
-	for _, l := range s.linkUsed {
+	// Fill each component, in parallel when the run has a pool and this
+	// recompute actually produced more than one. Spans are link- and
+	// flow-disjoint, so the concurrent fills write disjoint elements of
+	// newRate/residual/unfrozen; each slot gets a private heap.
+	if s.pool.Workers() > 1 && len(s.comps) > 1 {
+		s.intraStats.ParallelDispatches++
+		s.pool.Run(len(s.comps), func(slot, i int) {
+			s.fillComponent(s.comps[i], s.slotHeap(slot))
+		})
+	} else {
+		for _, c := range s.comps {
+			s.fillComponent(c, s.lheap)
+		}
+	}
+
+	// Serial merge in stable component order: install every freshly
+	// computed rate on the event goroutine.
+	for _, fid := range s.compFlows {
+		s.applyRate(&s.flowSlab[fid], s.newRate[fid])
+	}
+}
+
+// fillComponent runs progressive filling over one component,
+// bottleneck by bottleneck, writing results to s.newRate. Every link of
+// the component starts from its full capacity: the component's flows
+// are exactly its links' members, so the fill is self-contained. The
+// heap is caller-supplied so concurrent fills don't share one.
+func (s *Sim) fillComponent(c compSpan, lheap *linkHeap) {
+	lheap.reset()
+	links := s.linkUsed[c.linkLo:c.linkHi]
+	for _, l := range links {
 		s.residual[l] = s.LinkCapacity(l)
 		n := len(s.linkFlows[l])
 		s.unfrozen[l] = n
 		if n > 0 {
-			s.lheap.push(l, s.residual[l]/float64(n))
+			lheap.push(l, s.residual[l]/float64(n))
 		}
 	}
-	remaining := len(s.compFlows)
+	flows := s.compFlows[c.flowLo:c.flowHi]
+	remaining := len(flows)
 	for remaining > 0 {
-		bottleneck, best, ok := s.lheap.popMin()
+		bottleneck, best, ok := lheap.popMin()
 		if !ok {
 			// Unreachable: every flow crosses at least its host links.
-			for _, f := range s.compFlows {
-				if f.newRate < 0 {
-					f.newRate = 0
+			for _, fid := range flows {
+				if s.newRate[fid] < 0 {
+					s.newRate[fid] = 0
 				}
 			}
 			break
@@ -124,13 +222,13 @@ func (s *Sim) recomputeRates() {
 		// Freeze every unfrozen flow crossing the bottleneck. Once its
 		// unfrozen count reaches zero the link leaves the heap, so each
 		// membership list is consumed at most once.
-		for _, f := range s.linkFlows[bottleneck] {
-			if f.newRate >= 0 {
+		for _, fid := range s.linkFlows[bottleneck] {
+			if s.newRate[fid] >= 0 {
 				continue
 			}
-			f.newRate = best
+			s.newRate[fid] = best
 			remaining--
-			for _, l := range f.links {
+			for _, l := range s.flowSlab[fid].links {
 				s.residual[l] -= best
 				if s.residual[l] < 0 {
 					s.residual[l] = 0
@@ -140,17 +238,26 @@ func (s *Sim) recomputeRates() {
 					continue // already popped
 				}
 				if s.unfrozen[l] == 0 {
-					s.lheap.remove(l)
+					lheap.remove(l)
 				} else {
-					s.lheap.update(l, s.residual[l]/float64(s.unfrozen[l]))
+					lheap.update(l, s.residual[l]/float64(s.unfrozen[l]))
 				}
 			}
 		}
 	}
+}
 
-	for _, f := range s.compFlows {
-		s.applyRate(f, f.newRate)
+// slotHeap returns the worker slot's private bottleneck heap,
+// allocating it on first use. Slots are exclusive within a pool.Run, so
+// no two concurrent fills share a heap.
+func (s *Sim) slotHeap(slot int) *linkHeap {
+	h := s.slotHeaps[slot]
+	if h == nil {
+		h = newLinkHeap(len(s.linkFlows))
+		s.slotHeaps[slot] = h
 	}
+	h.ensure(len(s.linkFlows))
+	return h
 }
 
 // applyRate installs a freshly computed rate. If it differs from the
@@ -162,24 +269,25 @@ func (s *Sim) recomputeRates() {
 // schedulers share this function, so their floating-point op sequences
 // are identical by construction.
 func (s *Sim) applyRate(f *Flow, rate float64) {
-	if fpcmp.Eq(rate, f.Rate) {
+	id := f.ID
+	if fpcmp.Eq(rate, s.rate[id]) {
 		return
 	}
-	if dt := s.now - f.syncAt; dt > 0 {
-		f.Remaining -= f.Rate * dt
-		if f.Remaining < 0 {
-			f.Remaining = 0
+	if dt := s.now - s.syncAt[id]; dt > 0 {
+		s.remaining[id] -= s.rate[id] * dt
+		if s.remaining[id] < 0 {
+			s.remaining[id] = 0
 		}
 	}
-	f.syncAt = s.now
-	f.Rate = rate
+	s.syncAt[id] = s.now
+	s.rate[id] = rate
 	if rate > 0 {
-		f.finishAt = s.now + f.Remaining/rate
+		s.finishAt[id] = s.now + s.remaining[id]/rate
 	} else {
-		f.finishAt = math.Inf(1)
+		s.finishAt[id] = math.Inf(1)
 	}
 	if !s.cfg.Reference {
-		s.done.fix(f)
+		s.done.fix(int32(id))
 	}
 }
 

@@ -37,7 +37,7 @@ func (s *Sim) recomputeRatesReference() {
 	s.stamp++
 	s.linkUsed = s.linkUsed[:0]
 	for _, f := range s.active {
-		f.newRate = -1 // unfrozen
+		s.newRate[f.ID] = -1 // unfrozen
 		for _, l := range f.links {
 			if s.refStamp[l] != s.stamp {
 				s.refStamp[l] = s.stamp
@@ -47,7 +47,7 @@ func (s *Sim) recomputeRatesReference() {
 				s.linkUsed = append(s.linkUsed, l)
 			}
 			s.unfrozen[l]++
-			s.refFlows[l] = append(s.refFlows[l], f)
+			s.refFlows[l] = append(s.refFlows[l], int32(f.ID))
 		}
 	}
 
@@ -71,8 +71,8 @@ func (s *Sim) recomputeRatesReference() {
 		if bottleneck < 0 {
 			// Unreachable: every flow crosses at least its host links.
 			for _, f := range s.active {
-				if f.newRate < 0 {
-					f.newRate = 0
+				if s.newRate[f.ID] < 0 {
+					s.newRate[f.ID] = 0
 				}
 			}
 			break
@@ -83,13 +83,13 @@ func (s *Sim) recomputeRatesReference() {
 		// Freeze every unfrozen flow crossing the bottleneck. Once its
 		// unfrozen count reaches zero the link is never selected again,
 		// so each membership list is consumed at most once.
-		for _, f := range s.refFlows[bottleneck] {
-			if f.newRate >= 0 {
+		for _, fid := range s.refFlows[bottleneck] {
+			if s.newRate[fid] >= 0 {
 				continue
 			}
-			f.newRate = best
+			s.newRate[fid] = best
 			remaining--
-			for _, l := range f.links {
+			for _, l := range s.flowSlab[fid].links {
 				s.residual[l] -= best
 				if s.residual[l] < 0 {
 					s.residual[l] = 0
@@ -100,7 +100,7 @@ func (s *Sim) recomputeRatesReference() {
 	}
 
 	for _, f := range s.active {
-		s.applyRate(f, f.newRate)
+		s.applyRate(f, s.newRate[f.ID])
 	}
 }
 
@@ -112,12 +112,13 @@ func (s *Sim) nextCompletionReference() (float64, *Flow) {
 	const none = math.MaxFloat64
 	t, next := none, (*Flow)(nil)
 	for _, f := range s.active {
-		if f.finishAt >= none {
+		at := s.finishAt[f.ID]
+		if at >= none {
 			continue // stranded (rate zero)
 		}
 		//dardlint:floateq reference scheduler mirrors the completion heap's exact-compare + flow-ID tie-break
-		if next == nil || f.finishAt < t || (f.finishAt == t && f.ID < next.ID) {
-			t, next = f.finishAt, f
+		if next == nil || at < t || (at == t && f.ID < next.ID) {
+			t, next = at, f
 		}
 	}
 	return t, next

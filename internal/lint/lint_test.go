@@ -22,6 +22,13 @@ func TestFloatEqFixtures(t *testing.T) {
 	linttest.Run(t, "testdata/src/floateq", lint.FloatEq)
 }
 
+// The component-merge fixture pins the determinism hazard the
+// intra-run parallel engine avoids: merging per-component recompute
+// results via map iteration instead of stable partition order.
+func TestCompMergeFixtures(t *testing.T) {
+	linttest.Run(t, "testdata/src/compmerge", lint.MapOrder)
+}
+
 func TestSeedFlowFixtures(t *testing.T) {
 	linttest.Run(t, "testdata/src/seedflow", lint.SeedFlow)
 }

@@ -1,6 +1,13 @@
 package dard
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
 
 // TestPaperScaleFabric runs DARD on the paper's p=16 fat-tree switching
 // fabric (with a trimmed host edge) — 128 ToRs, 64 equal-cost paths per
@@ -51,4 +58,154 @@ func TestPaperScaleFabric(t *testing.T) {
 	if max := rep.PathSwitchQuantile(1); max >= 64 {
 		t.Errorf("max path switches = %g, must stay far below the 64 paths", max)
 	}
+}
+
+// p64Scenario is the BENCH_pr6 workload (see BenchmarkIntraWorkersP64):
+// the p=64 switching fabric under staggered traffic with the
+// simulated-annealing controller, whose central rounds re-route many
+// elephants from one timer — the event shape that dirties several
+// disjoint sharing-graph components per recompute.
+func p64Scenario(topo *Topology, workers int) Scenario {
+	return Scenario{
+		Topo:           topo,
+		Scheduler:      SchedulerAnnealing,
+		Pattern:        PatternStaggered,
+		RatePerHost:    0.5,
+		Duration:       5,
+		FileSizeMB:     64,
+		Seed:           7,
+		ElephantAgeSec: 0.5,
+		IntraWorkers:   workers,
+	}
+}
+
+// TestEmitBenchPR6 measures the p=64 fabric serial vs IntraWorkers
+// 2/4/8 — wall clock and memory (runtime.ReadMemStats before/after) —
+// verifies the retained reference scheduler agrees byte-for-byte as the
+// oracle, and writes BENCH_pr6.json. The run costs minutes (the p=64
+// path cache alone takes ~30 s to build), so it only executes when
+// DARD_BENCH_PR6 names an output path ("1" means BENCH_pr6.json); the
+// CI bench-smoke job sets it and uploads the artifact.
+func TestEmitBenchPR6(t *testing.T) {
+	out := os.Getenv("DARD_BENCH_PR6")
+	if out == "" {
+		t.Skip("set DARD_BENCH_PR6=<path|1> to run the p=64 intra-worker benchmark")
+	}
+	if out == "1" {
+		out = "BENCH_pr6.json"
+	}
+	topo, err := TopologySpec{Kind: FatTree, P: 64, HostsPerToR: 1}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No Prewarm: at p=64 the full per-ToR-pair path cache is ~4M pairs
+	// x 1024 paths — hundreds of GB. The runs here are sequential, so
+	// the cache fills lazily with just the pairs the workload touches,
+	// shared across worker settings; an untimed warmup run below pays
+	// the fill before anything is measured.
+
+	// Oracle: on a shortened p=64 run (the reference scheduler is
+	// O(events x flows), full length would take tens of minutes), the
+	// serial engine, the 8-worker engine, and the reference scheduler
+	// must serialize to identical report bytes.
+	shorten := func(s Scenario) Scenario {
+		s.Duration = 1.5
+		s.RatePerHost = 0.25
+		return s
+	}
+	marshal := func(s Scenario) []byte {
+		rep, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	serialJSON := marshal(shorten(p64Scenario(topo, 1)))
+	if !bytes.Equal(marshal(shorten(p64Scenario(topo, 8))), serialJSON) {
+		t.Fatal("oracle: IntraWorkers=8 diverges from serial at p=64")
+	}
+	if !bytes.Equal(marshal(shorten(p64Scenario(topo, 1)).WithReferenceEngine()), serialJSON) {
+		t.Fatal("oracle: reference scheduler diverges from the incremental engine at p=64")
+	}
+
+	type benchCase struct {
+		Workers    int     `json:"workers"`
+		Flows      int     `json:"flows"`
+		WallNs     int64   `json:"wall_ns"`
+		AllocMB    float64 `json:"alloc_mb"`
+		SysMB      float64 `json:"sys_mb"`
+		SpeedupVs1 float64 `json:"speedup_vs_serial"`
+	}
+	// One untimed warmup run fills the lazy path cache with every
+	// ToR pair this workload touches; without it the first timed case
+	// (serial) pays the fill and the comparison tilts toward whichever
+	// worker counts run later.
+	if _, err := p64Scenario(topo, 1).Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	var cases []benchCase
+	for _, w := range []int{1, 2, 4, 8} {
+		best := int64(1<<63 - 1)
+		var flows int
+		var allocMB, sysMB float64
+		for rep := 0; rep < 7; rep++ {
+			runtime.GC() // don't let one run's garbage bill the next run's clock
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			start := time.Now()
+			r, err := p64Scenario(topo, w).Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wall := time.Since(start).Nanoseconds()
+			runtime.ReadMemStats(&after)
+			if r.Unfinished != 0 {
+				t.Fatalf("workers=%d: %d unfinished flows", w, r.Unfinished)
+			}
+			if wall < best {
+				best = wall
+				flows = r.Flows
+				allocMB = float64(after.TotalAlloc-before.TotalAlloc) / 1e6
+				sysMB = float64(after.Sys) / 1e6
+			}
+		}
+		cases = append(cases, benchCase{Workers: w, Flows: flows, WallNs: best, AllocMB: allocMB, SysMB: sysMB})
+		t.Logf("workers=%d: %.2fs, %.0f MB allocated, %.0f MB sys", w, float64(best)/1e9, allocMB, sysMB)
+	}
+	for i := range cases {
+		cases[i].SpeedupVs1 = float64(cases[0].WallNs) / float64(cases[i].WallNs)
+	}
+
+	doc := struct {
+		Benchmark   string      `json:"benchmark"`
+		Description string      `json:"description"`
+		Goos        string      `json:"goos"`
+		Goarch      string      `json:"goarch"`
+		HostCPUs    int         `json:"host_cpus"`
+		Gomaxprocs  int         `json:"gomaxprocs"`
+		Oracle      string      `json:"oracle"`
+		Cases       []benchCase `json:"cases"`
+	}{
+		Benchmark:   "TestEmitBenchPR6",
+		Description: "Component-parallel max-min recompute inside one flow-level run: p=64 fat-tree switching fabric (HostsPerToR=1), staggered pattern, SimulatedAnnealing controller (batched central re-routes force multi-component recomputes), rate 0.5 flows/s/host, 5 s window, 64 MB transfers, seed 7. wall_ns is the best of 7 full runs per worker count on a shared topology whose lazy path cache a preceding untimed run warmed; alloc_mb is the heap the best run allocated and sys_mb the process footprint after it (runtime.ReadMemStats). speedup_vs_serial > 1 requires host_cpus > 1: with one CPU the worker pool can only add dispatch overhead, so regenerate on a multi-core host (the CI bench-smoke job does) for the parallel comparison.",
+		Goos:        runtime.GOOS,
+		Goarch:      runtime.GOARCH,
+		HostCPUs:    runtime.NumCPU(),
+		Gomaxprocs:  runtime.GOMAXPROCS(0),
+		Oracle:      "byte-identical reports: serial == IntraWorkers=8 == reference scheduler on the shortened p=64 scenario",
+		Cases:       cases,
+	}
+	j, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(j, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
 }
