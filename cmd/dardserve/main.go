@@ -1,0 +1,86 @@
+// Command dardserve is the simulation daemon: it serves the
+// internal/serve HTTP API, keeps many sessions in flight, streams their
+// trace events live, and treats restarts as checkpoints rather than
+// losses — on SIGINT/SIGTERM every live job is paused, serialized to
+// the state directory, and resumed bit-identically by the next boot.
+//
+//	dardserve -addr 127.0.0.1:8080 -state /var/lib/dardserve
+//
+// See README.md for the curl-level quickstart.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dard/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dardserve:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the daemon body, factored so tests can drive a full
+// boot→serve→drain cycle with a plain context instead of signals. It
+// returns once ctx is canceled and every live job is checkpointed.
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dardserve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	state := fs.String("state", "", "checkpoint directory: live jobs suspend here on shutdown and resume on boot (empty disables persistence)")
+	workers := fs.Int("workers", 0, "sessions simulating concurrently (0: one per CPU)")
+	drain := fs.Duration("drain", 30*time.Second, "how long shutdown waits for jobs to reach a checkpointable boundary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := serve.New(serve.Options{Workers: *workers, StateDir: *state})
+	resumed, errs := srv.LoadCheckpoints()
+	for _, err := range errs {
+		fmt.Fprintf(out, "skipping checkpoint: %v\n", err)
+	}
+	for _, id := range resumed {
+		fmt.Fprintf(out, "resumed %s\n", id)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
+	fmt.Fprintf(out, "listening on %s\n", ln.Addr())
+
+	served := make(chan error, 1)
+	go func() { served <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-served:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Park the jobs first — submissions are refused from here on — then
+	// drop the HTTP connections; streaming clients hold theirs open
+	// indefinitely, so a graceful listener shutdown would never return.
+	fmt.Fprintln(out, "draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		httpSrv.Close()
+		return fmt.Errorf("drain: %w", err)
+	}
+	httpSrv.Close()
+	fmt.Fprintln(out, "checkpointed and stopped")
+	return nil
+}

@@ -1,0 +1,197 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"dard"
+)
+
+// daemon drives run() as a test would a real process: it scans the
+// daemon's log lines, exposes the bound address, and on Stop cancels
+// the context (the test's SIGTERM) and waits for run to drain.
+type daemon struct {
+	t      *testing.T
+	addr   string
+	lines  chan string
+	cancel context.CancelFunc
+	done   chan error
+}
+
+func startDaemon(t *testing.T, args ...string) *daemon {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	pr, pw := io.Pipe()
+	d := &daemon{t: t, lines: make(chan string, 64), cancel: cancel, done: make(chan error, 1)}
+	go func() {
+		err := run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), pw)
+		pw.Close()
+		d.done <- err
+	}()
+	go func() {
+		sc := bufio.NewScanner(pr)
+		for sc.Scan() {
+			d.lines <- sc.Text()
+		}
+		close(d.lines)
+	}()
+	for line := range d.lines {
+		if rest, ok := strings.CutPrefix(line, "listening on "); ok {
+			d.addr = rest
+			t.Cleanup(d.stopQuiet)
+			return d
+		}
+	}
+	cancel()
+	t.Fatalf("daemon exited before listening: %v", <-d.done)
+	return nil
+}
+
+// stop cancels the daemon and returns run's error once the drain is done.
+func (d *daemon) stop() error {
+	d.cancel()
+	select {
+	case err := <-d.done:
+		d.done <- err
+		return err
+	case <-time.After(15 * time.Second):
+		d.t.Fatal("daemon did not drain within 15s")
+		return nil
+	}
+}
+
+func (d *daemon) stopQuiet() { d.cancel(); <-d.done; d.done <- nil }
+
+func (d *daemon) do(method, path string, body any) (int, []byte) {
+	d.t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			d.t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, "http://"+d.addr+path, rd)
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+type jobStatus struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Events int    `json:"events"`
+}
+
+func (d *daemon) status(id string) jobStatus {
+	d.t.Helper()
+	code, body := d.do(http.MethodGet, "/jobs/"+id, nil)
+	if code != http.StatusOK {
+		d.t.Fatalf("status %s: HTTP %d: %s", id, code, body)
+	}
+	var st jobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		d.t.Fatal(err)
+	}
+	return st
+}
+
+// TestDaemonLifecycle is the serve-smoke: boot, submit, shut down with
+// a live job, confirm the checkpoint landed on disk, boot a second
+// daemon from the same state dir, and watch the job come back.
+func TestDaemonLifecycle(t *testing.T) {
+	stateDir := t.TempDir()
+
+	d := startDaemon(t, "-state", stateDir, "-workers", "2")
+	if code, body := d.do(http.MethodGet, "/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d: %s", code, body)
+	}
+
+	// An open-loop job with effectively unbounded arrivals: it stays
+	// live until the drain parks it.
+	sc := dard.Scenario{
+		Topology:    dard.TopologySpec{Kind: dard.FatTree, P: 4},
+		Scheduler:   dard.SchedulerECMP,
+		Pattern:     dard.PatternStride,
+		RatePerHost: 0.5,
+		Duration:    -1,
+		MaxTimeSec:  1e6,
+		FileSizeMB:  64,
+		Steady:      true,
+		WindowSec:   0.5,
+		Seed:        7,
+	}
+	code, body := d.do(http.MethodPost, "/jobs", map[string]any{"scenario": sc})
+	if code != http.StatusCreated {
+		t.Fatalf("submit: HTTP %d: %s", code, body)
+	}
+	var st jobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	id := st.ID
+
+	deadline := time.Now().Add(10 * time.Second)
+	for d.status(id).Events == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s produced no events; state %q", id, d.status(id).State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	if err := d.stop(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	ckpt := filepath.Join(stateDir, id+".ckpt")
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("shutdown left no checkpoint: %v", err)
+	}
+
+	d2 := startDaemon(t, "-state", stateDir)
+	st = d2.status(id)
+	if st.State != "running" && st.State != "queued" {
+		t.Fatalf("resumed job state = %q, want running or queued", st.State)
+	}
+	if st.Events == 0 {
+		t.Fatalf("resumed job lost its trace history")
+	}
+	if code, _ := d2.do(http.MethodDelete, "/jobs/"+id, nil); code != http.StatusAccepted {
+		t.Fatalf("cancel resumed job: HTTP %d", code)
+	}
+	if err := d2.stop(); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+}
+
+// TestDaemonBadFlags pins the failure modes an operator actually hits:
+// an unparsable flag and an unbindable address both surface as errors
+// instead of a half-started daemon.
+func TestDaemonBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-workers", "many"}, &buf); err == nil {
+		t.Fatal("bad -workers value accepted")
+	}
+	if err := run(context.Background(), []string{"-addr", "256.0.0.1:bad"}, &buf); err == nil {
+		t.Fatal("unbindable -addr accepted")
+	}
+}

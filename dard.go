@@ -29,6 +29,7 @@
 package dard
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -212,6 +213,19 @@ type Scenario struct {
 	// seconds while tracing: zero means DefaultTraceProbeInterval,
 	// negative disables probes. Ignored when not tracing.
 	TraceProbeInterval float64
+	// Steady switches the workload from a pre-generated batch to an open
+	// stream of Poisson arrivals pulled one at a time (flow engine only).
+	// Duration > 0 bounds the arrival window exactly as in batch mode; a
+	// negative Duration streams arrivals indefinitely, so the run ends at
+	// MaxTimeSec with in-flight flows reported unfinished. The stream is
+	// seeded per source host the same way the batch generator is, so a
+	// bounded steady run sees the batch run's exact workload.
+	Steady bool
+	// WindowSec aggregates completed transfers into tumbling windows of
+	// this width and reports per-window throughput and Jain fairness in
+	// Report.Windows (flow engine only). Zero means DefaultWindowSec in
+	// steady mode and disabled otherwise; negative disables.
+	WindowSec float64
 	// IntraWorkers parallelizes the inside of a single flow-level run:
 	// disjoint components of the flow/link sharing graph recompute on a
 	// worker pool, merged in stable order so the report stays
@@ -250,12 +264,26 @@ func (s Scenario) withDefaults() Scenario {
 	if s.Engine == "" {
 		s.Engine = EngineFlow
 	}
+	if s.Steady && fpcmp.IsZero(s.WindowSec) {
+		s.WindowSec = DefaultWindowSec
+	}
 	return s
 }
 
+// DefaultWindowSec is the steady-state metrics window width when
+// WindowSec is left zero.
+const DefaultWindowSec = 1.0
+
 // Run builds the topology (unless Topo is set), generates the workload,
 // and executes the scenario.
-func (s Scenario) Run() (*Report, error) {
+func (s Scenario) Run() (*Report, error) { return s.RunContext(context.Background()) }
+
+// RunContext is Run with cooperative cancellation: when ctx is canceled
+// the simulation stops at its next boundary and the returned error
+// matches both ErrCanceled and the context's own error under errors.Is.
+// Cancellation is abandonment — for a run that can pause, checkpoint,
+// and continue, use NewSession.
+func (s Scenario) RunContext(ctx context.Context) (*Report, error) {
 	s = s.withDefaults()
 	if err := s.DARD.faults(s.Seed).Validate(); err != nil {
 		return nil, err
@@ -268,7 +296,19 @@ func (s Scenario) Run() (*Report, error) {
 			return nil, err
 		}
 	}
-	flows, err := s.generate(topo)
+	var (
+		flows    []workload.Flow
+		arrivals flowsim.ArrivalSource
+		err      error
+	)
+	if s.Steady {
+		if s.Engine != EngineFlow {
+			return nil, fmt.Errorf("dard: steady mode requires Engine: EngineFlow (open arrivals stream through the fluid engine)")
+		}
+		arrivals, err = s.openArrivals(topo)
+	} else {
+		flows, err = s.generate(topo)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -276,14 +316,14 @@ func (s Scenario) Run() (*Report, error) {
 	var rep *Report
 	switch s.Engine {
 	case EngineFlow:
-		rep, err = s.runFlow(topo, flows, tr)
+		rep, err = s.runFlow(ctx, topo, flows, arrivals, tr)
 	case EnginePacket:
-		rep, err = s.runPacket(topo, flows, tr)
+		rep, err = s.runPacket(ctx, topo, flows, tr)
 	default:
 		return nil, fmt.Errorf("dard: unknown engine %q", s.Engine)
 	}
 	if err != nil {
-		return nil, err
+		return nil, wrapCanceled(ctx, err)
 	}
 	if rec != nil {
 		if err := s.writeTrace(rec); err != nil {
@@ -293,51 +333,82 @@ func (s Scenario) Run() (*Report, error) {
 	return rep, nil
 }
 
-func (s Scenario) generate(topo *Topology) ([]workload.Flow, error) {
-	var pattern workload.Pattern
+// pattern builds the destination-picking pattern for the topology.
+func (s Scenario) pattern(topo *Topology) (workload.Pattern, error) {
 	switch s.Pattern {
 	case PatternRandom:
-		pattern = workload.Random{L: topo.layout}
+		return workload.Random{L: topo.layout}, nil
 	case PatternStaggered:
-		pattern = workload.NewStaggered(topo.layout)
+		return workload.NewStaggered(topo.layout), nil
 	case PatternStride:
-		pattern = workload.Stride{N: topo.layout.NumHosts, Step: topo.layout.HostsPerPod()}
-	default:
-		return nil, fmt.Errorf("dard: unknown pattern %q", s.Pattern)
+		return workload.Stride{N: topo.layout.NumHosts, Step: topo.layout.HostsPerPod()}, nil
 	}
-	return workload.Generate(topo.layout, workload.Config{
+	return nil, fmt.Errorf("dard: unknown pattern %q", s.Pattern)
+}
+
+func (s Scenario) workloadConfig(pattern workload.Pattern) workload.Config {
+	return workload.Config{
 		Pattern:     pattern,
 		RatePerHost: s.RatePerHost,
 		Duration:    s.Duration,
 		SizeBytes:   s.FileSizeMB * (1 << 20),
 		Seed:        s.Seed,
-	})
+	}
 }
 
-func (s Scenario) runFlow(topo *Topology, flows []workload.Flow, tr trace.Tracer) (*Report, error) {
-	var ctl flowsim.Controller
-	switch s.Scheduler {
-	case SchedulerECMP:
-		ctl = sched.ECMP{}
-	case SchedulerPVLB:
-		ctl = &sched.PVLB{Interval: s.VLBIntervalSec}
-	case SchedulerDARD:
-		ctl = idard.New(s.DARD.options(s.Seed))
-	case SchedulerAnnealing:
-		ctl = hedera.New(hedera.Options{})
-	case SchedulerTeXCP:
-		return nil, fmt.Errorf("dard: TeXCP requires Engine: EnginePacket (per-packet splitting)")
-	default:
-		return nil, fmt.Errorf("dard: unknown scheduler %q", s.Scheduler)
-	}
-	events, err := s.linkEvents(topo)
+func (s Scenario) generate(topo *Topology) ([]workload.Flow, error) {
+	pattern, err := s.pattern(topo)
 	if err != nil {
 		return nil, err
 	}
-	sim, err := flowsim.New(flowsim.Config{
+	return workload.Generate(topo.layout, s.workloadConfig(pattern))
+}
+
+// openArrivals builds the steady-state streaming source over the same
+// per-host substreams the batch generator draws from.
+func (s Scenario) openArrivals(topo *Topology) (*workload.OpenPoisson, error) {
+	pattern, err := s.pattern(topo)
+	if err != nil {
+		return nil, err
+	}
+	return workload.NewOpenPoisson(topo.layout, s.workloadConfig(pattern))
+}
+
+// flowController builds the flow-engine scheduler for the scenario.
+func (s Scenario) flowController() (flowsim.Controller, error) {
+	switch s.Scheduler {
+	case SchedulerECMP:
+		return sched.ECMP{}, nil
+	case SchedulerPVLB:
+		return &sched.PVLB{Interval: s.VLBIntervalSec}, nil
+	case SchedulerDARD:
+		return idard.New(s.DARD.options(s.Seed)), nil
+	case SchedulerAnnealing:
+		return hedera.New(hedera.Options{}), nil
+	case SchedulerTeXCP:
+		return nil, fmt.Errorf("dard: TeXCP requires Engine: EnginePacket (per-packet splitting)")
+	}
+	return nil, fmt.Errorf("dard: unknown scheduler %q", s.Scheduler)
+}
+
+// flowConfig assembles the flow-engine configuration. Exactly one of
+// flows and arrivals is the workload; Run and Session both build their
+// engines from this, so a restored session reconstructs the same run an
+// uninterrupted one executes.
+func (s Scenario) flowConfig(topo *Topology, flows []workload.Flow, arrivals flowsim.ArrivalSource, tr trace.Tracer) (flowsim.Config, flowsim.Controller, error) {
+	ctl, err := s.flowController()
+	if err != nil {
+		return flowsim.Config{}, nil, err
+	}
+	events, err := s.linkEvents(topo)
+	if err != nil {
+		return flowsim.Config{}, nil, err
+	}
+	return flowsim.Config{
 		Net:           topo.net,
 		Controller:    ctl,
 		Flows:         flows,
+		Arrivals:      arrivals,
 		Seed:          s.Seed,
 		ElephantAge:   s.ElephantAgeSec,
 		MaxTime:       s.MaxTimeSec,
@@ -346,19 +417,45 @@ func (s Scenario) runFlow(topo *Topology, flows []workload.Flow, tr trace.Tracer
 		ProbeInterval: s.probeInterval(),
 		IntraWorkers:  s.IntraWorkers,
 		Reference:     s.flowsimReference,
-	})
+	}, ctl, nil
+}
+
+func (s Scenario) runFlow(ctx context.Context, topo *Topology, flows []workload.Flow, arrivals flowsim.ArrivalSource, tr trace.Tracer) (*Report, error) {
+	cfg, ctl, err := s.flowConfig(topo, flows, arrivals, tr)
 	if err != nil {
 		return nil, err
 	}
-	res, err := sim.Run()
+	sim, err := flowsim.New(cfg)
 	if err != nil {
 		return nil, err
 	}
+	res, err := sim.RunContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return s.finishFlowReport(topo, res, ctl, len(flows))
+}
+
+// finishFlowReport assembles the facade report from a completed flow-run:
+// the base metrics, the controller's DARD counters, and (when a window
+// width is configured) the steady-state windowed metrics.
+func (s Scenario) finishFlowReport(topo *Topology, res *flowsim.Results, ctl flowsim.Controller, generated int) (*Report, error) {
 	rep := flowReport(s, topo, res)
-	rep.Flows = len(flows)
+	rep.Flows = generated
+	if s.Steady {
+		// An open stream has no pre-generated count; report arrivals.
+		rep.Flows = len(res.Flows)
+	}
 	if dc, ok := ctl.(*idard.Controller); ok {
 		rep.DARDShifts = dc.Shifts
 		rep.DARDRounds = dc.Rounds
+	}
+	if s.WindowSec > 0 {
+		ws, err := steadyWindows(s.WindowSec, res)
+		if err != nil {
+			return nil, err
+		}
+		rep.Windows = ws
 	}
 	return rep, nil
 }
@@ -395,7 +492,7 @@ func (s Scenario) linkEvents(topo *Topology) ([]flowsim.LinkEvent, error) {
 	return events, nil
 }
 
-func (s Scenario) runPacket(topo *Topology, flows []workload.Flow, tr trace.Tracer) (*Report, error) {
+func (s Scenario) runPacket(ctx context.Context, topo *Topology, flows []workload.Flow, tr trace.Tracer) (*Report, error) {
 	var pol psim.Policy
 	switch s.Scheduler {
 	case SchedulerECMP:
@@ -434,7 +531,7 @@ func (s Scenario) runPacket(topo *Topology, flows []workload.Flow, tr trace.Trac
 	if err != nil {
 		return nil, err
 	}
-	res, err := rt.Run()
+	res, err := rt.RunContext(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,42 @@
+package dard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"dard/internal/flowsim"
+)
+
+// ErrCanceled marks a run stopped by context cancellation. Errors from
+// RunContext and Session.Run match both this and the context's own error
+// (context.Canceled or context.DeadlineExceeded) under errors.Is.
+var ErrCanceled = errors.New("dard: run canceled")
+
+// ErrPaused is returned by Session.Run when a requested pause took
+// effect. The session's state is intact: Snapshot it, call Run again to
+// continue, or both. It aliases the engine's sentinel, so errors.Is
+// works across the facade boundary.
+var ErrPaused = flowsim.ErrPaused
+
+// ValidationError reports one invalid Scenario field from Validate. The
+// message matches what Run would produce for the same mistake; Field
+// names the offending Scenario field so callers (the serving layer's
+// HTTP 400 payloads) can point at it without parsing the message.
+type ValidationError struct {
+	Field string
+	Err   error
+}
+
+func (e *ValidationError) Error() string { return e.Err.Error() }
+
+func (e *ValidationError) Unwrap() error { return e.Err }
+
+// wrapCanceled tags engine errors caused by ctx's cancellation with
+// ErrCanceled; other errors pass through unchanged.
+func wrapCanceled(ctx context.Context, err error) error {
+	if err != nil && ctx.Err() != nil {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return err
+}

@@ -135,6 +135,13 @@ type Controller struct {
 	ecmp  sched.ECMP
 	hosts map[topology.NodeID]*hostState
 
+	// monitorSeq issues every monitor a run-unique serial, the stable
+	// identity its query timers carry in checkpoints (snapshot.go). The
+	// monitor key cannot serve: keys are reused when a released monitor's
+	// pair sees a new elephant, and a stale tick must not rebind to the
+	// successor.
+	monitorSeq int64
+
 	// Shifts counts accepted flow moves across the run (observability).
 	Shifts int
 	// Rounds counts executed scheduling rounds across the run.
@@ -194,7 +201,7 @@ func (c *Controller) OnElephant(s *flowsim.Sim, f *flowsim.Flow) {
 	m.flows[f.ID] = f
 	if !h.roundActive {
 		h.roundActive = true
-		c.scheduleRound(s, h)
+		c.scheduleRound(s, f.Src, h)
 	}
 }
 
@@ -250,19 +257,25 @@ type hostState struct {
 
 // scheduleRound arms the host's next selfish-scheduling round: the base
 // interval plus a uniform random jitter (§3.1).
-func (c *Controller) scheduleRound(s *flowsim.Sim, h *hostState) {
+func (c *Controller) scheduleRound(s *flowsim.Sim, n topology.NodeID, h *hostState) {
 	d := c.opts.ScheduleInterval
 	if c.opts.ScheduleJitter > 0 {
 		d += s.Rand().Float64() * c.opts.ScheduleJitter
 	}
-	s.After(d, func() {
+	s.AfterRef(d, roundRef(n), c.roundFn(s, n, h))
+}
+
+// roundFn builds one firing of the host's round chain; restore rebuilds
+// it from the timer's host-ID operand (snapshot.go).
+func (c *Controller) roundFn(s *flowsim.Sim, n topology.NodeID, h *hostState) func() {
+	return func() {
 		if len(h.monitors) == 0 {
 			h.roundActive = false
 			return
 		}
 		c.runRound(s, h)
-		c.scheduleRound(s, h)
-	})
+		c.scheduleRound(s, n, h)
+	}
 }
 
 // runRound executes Algorithm 1 over every monitor of the host, in

@@ -34,10 +34,16 @@ type monitor struct {
 	dead []bool
 	coll *Collector
 
+	// serial is the monitor's run-unique identity, carried by its query
+	// timers in checkpoints. Issued by Controller.monitorSeq; overwritten
+	// from the snapshot on restore.
+	serial int64
+
 	released bool
 }
 
 func newMonitor(s *flowsim.Sim, c *Controller, srcHost, srcToR, dstToR topology.NodeID) *monitor {
+	c.monitorSeq++
 	m := &monitor{
 		ctl:     c,
 		srcHost: srcHost,
@@ -45,6 +51,7 @@ func newMonitor(s *flowsim.Sim, c *Controller, srcHost, srcToR, dstToR topology.
 		dstToR:  dstToR,
 		paths:   s.Paths(srcToR, dstToR),
 		flows:   make(map[int]*flowsim.Flow),
+		serial:  c.monitorSeq,
 	}
 	// The switches to query are the upstream endpoints of every path
 	// link: exactly the four groups of §2.4.2.
@@ -72,6 +79,16 @@ func (m *monitor) entity() uint64 { return uint64(m.srcHost)<<32 | uint64(m.dstT
 // across hosts are not synchronized.
 func (m *monitor) scheduleQuery(s *flowsim.Sim) {
 	first := s.Rand().Float64() * m.ctl.opts.QueryInterval
+	s.AfterRef(first, m.tickRef(), m.tickFn(s))
+}
+
+func (m *monitor) tickRef() flowsim.TimerRef {
+	return flowsim.TimerRef{Tag: timerTagQuery, A: m.serial}
+}
+
+// tickFn builds one firing of the monitor's query chain; restore rebinds
+// a pending tick to its monitor by serial (snapshot.go).
+func (m *monitor) tickFn(s *flowsim.Sim) func() {
 	var tick func()
 	tick = func() {
 		if m.released {
@@ -81,9 +98,9 @@ func (m *monitor) scheduleQuery(s *flowsim.Sim) {
 			// A malformed control exchange is a bug, not an input error.
 			panic(fmt.Sprintf("dard: path state assembling: %v", err))
 		}
-		s.After(m.ctl.opts.QueryInterval, tick)
+		s.AfterRef(m.ctl.opts.QueryInterval, m.tickRef(), tick)
 	}
-	s.After(first, tick)
+	return tick
 }
 
 // assemble runs one round of Path State Assembling (§2.4.2) through the

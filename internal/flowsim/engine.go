@@ -1,9 +1,11 @@
 package flowsim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"dard/internal/fpcmp"
 	"dard/internal/parallel"
@@ -36,6 +38,12 @@ type Config struct {
 	Controller Controller
 	// Flows is the workload, sorted by arrival time.
 	Flows []workload.Flow
+	// Arrivals streams an open-ended workload instead of Flows (exactly
+	// one of the two may be set). Flows must come out with dense
+	// sequential IDs in non-decreasing arrival order; the engine
+	// validates each one as it materializes. Open runs end at MaxTime
+	// with in-flight flows reported unfinished.
+	Arrivals ArrivalSource
 	// Seed drives every random choice the controller makes through
 	// Sim.Rand, making runs reproducible.
 	Seed int64
@@ -93,15 +101,37 @@ type Sim struct {
 	g   *topology.Graph
 	rng *rand.Rand
 
-	now         float64
-	flowSlab    []Flow  // all flows, one slab, indexed by workload flow ID
-	flows       []*Flow // by workload flow ID; nil until arrival
-	active      []*Flow
-	pending     []workload.Flow
-	nextArrival int
-	timers      timerHeap
-	timerFree   []*timer // recycled timer events (After allocates from here)
-	timerSeq    int64
+	// rngSrc is the raw source under rng. It counts draws so a
+	// checkpoint can record the stream position and restore replays to
+	// it — behavior is bit-identical to the plain math/rand source.
+	rngSrc *countedSource
+
+	now float64
+	// slabs hold all Flow structs in fixed-size chunks indexed by
+	// workload flow ID (flowAt). Chunking keeps every *Flow stable while
+	// an open-ended run grows the population: a full chunk is never
+	// reallocated, only new chunks are appended.
+	slabs     [][]Flow
+	flows     []*Flow // by workload flow ID; nil until arrival
+	active    []*Flow
+	arrivals  ArrivalSource
+	sliceSrc  *sliceSource // non-nil when arrivals wraps Config.Flows
+	arrived   int          // flows consumed from the source == next expected ID
+	timers    timerHeap
+	timerFree []*timer // recycled timer events (After allocates from here)
+	timerSeq  int64
+
+	// started latches the one-time Run setup (link-event timers,
+	// Controller.Start) so a paused run can re-enter Run without
+	// re-scheduling them.
+	started bool
+	// events counts dispatched events (completions, arrivals, timers).
+	events int64
+	// pauseAt pauses the run once events reaches it (-1 disabled); the
+	// deterministic checkpoint trigger. pauseReq is its asynchronous
+	// sibling, settable from any goroutine.
+	pauseAt  int64
+	pauseReq atomic.Bool
 
 	ratesDirty bool
 
@@ -193,6 +223,9 @@ func New(cfg Config) (*Sim, error) {
 			return nil, fmt.Errorf("flowsim: link event at invalid time %g", ev.At)
 		}
 	}
+	if cfg.Arrivals != nil && len(cfg.Flows) > 0 {
+		return nil, fmt.Errorf("flowsim: Flows and Arrivals are mutually exclusive")
+	}
 	hosts := cfg.Net.Hosts()
 	for _, wf := range cfg.Flows {
 		if wf.ID < 0 || wf.ID >= len(cfg.Flows) {
@@ -209,23 +242,14 @@ func New(cfg Config) (*Sim, error) {
 		}
 	}
 	g := cfg.Net.Graph()
-	n := len(cfg.Flows)
+	seedSrc := newCountedSource(cfg.Seed)
 	s := &Sim{
 		cfg:       cfg,
 		net:       cfg.Net,
 		g:         g,
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
-		pending:   cfg.Flows,
-		flowSlab:  make([]Flow, n),
-		flows:     make([]*Flow, n),
-		rate:      make([]float64, n),
-		remaining: make([]float64, n),
-		syncAt:    make([]float64, n),
-		finishAt:  make([]float64, n),
-		newRate:   make([]float64, n),
-		seen:      make([]uint64, n),
-		activeIdx: make([]int32, n),
-		heapIdx:   make([]int32, n),
+		rng:       rand.New(seedSrc),
+		rngSrc:    seedSrc,
+		pauseAt:   -1,
 		eleCounts: make([]int, g.NumLinks()),
 		linkDown:  make([]bool, g.NumLinks()),
 		residual:  make([]float64, g.NumLinks()),
@@ -236,6 +260,13 @@ func New(cfg Config) (*Sim, error) {
 		lheap:     newLinkHeap(g.NumLinks()),
 		tracer:    trace.OrNop(cfg.Tracer),
 	}
+	if cfg.Arrivals != nil {
+		s.arrivals = cfg.Arrivals
+	} else {
+		s.sliceSrc = &sliceSource{flows: cfg.Flows}
+		s.arrivals = s.sliceSrc
+	}
+	s.growFlows(len(cfg.Flows))
 	s.done.s = s
 	if cfg.Reference {
 		s.refFlows = make([][]int32, g.NumLinks())
@@ -246,6 +277,41 @@ func New(cfg Config) (*Sim, error) {
 		s.nextProbe = cfg.ProbeInterval
 	}
 	return s, nil
+}
+
+// Flow slab chunking: flowAt(id) resolves a flow ID to its stable slot.
+// Chunks are never reallocated once created, so *Flow pointers held by
+// the active set, controllers, and timer closures survive open-ended
+// population growth; only the chunk index grows.
+const (
+	slabShift = 10
+	slabChunk = 1 << slabShift
+	slabMask  = slabChunk - 1
+)
+
+// flowAt returns the slab slot of a flow ID (which must be < the grown
+// population).
+func (s *Sim) flowAt(id int) *Flow { return &s.slabs[id>>slabShift][id&slabMask] }
+
+// growFlows extends the slab and the struct-of-arrays state to hold at
+// least n flows. Growth happens on the event goroutine only (arrival
+// processing), never concurrently with component fills.
+func (s *Sim) growFlows(n int) {
+	for len(s.slabs)*slabChunk < n {
+		s.slabs = append(s.slabs, make([]Flow, slabChunk))
+	}
+	total := len(s.slabs) * slabChunk
+	if grow := total - len(s.flows); grow > 0 {
+		s.flows = append(s.flows, make([]*Flow, grow)...)
+		s.rate = append(s.rate, make([]float64, grow)...)
+		s.remaining = append(s.remaining, make([]float64, grow)...)
+		s.syncAt = append(s.syncAt, make([]float64, grow)...)
+		s.finishAt = append(s.finishAt, make([]float64, grow)...)
+		s.newRate = append(s.newRate, make([]float64, grow)...)
+		s.seen = append(s.seen, make([]uint64, grow)...)
+		s.activeIdx = append(s.activeIdx, make([]int32, grow)...)
+		s.heapIdx = append(s.heapIdx, make([]int32, grow)...)
+	}
 }
 
 // Now returns the current simulation time in seconds.
@@ -295,7 +361,17 @@ func (s *Sim) IsActive(f *Flow) bool { return f.active }
 // order (FIFO among equal timestamps) and are dropped once the workload
 // has drained. Timer events are pool-allocated: fired timers are
 // recycled, so steady-state control loops schedule without allocating.
+//
+// Timers scheduled through After carry no checkpoint descriptor:
+// Snapshot fails while one is pending. Control loops that must survive
+// a checkpoint schedule through AfterRef instead.
 func (s *Sim) After(d float64, fn func()) {
+	s.AfterRef(d, TimerRef{}, fn)
+}
+
+// AfterRef schedules fn like After and records a TimerRef describing
+// how to rebuild the closure on restore (see SnapshotController).
+func (s *Sim) AfterRef(d float64, ref TimerRef, fn func()) {
 	if d < 0 {
 		d = 0
 	}
@@ -303,6 +379,7 @@ func (s *Sim) After(d float64, fn func()) {
 	tm := s.newTimer()
 	tm.at = s.now + d
 	tm.seq = s.timerSeq
+	tm.ref = ref
 	tm.fn = fn
 	s.timers.push(tm)
 }
@@ -322,6 +399,7 @@ func (s *Sim) newTimer() *timer {
 // so the free list never pins controller state.
 func (s *Sim) freeTimer(tm *timer) {
 	tm.fn = nil
+	tm.ref = TimerRef{}
 	s.timerFree = append(s.timerFree, tm)
 }
 
@@ -402,7 +480,7 @@ func (s *Sim) detachLinks(f *Flow) {
 		movedID := lst[last]
 		lst[pos] = movedID
 		s.linkFlows[l] = lst[:last]
-		if moved := &s.flowSlab[movedID]; moved != f {
+		if moved := s.flowAt(int(movedID)); moved != f {
 			for j, ml := range moved.links {
 				if ml == l && moved.pos[j] == last {
 					moved.pos[j] = pos
@@ -515,7 +593,15 @@ func (s *Sim) SetLinkDown(l topology.LinkID, down bool) {
 // min of (finishAt, flow ID) — the completion heap's root, or a linear
 // scan under the reference scheduler. remaining is materialized lazily,
 // only when a recompute actually changes the flow's rate (applyRate).
-func (s *Sim) Run() (*Results, error) {
+func (s *Sim) Run() (*Results, error) { return s.RunContext(context.Background()) }
+
+// RunContext is Run with cooperative cancellation and pausing. When ctx
+// is canceled the run stops at an event boundary and returns the
+// context's error. When a pause triggers (RequestPause or PauseAfter)
+// the run returns ErrPaused with all state intact: the caller may
+// Snapshot the run and/or call RunContext again to continue exactly
+// where it stopped.
+func (s *Sim) RunContext(ctx context.Context) (*Results, error) {
 	if w := s.cfg.intraWorkers(); w > 1 && s.pool == nil {
 		s.pool = parallel.NewPool(w)
 		s.slotHeaps = make([]*linkHeap, s.pool.Workers())
@@ -524,17 +610,41 @@ func (s *Sim) Run() (*Results, error) {
 			s.pool = nil
 		}()
 	}
-	for _, ev := range s.cfg.LinkEvents {
-		ev := ev
-		s.After(ev.At-s.now, func() { s.SetLinkDown(ev.Link, ev.Down) })
+	// Fail fast on an already-canceled context; mid-run the check is
+	// amortized to every 1024th event below.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("flowsim: canceled at t=%g: %w", s.now, err)
 	}
-	s.cfg.Controller.Start(s)
+	if !s.started {
+		s.started = true
+		for _, ev := range s.cfg.LinkEvents {
+			ev := ev
+			s.AfterRef(ev.At-s.now, linkEventRef(ev), func() { s.SetLinkDown(ev.Link, ev.Down) })
+		}
+		s.cfg.Controller.Start(s)
+	}
 	for {
-		if s.nextArrival >= len(s.pending) && len(s.active) == 0 {
+		_, hasPending := s.arrivals.Peek()
+		if !hasPending && len(s.active) == 0 {
 			break
 		}
 		if s.ratesDirty {
 			s.recomputeRates()
+		}
+		// Pause at a clean event boundary: rates recomputed, dirty-link
+		// seeds drained, no event half-dispatched. This is the state
+		// Snapshot serializes.
+		if s.pauseReq.Load() || (s.pauseAt >= 0 && s.events >= s.pauseAt) {
+			s.pauseReq.Store(false)
+			s.pauseAt = -1
+			return nil, ErrPaused
+		}
+		if s.events&1023 == 0 {
+			select {
+			case <-ctx.Done():
+				return nil, fmt.Errorf("flowsim: canceled at t=%g: %w", s.now, ctx.Err())
+			default:
+			}
 		}
 
 		// Earliest of: next completion, next arrival, next timer.
@@ -543,11 +653,11 @@ func (s *Sim) Run() (*Results, error) {
 		if s.cfg.Reference {
 			tComplete, completing = s.nextCompletionReference()
 		} else if id := s.done.min(); id >= 0 && s.finishAt[id] < none {
-			tComplete, completing = s.finishAt[id], &s.flowSlab[id]
+			tComplete, completing = s.finishAt[id], s.flowAt(int(id))
 		}
 		tArrival := none
-		if s.nextArrival < len(s.pending) {
-			tArrival = s.pending[s.nextArrival].Arrival
+		if next, ok := s.arrivals.Peek(); ok {
+			tArrival = next.Arrival
 		}
 		tTimer := none
 		if !s.timers.empty() {
@@ -570,13 +680,21 @@ func (s *Sim) Run() (*Results, error) {
 		case tComplete <= tArrival && tComplete <= tTimer:
 			s.complete(completing)
 		case tArrival <= tTimer:
-			s.arrive(s.pending[s.nextArrival])
-			s.nextArrival++
+			wf, _ := s.arrivals.Next()
+			if s.sliceSrc == nil {
+				// Generated arrivals are validated as they materialize;
+				// the finite Config.Flows list was validated in New.
+				if err := s.validateArrival(wf); err != nil {
+					return nil, err
+				}
+			}
+			s.arrive(wf)
 		default:
 			tm := s.timers.pop()
 			tm.fn()
 			s.freeTimer(tm)
 		}
+		s.events++
 
 		// Probes piggyback on event boundaries: once an interval has
 		// elapsed, sample at the first event at or past the boundary.
@@ -590,6 +708,20 @@ func (s *Sim) Run() (*Results, error) {
 	}
 	return s.collectResults(), nil
 }
+
+// RequestPause asks the run to stop at the next event boundary with
+// ErrPaused. Safe to call from any goroutine; if the run is between
+// RunContext calls the request is remembered and the next call pauses
+// immediately.
+func (s *Sim) RequestPause() { s.pauseReq.Store(true) }
+
+// PauseAfter arranges a pause once n more events have been dispatched —
+// the deterministic checkpoint trigger: the same n on the same scenario
+// always pauses at the same event boundary.
+func (s *Sim) PauseAfter(n int64) { s.pauseAt = s.events + n }
+
+// Events returns the number of events dispatched so far.
+func (s *Sim) Events() int64 { return s.events }
 
 // probe samples per-link utilization and per-flow rates into the tracer.
 func (s *Sim) probe() {
@@ -621,7 +753,9 @@ func (s *Sim) probe() {
 
 func (s *Sim) arrive(wf workload.Flow) {
 	hosts := s.net.Hosts()
-	f := &s.flowSlab[wf.ID]
+	s.growFlows(wf.ID + 1)
+	s.arrived = wf.ID + 1
+	f := s.flowAt(wf.ID)
 	*f = Flow{
 		ID:       wf.ID,
 		Src:      hosts[wf.Src],
@@ -671,7 +805,7 @@ func (s *Sim) arrive(wf workload.Flow) {
 		if fpcmp.IsZero(s.cfg.ElephantAge) {
 			s.classifyElephant(f)
 		} else {
-			s.After(s.cfg.ElephantAge, func() {
+			s.AfterRef(s.cfg.ElephantAge, classifyRef(f.ID), func() {
 				if f.active {
 					s.classifyElephant(f)
 				}

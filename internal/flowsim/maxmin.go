@@ -139,7 +139,7 @@ func (s *Sim) recomputeRates() {
 				s.seen[fid] = s.epoch
 				s.newRate[fid] = -1 // unfrozen
 				s.compFlows = append(s.compFlows, fid)
-				for _, fl := range s.flowSlab[fid].links {
+				for _, fl := range s.flowAt(int(fid)).links {
 					if s.linkSeen[fl] != s.epoch {
 						s.linkSeen[fl] = s.epoch
 						s.linkUsed = append(s.linkUsed, fl)
@@ -183,7 +183,7 @@ func (s *Sim) recomputeRates() {
 	// Serial merge in stable component order: install every freshly
 	// computed rate on the event goroutine.
 	for _, fid := range s.compFlows {
-		s.applyRate(&s.flowSlab[fid], s.newRate[fid])
+		s.applyRate(s.flowAt(int(fid)), s.newRate[fid])
 	}
 }
 
@@ -228,7 +228,7 @@ func (s *Sim) fillComponent(c compSpan, lheap *linkHeap) {
 			}
 			s.newRate[fid] = best
 			remaining--
-			for _, l := range s.flowSlab[fid].links {
+			for _, l := range s.flowAt(int(fid)).links {
 				s.residual[l] -= best
 				if s.residual[l] < 0 {
 					s.residual[l] = 0

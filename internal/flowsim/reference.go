@@ -89,7 +89,7 @@ func (s *Sim) recomputeRatesReference() {
 			}
 			s.newRate[fid] = best
 			remaining--
-			for _, l := range s.flowSlab[fid].links {
+			for _, l := range s.flowAt(int(fid)).links {
 				s.residual[l] -= best
 				if s.residual[l] < 0 {
 					s.residual[l] = 0

@@ -1,0 +1,560 @@
+package flowsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dard/internal/snap"
+	"dard/internal/topology"
+)
+
+// Checkpoint/restore for the flow-level engine.
+//
+// A snapshot is taken at a paused event boundary (see RunContext): rates
+// are freshly recomputed, the dirty-link seeds are drained, and no event
+// is half-dispatched. At such a boundary the engine's observable state
+// is exactly:
+//
+//   - the clock, event counter, and RNG stream position,
+//   - every arrived flow's identity and progress (the SoA quadruple
+//     rate/remaining/syncAt/finishAt for active flows; the final
+//     timestamps for departed ones),
+//   - the active list IN ORDER (probe() accumulates per-link load by
+//     iterating it, and float addition is order-sensitive),
+//   - link failure state, control-byte and elephant accounting,
+//   - the pending timers' (at, seq) keys and rebuild descriptors,
+//   - the arrival source's position and the controller's private state.
+//
+// Everything else is reconstructible: per-link membership lists are
+// rebuilt by re-attaching active flows — maxmin.go's header proves
+// membership ORDER cannot affect the arithmetic — and the completion
+// and timer heaps re-heapify from their total-order keys, so their
+// internal layout is observably irrelevant. Restore therefore replays
+// attach/push in a canonical order and still reproduces the exact
+// floating-point op sequence of the uninterrupted run; the facade's
+// checkpoint equivalence test pins byte-identical reports for every
+// scheduler.
+
+// SnapVersion is the engine snapshot format version.
+const SnapVersion uint16 = 1
+
+// ErrPaused is returned by RunContext when a pause was requested. The
+// run's state is intact: Snapshot it, call RunContext again, or both.
+var ErrPaused = errors.New("flowsim: run paused")
+
+// ErrUnsnapshottable marks run states Snapshot cannot serialize, e.g. a
+// pending timer scheduled without a checkpoint descriptor.
+var ErrUnsnapshottable = errors.New("flowsim: state not snapshottable")
+
+// TimerRef describes how to rebuild a timer callback after restore.
+// Closures cannot be serialized, so every checkpointable timer carries a
+// small descriptor: a tag naming the callback kind plus two integer
+// operands. Tags below TagControllerBase belong to the engine (link
+// events, elephant classification); tags at or above it are resolved by
+// the run's SnapshotController.
+type TimerRef struct {
+	Tag  uint8
+	A, B int64
+}
+
+// Engine-owned timer tags. Tag 0 marks a plain After timer, which has
+// no descriptor and blocks Snapshot while pending.
+const (
+	tagLinkEvent uint8 = 1 // A = link ID, B = 1 for failure, 0 for repair
+	tagClassify  uint8 = 2 // A = flow ID
+
+	// TagControllerBase is the first controller-owned tag: RebuildTimer
+	// resolves everything at or above it.
+	TagControllerBase uint8 = 16
+)
+
+func linkEventRef(ev LinkEvent) TimerRef {
+	b := int64(0)
+	if ev.Down {
+		b = 1
+	}
+	return TimerRef{Tag: tagLinkEvent, A: int64(ev.Link), B: b}
+}
+
+func classifyRef(flowID int) TimerRef {
+	return TimerRef{Tag: tagClassify, A: int64(flowID)}
+}
+
+// SnapshotController is implemented by controllers that support
+// checkpointing. Stateless controllers (ECMP, static) need not
+// implement it; any controller that keeps per-run state or schedules
+// timers must, or snapshots of its runs fail (pending undescribed
+// timers) or silently lose state on restore.
+type SnapshotController interface {
+	Controller
+	// SnapshotState encodes the controller's private state. Map-backed
+	// state must be encoded in sorted key order so identical logical
+	// states yield identical bytes.
+	SnapshotState(s *Sim, enc *snap.Encoder) error
+	// RestoreState rebuilds the controller's state inside a restored
+	// Sim. Flows are already restored; timers are not. RestoreState
+	// must not schedule timers or draw from s.Rand — pending timers and
+	// the RNG position are restored separately.
+	RestoreState(s *Sim, dec *snap.Decoder) error
+	// RebuildTimer returns the callback for a pending controller timer
+	// (ref.Tag >= TagControllerBase). It runs after RestoreState. A
+	// timer referencing state that no longer exists (e.g. a released
+	// monitor's stale tick) must return a no-op, mirroring what the
+	// original closure would have done.
+	RebuildTimer(s *Sim, ref TimerRef) (func(), error)
+}
+
+// countedSource wraps math/rand's default source and counts raw draws.
+// The stream is a pure function of the seed, so (seed, draws) is a
+// complete serialization of its state: restore replays draws from a
+// fresh source. Keeping the stock generator (rather than swapping in a
+// directly serializable one) preserves every historical run bit for
+// bit.
+type countedSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+func newCountedSource(seed int64) *countedSource {
+	// The source math/rand.NewSource returns also implements Source64.
+	return &countedSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+func (c *countedSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+func (c *countedSource) Uint64() uint64 {
+	c.draws++
+	return c.src.Uint64()
+}
+
+func (c *countedSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.draws = 0
+}
+
+// replayTo advances a fresh source to the given draw count. Int63 and
+// Uint64 advance the underlying generator identically, so the mix of
+// calls that produced the count does not matter.
+func (c *countedSource) replayTo(draws uint64) {
+	for c.draws < draws {
+		c.draws++
+		c.src.Int63()
+	}
+}
+
+// Section tags of the snapshot layout.
+const (
+	secHeader     = 'H'
+	secFlows      = 'F'
+	secActive     = 'A'
+	secArrivals   = 'W'
+	secController = 'C'
+	secTimers     = 'T'
+)
+
+// Flow flag bits in the flows section.
+const (
+	flagElephant = 1 << 0
+	flagActive   = 1 << 1
+)
+
+// Snapshot serializes the run at a paused event boundary. Valid between
+// RunContext calls: before the first, after ErrPaused, or after
+// completion. The bytes are deterministic — the same logical state
+// always encodes identically — and carry a CRC; Restore rejects
+// corruption.
+func (s *Sim) Snapshot() ([]byte, error) {
+	enc := snap.NewEncoder(SnapVersion)
+
+	enc.Mark(secHeader)
+	enc.F64(s.now)
+	enc.I64(s.timerSeq)
+	enc.I64(s.events)
+	enc.U64(s.rngSrc.draws)
+	enc.F64(s.controlBytes)
+	enc.I64(int64(s.curElephants))
+	enc.I64(int64(s.peakElephants))
+	enc.F64(s.nextProbe)
+	enc.Bool(s.started)
+	enc.I64(s.cfg.Seed)
+	enc.Bool(s.cfg.Reference)
+	enc.Str(s.cfg.Controller.Name())
+	enc.U32(uint32(s.g.NumLinks()))
+	downs := 0
+	for _, d := range s.linkDown {
+		if d {
+			downs++
+		}
+	}
+	enc.U32(uint32(downs))
+	for l, d := range s.linkDown {
+		if d {
+			enc.U32(uint32(l))
+		}
+	}
+	enc.I64(int64(s.arrived))
+
+	enc.Mark(secFlows)
+	for id := 0; id < s.arrived; id++ {
+		f := s.flowAt(id)
+		enc.I64(int64(f.Src))
+		enc.I64(int64(f.Dst))
+		enc.F64(f.SizeBits)
+		enc.F64(f.Arrival)
+		enc.F64(f.Finish)
+		enc.U32(uint32(f.PathIdx))
+		enc.U32(uint32(f.PathSwitches))
+		var flags uint8
+		if f.Elephant {
+			flags |= flagElephant
+		}
+		if f.active {
+			flags |= flagActive
+		}
+		enc.U8(flags)
+		if f.active {
+			enc.F64(s.rate[id])
+			enc.F64(s.remaining[id])
+			enc.F64(s.syncAt[id])
+			enc.F64(s.finishAt[id])
+		}
+	}
+
+	enc.Mark(secActive)
+	enc.U32(uint32(len(s.active)))
+	for _, f := range s.active {
+		enc.U32(uint32(f.ID))
+	}
+
+	enc.Mark(secArrivals)
+	if s.sliceSrc != nil {
+		enc.U8(0)
+		s.sliceSrc.SnapshotState(enc)
+	} else {
+		src, ok := s.arrivals.(SnapshotArrivalSource)
+		if !ok {
+			return nil, fmt.Errorf("%w: arrival source %T cannot checkpoint", ErrUnsnapshottable, s.arrivals)
+		}
+		enc.U8(1)
+		src.SnapshotState(enc)
+	}
+
+	enc.Mark(secController)
+	if sc, ok := s.cfg.Controller.(SnapshotController); ok {
+		enc.Bool(true)
+		if err := sc.SnapshotState(s, enc); err != nil {
+			return nil, err
+		}
+	} else {
+		enc.Bool(false)
+	}
+
+	enc.Mark(secTimers)
+	pending := make([]*timer, len(s.timers))
+	copy(pending, s.timers)
+	// Canonical (at, seq) order: the key is total, and restore pushes in
+	// this order, which leaves the rebuilt heap array sorted too — so
+	// snapshot(restore(snapshot(x))) is byte-identical.
+	sort.Slice(pending, func(i, j int) bool {
+		//dardlint:floateq total-order comparator: exact compare, then integer sequence tie-break
+		if pending[i].at != pending[j].at {
+			return pending[i].at < pending[j].at
+		}
+		return pending[i].seq < pending[j].seq
+	})
+	enc.U32(uint32(len(pending)))
+	for _, tm := range pending {
+		if tm.ref.Tag == 0 {
+			return nil, fmt.Errorf("%w: pending timer at t=%g scheduled without a checkpoint descriptor (Sim.After instead of Sim.AfterRef)", ErrUnsnapshottable, tm.at)
+		}
+		enc.F64(tm.at)
+		enc.I64(tm.seq)
+		enc.U8(tm.ref.Tag)
+		enc.I64(tm.ref.A)
+		enc.I64(tm.ref.B)
+	}
+
+	return enc.Finish(), nil
+}
+
+// Restore rebuilds a paused run from a snapshot. cfg must be the same
+// configuration the snapshotted run was built with (same network,
+// controller construction, workload parameters, and seed) — the
+// snapshot carries its position, not the scenario. The restored Sim
+// continues via RunContext exactly where the original paused, and its
+// final results are bit-identical to an uninterrupted run.
+func Restore(cfg Config, data []byte) (*Sim, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.restore(data); err != nil {
+		return nil, fmt.Errorf("flowsim: restore: %w", err)
+	}
+	return s, nil
+}
+
+func (s *Sim) restore(data []byte) error {
+	dec, err := snap.NewDecoder(data)
+	if err != nil {
+		return err
+	}
+	if v := dec.Version(); v != SnapVersion {
+		return fmt.Errorf("snapshot format version %d, this build reads %d", v, SnapVersion)
+	}
+
+	dec.Expect(secHeader)
+	now := dec.F64()
+	timerSeq := dec.I64()
+	events := dec.I64()
+	rngDraws := dec.U64()
+	controlBytes := dec.F64()
+	curElephants := dec.I64()
+	peakElephants := dec.I64()
+	nextProbe := dec.F64()
+	started := dec.Bool()
+	seed := dec.I64()
+	reference := dec.Bool()
+	ctlName := dec.Str()
+	numLinks := dec.U32()
+	nDown := int(dec.Count(4))
+	downLinks := make([]uint32, 0, nDown)
+	for i := 0; i < nDown; i++ {
+		downLinks = append(downLinks, dec.U32())
+	}
+	arrived := int(dec.I64())
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if seed != s.cfg.Seed {
+		return fmt.Errorf("snapshot seed %d does not match config seed %d", seed, s.cfg.Seed)
+	}
+	if reference != s.cfg.Reference {
+		return fmt.Errorf("snapshot engine (reference=%v) does not match config", reference)
+	}
+	if ctlName != s.cfg.Controller.Name() {
+		return fmt.Errorf("snapshot controller %q does not match config controller %q", ctlName, s.cfg.Controller.Name())
+	}
+	if int(numLinks) != s.g.NumLinks() {
+		return fmt.Errorf("snapshot topology has %d links, config topology has %d", numLinks, s.g.NumLinks())
+	}
+	if arrived < 0 || (s.sliceSrc != nil && arrived > len(s.sliceSrc.flows)) {
+		return fmt.Errorf("snapshot arrived count %d out of range", arrived)
+	}
+	s.now = now
+	s.timerSeq = timerSeq
+	s.events = events
+	s.controlBytes = controlBytes
+	s.curElephants = int(curElephants)
+	s.peakElephants = int(peakElephants)
+	s.nextProbe = nextProbe
+	s.rngSrc.replayTo(rngDraws)
+	for _, l := range downLinks {
+		if int(l) >= s.g.NumLinks() {
+			return fmt.Errorf("snapshot fails link %d out of range", l)
+		}
+		s.linkDown[l] = true
+	}
+
+	dec.Expect(secFlows)
+	s.growFlows(arrived)
+	s.arrived = arrived
+	hostMax := topology.NodeID(s.g.NumNodes())
+	activeFlagged := 0
+	for id := 0; id < arrived; id++ {
+		src := topology.NodeID(dec.I64())
+		dst := topology.NodeID(dec.I64())
+		sizeBits := dec.F64()
+		arrival := dec.F64()
+		finish := dec.F64()
+		pathIdx := int(dec.U32())
+		pathSwitches := int(dec.U32())
+		flags := dec.U8()
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		if src < 0 || src >= hostMax || dst < 0 || dst >= hostMax {
+			return fmt.Errorf("snapshot flow %d references node out of range", id)
+		}
+		if s.g.Node(src).Kind != topology.Host || s.g.Node(dst).Kind != topology.Host {
+			return fmt.Errorf("snapshot flow %d endpoints are not hosts", id)
+		}
+		f := s.flowAt(id)
+		*f = Flow{
+			ID:           id,
+			Src:          src,
+			Dst:          dst,
+			SrcToR:       s.net.ToROf(src),
+			DstToR:       s.net.ToROf(dst),
+			SizeBits:     sizeBits,
+			PathIdx:      pathIdx,
+			Arrival:      arrival,
+			Finish:       finish,
+			PathSwitches: pathSwitches,
+			Elephant:     flags&flagElephant != 0,
+			sim:          s,
+			active:       flags&flagActive != 0,
+			links:        f.links[:0],
+			pos:          f.pos[:0],
+		}
+		s.flows[id] = f
+		s.activeIdx[id] = -1
+		s.heapIdx[id] = -1
+		if f.active {
+			activeFlagged++
+			s.rate[id] = dec.F64()
+			s.remaining[id] = dec.F64()
+			s.syncAt[id] = dec.F64()
+			s.finishAt[id] = dec.F64()
+		} else {
+			s.rate[id] = 0
+			s.remaining[id] = 0
+			s.syncAt[id] = finish
+			s.finishAt[id] = 0
+		}
+	}
+
+	// Re-attach active flows in the snapshotted active order. Membership
+	// list order is arithmetic-free (maxmin.go), but the active list
+	// itself is iterated by probe()'s float accumulation, so its order
+	// is part of the state.
+	dec.Expect(secActive)
+	nActive := dec.Count(4)
+	if dec.Err() == nil && nActive != activeFlagged {
+		return fmt.Errorf("snapshot active list has %d entries, flow flags mark %d", nActive, activeFlagged)
+	}
+	for i := 0; i < nActive; i++ {
+		id := int(dec.U32())
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		if id < 0 || id >= arrived {
+			return fmt.Errorf("snapshot active flow %d out of range", id)
+		}
+		f := s.flows[id]
+		if !f.active || s.activeIdx[id] != -1 {
+			return fmt.Errorf("snapshot active list entry %d inconsistent", id)
+		}
+		paths := s.Paths(f.SrcToR, f.DstToR)
+		if f.PathIdx < 0 || f.PathIdx >= len(paths) {
+			return fmt.Errorf("snapshot flow %d path index %d out of range [0,%d)", id, f.PathIdx, len(paths))
+		}
+		s.buildRoute(f, paths[f.PathIdx])
+		s.attachLinks(f)
+		s.activeIdx[id] = int32(len(s.active))
+		s.active = append(s.active, f)
+		if !s.cfg.Reference {
+			s.done.push(int32(id))
+		}
+	}
+	// Attaching seeded dirty marks; drop them — the snapshot was taken
+	// at a recomputed boundary and the SoA rates above are authoritative.
+	s.clearDirtyLinks()
+	s.ratesDirty = false
+	s.stateVersion = 1 // force the lazy elephant-count cache to rebuild
+	s.eleVersion = 0
+
+	dec.Expect(secArrivals)
+	kind := dec.U8()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	switch kind {
+	case 0:
+		if s.sliceSrc == nil {
+			return fmt.Errorf("snapshot has a finite workload, config has a generated one")
+		}
+		if err := s.sliceSrc.RestoreState(dec); err != nil {
+			return err
+		}
+		if s.sliceSrc.pos != arrived {
+			return fmt.Errorf("snapshot arrival position %d does not match arrived count %d", s.sliceSrc.pos, arrived)
+		}
+	case 1:
+		if s.sliceSrc != nil {
+			return fmt.Errorf("snapshot has a generated workload, config has a finite one")
+		}
+		src, ok := s.arrivals.(SnapshotArrivalSource)
+		if !ok {
+			return fmt.Errorf("%w: arrival source %T cannot restore", ErrUnsnapshottable, s.arrivals)
+		}
+		if err := src.RestoreState(dec); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("snapshot arrival source kind %d unknown", kind)
+	}
+
+	dec.Expect(secController)
+	hasCtl := dec.Bool()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	sc, implements := s.cfg.Controller.(SnapshotController)
+	if hasCtl != implements {
+		return fmt.Errorf("snapshot controller state presence (%v) does not match controller %q", hasCtl, s.cfg.Controller.Name())
+	}
+	if hasCtl {
+		if err := sc.RestoreState(s, dec); err != nil {
+			return err
+		}
+	}
+
+	dec.Expect(secTimers)
+	nTimers := dec.Count(8*4 + 1)
+	for i := 0; i < nTimers; i++ {
+		at := dec.F64()
+		seq := dec.I64()
+		ref := TimerRef{Tag: dec.U8(), A: dec.I64(), B: dec.I64()}
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		fn, err := s.rebuildTimerFn(ref)
+		if err != nil {
+			return err
+		}
+		s.timers.push(&timer{at: at, seq: seq, ref: ref, fn: fn})
+	}
+
+	if err := dec.Done(); err != nil {
+		return err
+	}
+	s.started = started
+	return nil
+}
+
+// rebuildTimerFn resolves a TimerRef back into a callback.
+func (s *Sim) rebuildTimerFn(ref TimerRef) (func(), error) {
+	switch ref.Tag {
+	case tagLinkEvent:
+		l := topology.LinkID(ref.A)
+		if l < 0 || int(l) >= s.g.NumLinks() {
+			return nil, fmt.Errorf("snapshot link-event timer references link %d out of range", ref.A)
+		}
+		down := ref.B != 0
+		return func() { s.SetLinkDown(l, down) }, nil
+	case tagClassify:
+		f := s.Flow(int(ref.A))
+		if f == nil {
+			return nil, fmt.Errorf("snapshot classify timer references unknown flow %d", ref.A)
+		}
+		return func() {
+			if f.active {
+				s.classifyElephant(f)
+			}
+		}, nil
+	}
+	if ref.Tag >= TagControllerBase {
+		sc, ok := s.cfg.Controller.(SnapshotController)
+		if !ok {
+			return nil, fmt.Errorf("snapshot has controller timer tag %d but controller %q cannot rebuild timers", ref.Tag, s.cfg.Controller.Name())
+		}
+		return sc.RebuildTimer(s, ref)
+	}
+	return nil, fmt.Errorf("snapshot timer tag %d unknown", ref.Tag)
+}

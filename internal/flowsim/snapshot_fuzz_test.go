@@ -1,0 +1,109 @@
+package flowsim
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"dard/internal/topology"
+	"dard/internal/workload"
+)
+
+// snapFuzzConfig is the fixed run every fuzz input is decoded against:
+// a p=4 fat-tree with a random-path controller (so the RNG stream
+// position matters), elephant classification (classify timers), and a
+// mid-run fail/repair pair (link-event timers plus down-link state).
+func snapFuzzConfig(net topology.Network, g *topology.Graph) Config {
+	rng := rand.New(rand.NewSource(99))
+	numHosts := len(g.NodesOfKind(topology.Host))
+	flows := make([]workload.Flow, 40)
+	at := 0.0
+	for i := range flows {
+		at += rng.Float64() * 0.05
+		src := rng.Intn(numHosts)
+		dst := rng.Intn(numHosts)
+		for dst == src {
+			dst = rng.Intn(numHosts)
+		}
+		flows[i] = workload.Flow{
+			ID:       i,
+			Src:      src,
+			Dst:      dst,
+			SizeBits: (1 + rng.Float64()*63) * 1e8,
+			Arrival:  at,
+		}
+	}
+	fabric := fabricLinks(g)
+	events := append(duplexEvent(g, 0.4, fabric[0], true), duplexEvent(g, 1.3, fabric[0], false)...)
+	return Config{
+		Net: net,
+		Controller: &staticController{pathIdx: func(s *Sim, f *Flow) int {
+			return s.Rand().Intn(len(s.Paths(f.SrcToR, f.DstToR)))
+		}},
+		Flows:       flows,
+		Seed:        99,
+		ElephantAge: 0.2,
+		LinkEvents:  events,
+	}
+}
+
+// FuzzSnapshotRoundTrip drives arbitrary bytes through Restore and pins
+// the codec's two safety properties. First: corrupt or adversarial
+// input must be rejected with an error — never a panic, hang, or
+// silently accepted half-state (the decoder's CRC, section marks, and
+// the restore path's semantic validation all stand between wire bytes
+// and a live Sim). Second: any input Restore does accept must re-encode
+// byte-identically, and restoring those bytes again must reproduce them
+// once more — decode(encode) is the identity on the codec's image. The
+// seed corpus holds genuine snapshots taken at several pause points of
+// a real run, so the fuzzer mutates from live formats rather than only
+// garbage.
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	ft, err := topology.NewFatTree(topology.FatTreeConfig{P: 4})
+	if err != nil {
+		f.Fatal(err)
+	}
+	g := ft.Graph()
+
+	for _, pauseAt := range []int64{1, 17, 61, 97} {
+		sim, err := New(snapFuzzConfig(ft, g))
+		if err != nil {
+			f.Fatal(err)
+		}
+		sim.PauseAfter(pauseAt)
+		if _, err := sim.Run(); err != ErrPaused {
+			f.Fatalf("pause at %d: %v", pauseAt, err)
+		}
+		blob, err := sim.Snapshot()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+		// A truncation of a real snapshot probes the length guards.
+		f.Add(blob[:len(blob)/2])
+	}
+	f.Add([]byte{})
+	f.Add([]byte("DARDSNAP"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sim, err := Restore(snapFuzzConfig(ft, g), data)
+		if err != nil {
+			return // rejected cleanly — the property is "no panic"
+		}
+		b1, err := sim.Snapshot()
+		if err != nil {
+			t.Fatalf("restored sim cannot snapshot: %v", err)
+		}
+		again, err := Restore(snapFuzzConfig(ft, g), b1)
+		if err != nil {
+			t.Fatalf("re-encoded snapshot rejected: %v", err)
+		}
+		b2, err := again.Snapshot()
+		if err != nil {
+			t.Fatalf("second restore cannot snapshot: %v", err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Errorf("snapshot round-trip is not idempotent:\n  first:  %x\n  second: %x", b1, b2)
+		}
+	})
+}

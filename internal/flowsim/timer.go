@@ -1,9 +1,13 @@
 package flowsim
 
-// timer is one scheduled control-plane callback.
+// timer is one scheduled control-plane callback. ref carries the
+// checkpoint descriptor (snapshot.go): closures cannot be serialized,
+// so a snapshot records (at, seq, ref) and restore rebuilds the closure
+// from the descriptor.
 type timer struct {
 	at  float64
 	seq int64 // tie-breaker for deterministic ordering
+	ref TimerRef
 	fn  func()
 }
 

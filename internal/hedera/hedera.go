@@ -81,12 +81,18 @@ func (c *Controller) Name() string { return "SimulatedAnnealing" }
 
 // Start installs the periodic scheduling round.
 func (c *Controller) Start(s *flowsim.Sim) {
+	s.AfterRef(c.opts.Interval, roundRef(), c.roundFn(s))
+}
+
+// roundFn builds one firing of the controller's round chain; restore
+// rebuilds it from the timer's tag (snapshot.go).
+func (c *Controller) roundFn(s *flowsim.Sim) func() {
 	var round func()
 	round = func() {
 		c.runRound(s)
-		s.After(c.opts.Interval, round)
+		s.AfterRef(c.opts.Interval, roundRef(), round)
 	}
-	s.After(c.opts.Interval, round)
+	return round
 }
 
 // AssignPath implements flowsim.Controller with the ECMP default route.

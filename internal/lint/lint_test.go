@@ -12,6 +12,7 @@ import (
 func TestWallclockFixtures(t *testing.T) {
 	linttest.Run(t, "testdata/src/wallclock/simpkg", lint.Wallclock)
 	linttest.Run(t, "testdata/src/wallclock/nonsim", lint.Wallclock)
+	linttest.Run(t, "testdata/src/wallclock/servepkg", lint.Wallclock)
 }
 
 func TestMapOrderFixtures(t *testing.T) {

@@ -1,0 +1,28 @@
+// Package serve is a wallclock fixture for the serving-layer scope:
+// clock reads are legal there (HTTP deadlines, submission timestamps),
+// but blocking sleeps, leaky tickers, and the process-global generator
+// are still flagged.
+package serve
+
+import (
+	"math/rand"
+	"time"
+)
+
+func legal() time.Time {
+	t0 := time.Now() // the serving layer may read the clock
+	_ = time.Since(t0)
+	_ = time.After(time.Second)
+	tm := time.NewTimer(time.Second)
+	tm.Stop()
+	time.AfterFunc(time.Second, func() {}).Stop()
+	return t0
+}
+
+func flagged(seed int64) {
+	time.Sleep(time.Millisecond) // want `time.Sleep blocks or leaks inside serving package`
+	_ = time.Tick(time.Second)   // want `time.Tick blocks or leaks inside serving package`
+	_ = rand.Intn(10)            // want `rand.Intn uses the process-global generator inside serving package`
+	rng := rand.New(rand.NewSource(seed)) // constructors and methods stay legal
+	_ = rng.Intn(10)
+}

@@ -24,6 +24,22 @@ var wallclockTime = map[string]bool{
 	"NewTimer": true, "NewTicker": true,
 }
 
+// servePackages names the serving layer: it brokers between wall-clock
+// HTTP clients and deterministic sessions, so clock reads and timers
+// are legitimate there (request deadlines, submission timestamps). A
+// scoped ban remains — see serveTimeBanned — instead of the blanket
+// simulation-package rule.
+var servePackages = map[string]bool{
+	"serve": true,
+}
+
+// serveTimeBanned lists the time functions still forbidden in serving
+// code: Sleep blocks a worker goroutine that should wait on a context,
+// and Tick leaks a ticker that outlives its request.
+var serveTimeBanned = map[string]bool{
+	"Sleep": true, "Tick": true,
+}
+
 // globalRandAllowed lists the math/rand identifiers simulation code may
 // still reference: constructors (their seeds are policed by the
 // seedflow analyzer) and types. Every other package-level function
@@ -39,6 +55,10 @@ var globalRandAllowed = map[string]bool{
 // time comes from the event kernel; randomness comes from per-cell
 // generators seeded via CellSeed. Either leaking in breaks the
 // serial==parallel and traced==untraced bit-identity guarantees.
+//
+// The serving layer gets a narrower rule: clock reads are legal (HTTP
+// deadlines and submission timestamps are wall-clock by nature), but
+// blocking sleeps, leaky tickers, and the global generator stay banned.
 var Wallclock = &Analyzer{
 	Name: "wallclock",
 	Doc: "forbid wall-clock time and global math/rand in simulation packages; " +
@@ -47,7 +67,9 @@ var Wallclock = &Analyzer{
 }
 
 func runWallclock(pass *Pass) {
-	if !simPackages[pass.Pkg.Name()] {
+	sim := simPackages[pass.Pkg.Name()]
+	serving := servePackages[pass.Pkg.Name()]
+	if !sim && !serving {
 		return
 	}
 	for _, f := range pass.Files {
@@ -69,16 +91,25 @@ func runWallclock(pass *Pass) {
 			}
 			switch fn.Pkg().Path() {
 			case "time":
-				if wallclockTime[fn.Name()] {
+				if sim && wallclockTime[fn.Name()] {
 					pass.Reportf(sel.Pos(),
 						"time.%s reads the wall clock inside simulation package %q; use sim-time from the event kernel",
 						fn.Name(), pass.Pkg.Name())
 				}
+				if serving && serveTimeBanned[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"time.%s blocks or leaks inside serving package %q; wait on a context or a cancelable timer instead",
+						fn.Name(), pass.Pkg.Name())
+				}
 			case "math/rand":
 				if !globalRandAllowed[fn.Name()] {
+					scope := "simulation"
+					if serving {
+						scope = "serving"
+					}
 					pass.Reportf(sel.Pos(),
-						"rand.%s uses the process-global generator inside simulation package %q; draw from a CellSeed-seeded *rand.Rand",
-						fn.Name(), pass.Pkg.Name())
+						"rand.%s uses the process-global generator inside %s package %q; draw from a CellSeed-seeded *rand.Rand",
+						fn.Name(), scope, pass.Pkg.Name())
 				}
 			}
 			return true

@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"dard/internal/fpcmp"
+)
+
+// Windowed steady-state metrics: completed transfers are attributed to
+// tumbling windows [k*W, (k+1)*W) by completion time, and each window
+// reports its aggregate goodput and the Jain fairness of its members'
+// achieved transfer rates.
+//
+// The computation is a pure function of the completed-flow list, so the
+// serving layer's live /metrics endpoint and the final report recompute
+// it from the same samples and agree byte for byte at every point of a
+// run — there is no streaming accumulator whose state a checkpoint
+// would have to carry.
+
+// WindowSample is one completed transfer: its completion time, size,
+// and achieved average rate (size over transfer time).
+type WindowSample struct {
+	Finish float64
+	Bits   float64
+	Rate   float64
+}
+
+// WindowStat is one tumbling window's aggregate.
+type WindowStat struct {
+	// Index is the window ordinal k; the window spans [Start, End).
+	Index int     `json:"index"`
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+	// Flows counts transfers completed inside the window.
+	Flows int `json:"flows"`
+	// Bits is the total completed volume.
+	Bits float64 `json:"bits"`
+	// ThroughputBps is Bits over the window width.
+	ThroughputBps float64 `json:"throughput_bps"`
+	// Fairness is Jain's index over the members' achieved rates: 1 for
+	// a single member (or equal rates), approaching 1/n under maximal
+	// skew, and 0 by convention for an empty window.
+	Fairness float64 `json:"fairness"`
+}
+
+// ComputeWindows folds completed transfers into tumbling windows of the
+// given width. Samples must be ordered by non-decreasing Finish — the
+// deterministic completion order (Finish, flow ID) both producers use —
+// and every window from 0 through the last sample's is reported, empty
+// ones included, so consumers can difference consecutive calls. A
+// completion exactly on a boundary k*W belongs to window k.
+func ComputeWindows(width float64, samples []WindowSample) ([]WindowStat, error) {
+	if !(width > 0) || math.IsInf(width, 0) {
+		return nil, fmt.Errorf("metrics: window width %g must be positive and finite", width)
+	}
+	if len(samples) == 0 {
+		return nil, nil
+	}
+	prev := math.Inf(-1)
+	for i, sm := range samples {
+		if math.IsNaN(sm.Finish) || math.IsInf(sm.Finish, 0) || sm.Finish < 0 {
+			return nil, fmt.Errorf("metrics: sample %d has invalid completion time %g", i, sm.Finish)
+		}
+		if sm.Finish < prev {
+			return nil, fmt.Errorf("metrics: sample %d completes at %g, before its predecessor's %g", i, sm.Finish, prev)
+		}
+		prev = sm.Finish
+	}
+	// Samples are non-decreasing, so the last one bounds the window span.
+	out := make([]WindowStat, int(samples[len(samples)-1].Finish/width)+1)
+	for k := range out {
+		out[k] = WindowStat{Index: k, Start: float64(k) * width, End: float64(k+1) * width}
+	}
+	for _, sm := range samples {
+		k := int(sm.Finish / width)
+		w := &out[k]
+		w.Flows++
+		w.Bits += sm.Bits
+	}
+	// Fairness per window: Jain's index (sum x)^2 / (n * sum x^2),
+	// accumulated in sample order within each window. A second pass in
+	// the same order keeps the float op sequence independent of how many
+	// windows exist.
+	sum := make([]float64, len(out))
+	sumSq := make([]float64, len(out))
+	for _, sm := range samples {
+		k := int(sm.Finish / width)
+		sum[k] += sm.Rate
+		sumSq[k] += sm.Rate * sm.Rate
+	}
+	for k := range out {
+		w := &out[k]
+		w.ThroughputBps = w.Bits / width
+		if w.Flows == 0 {
+			continue // fairness 0 by convention
+		}
+		if fpcmp.IsZero(sumSq[k]) {
+			// All-zero rates: every member is equally (not at all) served.
+			w.Fairness = 1
+			continue
+		}
+		w.Fairness = (sum[k] * sum[k]) / (float64(w.Flows) * sumSq[k])
+	}
+	return out, nil
+}

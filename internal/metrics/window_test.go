@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestComputeWindowsEmpty(t *testing.T) {
+	ws, err := ComputeWindows(1.0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws != nil {
+		t.Fatalf("empty sample set produced %d windows", len(ws))
+	}
+}
+
+func TestComputeWindowsSingleSample(t *testing.T) {
+	ws, err := ComputeWindows(1.0, []WindowSample{{Finish: 2.5, Bits: 8e6, Rate: 4e6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 3 {
+		t.Fatalf("got %d windows, want 3 (two empty, one holding the sample)", len(ws))
+	}
+	for k := 0; k < 2; k++ {
+		if ws[k].Flows != 0 || ws[k].Fairness != 0 || ws[k].ThroughputBps != 0 {
+			t.Fatalf("window %d should be empty with fairness 0: %+v", k, ws[k])
+		}
+	}
+	w := ws[2]
+	if w.Flows != 1 || w.Bits != 8e6 || w.ThroughputBps != 8e6 {
+		t.Fatalf("sample window wrong: %+v", w)
+	}
+	if w.Fairness != 1 {
+		t.Fatalf("single-member window fairness = %g, want 1", w.Fairness)
+	}
+	if w.Start != 2 || w.End != 3 {
+		t.Fatalf("window bounds [%g,%g), want [2,3)", w.Start, w.End)
+	}
+}
+
+func TestComputeWindowsBoundaryExactCompletion(t *testing.T) {
+	// A completion exactly on k*W belongs to window k, not k-1: the
+	// windows are half-open [kW, (k+1)W).
+	ws, err := ComputeWindows(2.0, []WindowSample{
+		{Finish: 1.9, Bits: 1, Rate: 1},
+		{Finish: 2.0, Bits: 1, Rate: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 2 {
+		t.Fatalf("got %d windows, want 2", len(ws))
+	}
+	if ws[0].Flows != 1 || ws[1].Flows != 1 {
+		t.Fatalf("boundary completion misattributed: window 0 has %d flows, window 1 has %d", ws[0].Flows, ws[1].Flows)
+	}
+}
+
+func TestComputeWindowsFairness(t *testing.T) {
+	// Two equal rates: Jain = 1. Two rates 3:1 -> (4)^2/(2*10) = 0.8.
+	ws, err := ComputeWindows(1.0, []WindowSample{
+		{Finish: 0.2, Bits: 1, Rate: 5},
+		{Finish: 0.7, Bits: 1, Rate: 5},
+		{Finish: 1.1, Bits: 1, Rate: 3},
+		{Finish: 1.8, Bits: 1, Rate: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws[0].Fairness != 1 {
+		t.Fatalf("equal-rate window fairness = %g, want 1", ws[0].Fairness)
+	}
+	if ws[1].Fairness != 0.8 {
+		t.Fatalf("skewed window fairness = %g, want 0.8", ws[1].Fairness)
+	}
+	// All-zero rates count as equally served.
+	ws, err = ComputeWindows(1.0, []WindowSample{
+		{Finish: 0.5, Bits: 0, Rate: 0},
+		{Finish: 0.6, Bits: 0, Rate: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws[0].Fairness != 1 {
+		t.Fatalf("zero-rate window fairness = %g, want 1", ws[0].Fairness)
+	}
+}
+
+func TestComputeWindowsRejectsBadInput(t *testing.T) {
+	if _, err := ComputeWindows(0, []WindowSample{{Finish: 1}}); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := ComputeWindows(math.Inf(1), []WindowSample{{Finish: 1}}); err == nil {
+		t.Error("infinite width accepted")
+	}
+	if _, err := ComputeWindows(1, []WindowSample{{Finish: math.NaN()}}); err == nil {
+		t.Error("NaN completion accepted")
+	}
+	if _, err := ComputeWindows(1, []WindowSample{{Finish: 2}, {Finish: 1}}); err == nil {
+		t.Error("out-of-order samples accepted")
+	}
+	if _, err := ComputeWindows(1, []WindowSample{{Finish: -0.5}}); err == nil {
+		t.Error("negative completion accepted")
+	}
+}

@@ -1,0 +1,39 @@
+package parallel
+
+import "context"
+
+// Limiter bounds how many long-lived tasks run at once. ForEach and
+// Pool fan a fixed batch across workers and return when it drains; the
+// serving layer instead admits jobs that arrive over time and can run
+// for minutes, so what it needs is admission control: each job's
+// goroutine acquires a slot before running its session and releases it
+// after, and everything past the limit waits its turn without holding a
+// thread busy.
+type Limiter struct {
+	slots chan struct{}
+}
+
+// NewLimiter returns a limiter admitting n concurrent holders (resolved
+// by Workers: <= 0 means one per CPU).
+func NewLimiter(n int) *Limiter {
+	return &Limiter{slots: make(chan struct{}, Workers(n))}
+}
+
+// Cap returns the number of slots.
+func (l *Limiter) Cap() int { return cap(l.slots) }
+
+// Acquire blocks until a slot frees or ctx is canceled, returning the
+// context's error in the latter case. Waiters are served in roughly —
+// not strictly — arrival order; callers must not depend on FIFO.
+func (l *Limiter) Acquire(ctx context.Context) error {
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release frees a slot previously acquired. Releasing without holding a
+// slot is a programming error and may unblock a waiter spuriously.
+func (l *Limiter) Release() { <-l.slots }

@@ -1,0 +1,58 @@
+package parallel
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestLimiterBoundsConcurrency(t *testing.T) {
+	const slots, tasks = 3, 20
+	l := NewLimiter(slots)
+	if l.Cap() != slots {
+		t.Fatalf("cap = %d, want %d", l.Cap(), slots)
+	}
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < tasks; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := l.Acquire(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+			defer l.Release()
+			n := cur.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			cur.Add(-1)
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > slots {
+		t.Errorf("%d tasks ran concurrently, limit is %d", p, slots)
+	}
+}
+
+func TestLimiterAcquireCanceled(t *testing.T) {
+	l := NewLimiter(1)
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := l.Acquire(ctx); err != context.Canceled {
+		t.Fatalf("acquire on canceled ctx: %v", err)
+	}
+	l.Release()
+	// The slot freed by Release is acquirable again.
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -14,6 +14,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync"
@@ -35,6 +36,15 @@ func Workers(n int) int {
 // cell cannot discard a sweep's completed work. With workers resolved to
 // 1 the calls happen inline on the caller's goroutine.
 func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachContext(context.Background(), workers, n, fn)
+}
+
+// ForEachContext is ForEach with cooperative cancellation: once ctx is
+// canceled, indices not yet started are skipped and record the context's
+// error instead of running — in-flight calls finish (fn is responsible
+// for observing ctx itself if it can stop early). Completed indices keep
+// their results, so a canceled sweep still returns the work it finished.
+func ForEachContext(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -43,9 +53,16 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		workers = n
 	}
 	errs := make([]error, n)
+	run := func(i int) {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			return
+		}
+		errs[i] = fn(i)
+	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			errs[i] = fn(i)
+			run(i)
 		}
 		return errors.Join(errs...)
 	}
@@ -60,7 +77,7 @@ func ForEach(workers, n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				errs[i] = fn(i)
+				run(i)
 			}
 		}()
 	}

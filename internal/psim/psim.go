@@ -7,6 +7,7 @@
 package psim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -285,7 +286,13 @@ func (rt *Runtime) countElephant(f *FlowState, sign int) {
 
 // Run executes the workload to completion (or MaxTime) and collects
 // results.
-func (rt *Runtime) Run() (*Results, error) {
+func (rt *Runtime) Run() (*Results, error) { return rt.RunContext(context.Background()) }
+
+// RunContext is Run with cooperative cancellation: the run stops between
+// one-second simulation horizons once ctx is canceled and returns the
+// context's error. The packet kernel has no pause/snapshot protocol, so
+// unlike flowsim a canceled packet run cannot be resumed.
+func (rt *Runtime) RunContext(ctx context.Context) (*Results, error) {
 	cfg := rt.cfg
 	hosts := rt.topo.Hosts()
 	rt.flows = make([]*FlowState, len(cfg.Flows))
@@ -366,6 +373,9 @@ func (rt *Runtime) Run() (*Results, error) {
 	// drains: policy timer chains (TeXCP probes, DARD queries) re-arm
 	// forever and must not keep the simulation alive until MaxTime.
 	for horizon := 1.0; rt.remaining > 0 && horizon <= cfg.MaxTime && rt.net.K.Pending() > 0; horizon++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("psim: canceled at t=%g: %w", rt.Now(), err)
+		}
 		rt.net.K.Run(horizon)
 	}
 	return rt.collect(), nil

@@ -5,7 +5,12 @@
 // collisions.
 package sched
 
-import "dard/internal/flowsim"
+import (
+	"fmt"
+
+	"dard/internal/flowsim"
+	"dard/internal/snap"
+)
 
 // ECMP is Equal-Cost-Multi-Path forwarding (RFC 2992): a packet's path is
 // a hash of selected header fields, so a flow sticks to one randomly
@@ -45,6 +50,11 @@ type PVLB struct {
 
 var _ flowsim.Controller = (*PVLB)(nil)
 var _ flowsim.FlowObserver = (*PVLB)(nil)
+var _ flowsim.SnapshotController = (*PVLB)(nil)
+
+// timerTagRepick marks a pVLB re-pick timer in a checkpoint; operand A is
+// the flow ID.
+const timerTagRepick = flowsim.TagControllerBase
 
 // Name implements flowsim.Controller.
 func (*PVLB) Name() string { return "pVLB" }
@@ -61,31 +71,67 @@ func (*PVLB) AssignPath(s *flowsim.Sim, f *flowsim.Flow) int {
 
 // OnArrival installs the per-flow re-pick timer chain.
 func (v *PVLB) OnArrival(s *flowsim.Sim, f *flowsim.Flow) {
-	interval := v.Interval
-	if interval <= 0 {
-		interval = DefaultVLBInterval
-	}
-	n := len(s.Paths(f.SrcToR, f.DstToR))
-	if n <= 1 {
+	if len(s.Paths(f.SrcToR, f.DstToR)) <= 1 {
 		return
 	}
+	s.AfterRef(v.interval(), repickRef(f), v.repickFn(s, f))
+}
+
+func (v *PVLB) interval() float64 {
+	if v.Interval <= 0 {
+		return DefaultVLBInterval
+	}
+	return v.Interval
+}
+
+func repickRef(f *flowsim.Flow) flowsim.TimerRef {
+	return flowsim.TimerRef{Tag: timerTagRepick, A: int64(f.ID)}
+}
+
+// repickFn builds one firing of a flow's re-pick chain. The closure is
+// rebuilt from its TimerRef on restore, so it must derive everything from
+// the flow and the Sim.
+func (v *PVLB) repickFn(s *flowsim.Sim, f *flowsim.Flow) func() {
 	var repick func()
 	repick = func() {
 		if !s.IsActive(f) {
 			return
 		}
+		n := len(s.Paths(f.SrcToR, f.DstToR))
 		// SetPath ignores a re-pick of the current path, matching a VLB
 		// source that happens to draw the same core again.
 		if err := s.SetPath(f, s.Rand().Intn(n)); err == nil {
-			s.After(interval, repick)
+			s.AfterRef(v.interval(), repickRef(f), repick)
 		}
 	}
-	s.After(interval, repick)
+	return repick
 }
 
 // OnDepart implements flowsim.FlowObserver; the timer chain notices the
 // departure on its next firing.
 func (*PVLB) OnDepart(*flowsim.Sim, *flowsim.Flow) {}
+
+// SnapshotState implements flowsim.SnapshotController. pVLB keeps no
+// state beyond its pending re-pick timers, which the engine snapshots.
+func (*PVLB) SnapshotState(*flowsim.Sim, *snap.Encoder) error { return nil }
+
+// RestoreState implements flowsim.SnapshotController.
+func (*PVLB) RestoreState(*flowsim.Sim, *snap.Decoder) error { return nil }
+
+// RebuildTimer implements flowsim.SnapshotController: a re-pick timer
+// rebinds to its flow by ID. A departed flow keeps its timer until the
+// next firing (exactly like the live chain), so the rebuilt closure's
+// IsActive guard reproduces the original no-op.
+func (v *PVLB) RebuildTimer(s *flowsim.Sim, ref flowsim.TimerRef) (func(), error) {
+	if ref.Tag != timerTagRepick {
+		return nil, fmt.Errorf("sched: unknown pVLB timer tag %d", ref.Tag)
+	}
+	f := s.Flow(int(ref.A))
+	if f == nil {
+		return nil, fmt.Errorf("sched: re-pick timer references unknown flow %d", ref.A)
+	}
+	return v.repickFn(s, f), nil
+}
 
 // Static always assigns the first path; a degenerate baseline useful in
 // tests and as the worst case for collision behaviour.

@@ -1,0 +1,275 @@
+// Package snap is the checkpoint wire codec: a versioned, deterministic,
+// fixed-width binary format with an integrity trailer.
+//
+// Layout: a 6-byte header (magic "DSNP" + little-endian uint16 format
+// version), the caller's fields, and a trailing CRC-32 (IEEE) of
+// everything before it. Every field is fixed-width little-endian —
+// float64s are encoded as their IEEE-754 bit patterns — so encoding a
+// given logical state always yields the same bytes, which is what lets
+// the checkpoint tests assert decode(encode(state)) round-trips
+// bit-identically.
+//
+// The Decoder is hardened against corrupt input: the CRC is verified up
+// front, every read is bounds-checked, declared lengths are validated
+// against the bytes actually remaining before anything is allocated, and
+// the first failure sticks — later reads return zero values and Err()
+// reports the original fault. Decoding hostile bytes must error, never
+// panic; FuzzSnapshotRoundTrip pins that.
+package snap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// magic identifies a snap-framed blob.
+const magic = "DSNP"
+
+// headerLen is magic + format version; trailerLen the CRC-32.
+const (
+	headerLen  = len(magic) + 2
+	trailerLen = 4
+)
+
+// Encoder accumulates fields into a framed blob.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder starts a blob with the given caller-defined format version.
+func NewEncoder(version uint16) *Encoder {
+	e := &Encoder{buf: make([]byte, 0, 256)}
+	e.buf = append(e.buf, magic...)
+	e.buf = binary.LittleEndian.AppendUint16(e.buf, version)
+	return e
+}
+
+// U8 appends one byte.
+func (e *Encoder) U8(v uint8) { e.buf = append(e.buf, v) }
+
+// U16 appends a little-endian uint16.
+func (e *Encoder) U16(v uint16) { e.buf = binary.LittleEndian.AppendUint16(e.buf, v) }
+
+// U32 appends a little-endian uint32.
+func (e *Encoder) U32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+
+// U64 appends a little-endian uint64.
+func (e *Encoder) U64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+
+// I64 appends a little-endian two's-complement int64.
+func (e *Encoder) I64(v int64) { e.U64(uint64(v)) }
+
+// F64 appends the float's IEEE-754 bit pattern, preserving every bit
+// including NaN payloads and signed zeros.
+func (e *Encoder) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// Bool appends 1 or 0.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// Str appends a length-prefixed string.
+func (e *Encoder) Str(s string) {
+	e.U32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Bytes appends a length-prefixed byte slice.
+func (e *Encoder) Bytes(b []byte) {
+	e.U32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// Mark appends a one-byte section tag; Decoder.Expect verifies it. The
+// tags turn a misaligned decode into an immediate error instead of
+// garbage fields.
+func (e *Encoder) Mark(tag byte) { e.U8(tag) }
+
+// Finish appends the CRC-32 trailer and returns the completed blob. The
+// Encoder must not be used afterwards.
+func (e *Encoder) Finish() []byte {
+	sum := crc32.ChecksumIEEE(e.buf)
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, sum)
+	return e.buf
+}
+
+// Decoder reads a framed blob back. The first failure sticks: every
+// subsequent read returns a zero value and Err() reports the fault.
+type Decoder struct {
+	buf []byte // fields only: header and trailer already stripped
+	off int
+	ver uint16
+	err error
+}
+
+// NewDecoder validates the frame (magic, length, CRC) and positions the
+// decoder at the first field.
+func NewDecoder(data []byte) (*Decoder, error) {
+	if len(data) < headerLen+trailerLen {
+		return nil, fmt.Errorf("snap: blob truncated (%d bytes)", len(data))
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("snap: bad magic %q", data[:len(magic)])
+	}
+	body, trailer := data[:len(data)-trailerLen], data[len(data)-trailerLen:]
+	want := binary.LittleEndian.Uint32(trailer)
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return nil, fmt.Errorf("snap: checksum mismatch (got %08x, want %08x)", got, want)
+	}
+	return &Decoder{
+		buf: body[headerLen:],
+		ver: binary.LittleEndian.Uint16(data[len(magic):headerLen]),
+	}, nil
+}
+
+// Version returns the caller-defined format version from the header.
+func (d *Decoder) Version() uint16 { return d.ver }
+
+// Err returns the first decode fault, or nil.
+func (d *Decoder) Err() error { return d.err }
+
+// fail records the first fault.
+func (d *Decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("snap: "+format, args...)
+	}
+}
+
+// Remaining returns the number of unread field bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// take returns the next n raw bytes, or nil after recording a fault.
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.Remaining() < n {
+		d.fail("truncated: need %d bytes at offset %d, have %d", n, d.off, d.Remaining())
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (d *Decoder) U8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 reads a little-endian uint16.
+func (d *Decoder) U16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// U32 reads a little-endian uint32.
+func (d *Decoder) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a little-endian uint64.
+func (d *Decoder) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 reads a little-endian two's-complement int64.
+func (d *Decoder) I64() int64 { return int64(d.U64()) }
+
+// F64 reads an IEEE-754 bit pattern.
+func (d *Decoder) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// Bool reads a byte and requires it to be 0 or 1.
+func (d *Decoder) Bool() bool {
+	switch d.U8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.fail("invalid bool at offset %d", d.off-1)
+		return false
+	}
+}
+
+// Count reads a u32 element count and validates it against the bytes
+// remaining, given a minimum encoded size per element. A hostile count
+// therefore cannot drive a giant allocation: the blob must actually be
+// big enough to hold what it declares.
+func (d *Decoder) Count(minElemSize int) int {
+	n := int(d.U32())
+	if d.err != nil {
+		return 0
+	}
+	if minElemSize < 1 {
+		minElemSize = 1
+	}
+	if n < 0 || n*minElemSize > d.Remaining() {
+		d.fail("count %d exceeds remaining %d bytes (min %d bytes/elem)", n, d.Remaining(), minElemSize)
+		return 0
+	}
+	return n
+}
+
+// Str reads a length-prefixed string.
+func (d *Decoder) Str() string {
+	n := d.Count(1)
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// Bytes reads a length-prefixed byte slice (copied out of the blob).
+func (d *Decoder) Bytes() []byte {
+	n := d.Count(1)
+	b := d.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// Expect reads a section tag and requires it to match.
+func (d *Decoder) Expect(tag byte) {
+	got := d.U8()
+	if d.err == nil && got != tag {
+		d.fail("section tag mismatch at offset %d: got %q, want %q", d.off-1, got, tag)
+	}
+}
+
+// Done requires the decode to have failed nowhere and consumed every
+// field byte.
+func (d *Decoder) Done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.Remaining() != 0 {
+		return fmt.Errorf("snap: %d trailing bytes after last field", d.Remaining())
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+package snap
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	e := NewEncoder(3)
+	e.Mark('H')
+	e.U8(0xab)
+	e.U16(0xbeef)
+	e.U32(0xdeadbeef)
+	e.U64(0x0123456789abcdef)
+	e.I64(-42)
+	e.F64(math.Pi)
+	e.F64(math.NaN())
+	e.F64(math.Inf(-1))
+	e.F64(math.Copysign(0, -1))
+	e.Bool(true)
+	e.Bool(false)
+	e.Str("hello")
+	e.Bytes([]byte{1, 2, 3})
+	e.Mark('T')
+	blob := e.Finish()
+
+	d, err := NewDecoder(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Version() != 3 {
+		t.Fatalf("version = %d, want 3", d.Version())
+	}
+	d.Expect('H')
+	if got := d.U8(); got != 0xab {
+		t.Errorf("U8 = %#x", got)
+	}
+	if got := d.U16(); got != 0xbeef {
+		t.Errorf("U16 = %#x", got)
+	}
+	if got := d.U32(); got != 0xdeadbeef {
+		t.Errorf("U32 = %#x", got)
+	}
+	if got := d.U64(); got != 0x0123456789abcdef {
+		t.Errorf("U64 = %#x", got)
+	}
+	if got := d.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := d.F64(); got != math.Pi {
+		t.Errorf("F64 = %v", got)
+	}
+	if got := d.F64(); !math.IsNaN(got) {
+		t.Errorf("F64 NaN = %v", got)
+	}
+	if got := d.F64(); !math.IsInf(got, -1) {
+		t.Errorf("F64 -Inf = %v", got)
+	}
+	if got := d.F64(); math.Float64bits(got) != math.Float64bits(math.Copysign(0, -1)) {
+		t.Errorf("F64 -0 lost its sign: %v", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if got := d.Str(); got != "hello" {
+		t.Errorf("Str = %q", got)
+	}
+	b := d.Bytes()
+	if len(b) != 3 || b[0] != 1 || b[2] != 3 {
+		t.Errorf("Bytes = %v", b)
+	}
+	d.Expect('T')
+	if err := d.Done(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecoderRejectsCorruptFrames(t *testing.T) {
+	e := NewEncoder(1)
+	e.U64(7)
+	e.Str("payload")
+	blob := e.Finish()
+
+	if _, err := NewDecoder(nil); err == nil {
+		t.Error("nil blob accepted")
+	}
+	if _, err := NewDecoder(blob[:4]); err == nil {
+		t.Error("truncated blob accepted")
+	}
+	bad := append([]byte(nil), blob...)
+	bad[0] ^= 0xff
+	if _, err := NewDecoder(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Flip one payload byte: the CRC must catch it.
+	bad = append([]byte(nil), blob...)
+	bad[len(bad)/2] ^= 1
+	if _, err := NewDecoder(bad); err == nil {
+		t.Error("payload corruption not caught by checksum")
+	}
+}
+
+func TestDecoderStickyErrors(t *testing.T) {
+	e := NewEncoder(1)
+	e.U32(5)
+	blob := e.Finish()
+
+	d, err := NewDecoder(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = d.U32()
+	_ = d.U64() // past the end: faults
+	if d.Err() == nil {
+		t.Fatal("read past end did not fault")
+	}
+	first := d.Err()
+	// Subsequent reads return zero values and keep the first fault.
+	if got := d.I64(); got != 0 {
+		t.Errorf("post-fault I64 = %d, want 0", got)
+	}
+	if got := d.Str(); got != "" {
+		t.Errorf("post-fault Str = %q, want empty", got)
+	}
+	if d.Err() != first {
+		t.Error("first fault was overwritten")
+	}
+	if d.Done() == nil {
+		t.Error("Done passed after fault")
+	}
+}
+
+func TestDecoderGuardsDeclaredLengths(t *testing.T) {
+	// A declared count far beyond the remaining bytes must fault before
+	// any allocation.
+	e := NewEncoder(1)
+	e.U32(1 << 30) // claims a gigabyte of elements
+	blob := e.Finish()
+
+	d, err := NewDecoder(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := d.Count(8); n != 0 || d.Err() == nil {
+		t.Errorf("hostile count passed: n=%d err=%v", n, d.Err())
+	}
+
+	e = NewEncoder(1)
+	e.U32(100) // string claims 100 bytes, none follow
+	blob = e.Finish()
+	d, err = NewDecoder(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := d.Str(); s != "" || d.Err() == nil {
+		t.Errorf("hostile string length passed: %q err=%v", s, d.Err())
+	}
+}
+
+func TestSectionTags(t *testing.T) {
+	e := NewEncoder(1)
+	e.Mark('A')
+	e.U8(1)
+	blob := e.Finish()
+	d, err := NewDecoder(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Expect('B')
+	if d.Err() == nil {
+		t.Error("tag mismatch not detected")
+	}
+}
+
+func TestDoneDetectsTrailingBytes(t *testing.T) {
+	e := NewEncoder(1)
+	e.U8(1)
+	e.U8(2)
+	blob := e.Finish()
+	d, err := NewDecoder(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = d.U8()
+	if d.Done() == nil {
+		t.Error("unconsumed field bytes not detected")
+	}
+}

@@ -123,6 +123,15 @@ func ReadJSONL(r io.Reader) (*Trace, error) {
 	return tr, nil
 }
 
+// MarshalEventLine returns one event's single-line JSON wire form — the
+// same shape WriteJSONL emits per event, without the trailing newline.
+// The serving layer's live NDJSON stream uses it so streamed lines and
+// exported trace files parse identically.
+func MarshalEventLine(e Event) ([]byte, error) {
+	we := wireEvent{T: e.T, Kind: e.Kind.String(), Flow: e.Flow, Link: e.Link, A: e.A, B: e.B, V: e.V}
+	return json.Marshal(jsonlLine{Event: &we})
+}
+
 // WriteEventsCSV renders the events as CSV with a header row. Floats use
 // the shortest exact representation.
 func WriteEventsCSV(w io.Writer, tr *Trace) error {

@@ -1,0 +1,271 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dard/internal/detrand"
+	"dard/internal/fpcmp"
+	"dard/internal/snap"
+)
+
+// OpenPoisson streams Poisson flow arrivals one at a time instead of
+// materializing them up front, which is what makes steady-state runs
+// possible: the engine pulls the next arrival as it needs it, so the
+// stream can be unbounded (Duration <= 0) and the run ends only when it
+// is paused or canceled.
+//
+// Determinism matches Generate's construction: each source host draws
+// inter-arrival gaps and destinations from its own substream seeded
+// Seed + host*7919, so the flows produced for host h are identical
+// whether the stream is bounded, unbounded, or interrupted and resumed.
+// The per-host streams are merged by (arrival time, host), the same
+// order Generate's stable sort yields, and IDs are assigned densely in
+// merge order. The substreams use detrand (a serializable generator)
+// rather than math/rand's default source so a checkpoint can carry the
+// exact stream positions in a few bytes each.
+type OpenPoisson struct {
+	pattern  Pattern
+	rate     float64
+	sizeBits float64
+	duration float64 // <= 0 means unbounded
+	seed     int64
+
+	hosts  []openHost
+	heap   openHeap
+	nextID int
+}
+
+// openHost is one source host's generator state: its substream and the
+// arrival clock the next gap extends.
+type openHost struct {
+	rng *rand.Rand
+	src *detrand.Source
+	t   float64
+	// cand is the host's materialized next flow (valid when live); a
+	// bounded stream retires the host once t crosses the horizon.
+	cand openCand
+	live bool
+}
+
+// openCand is a host's pending arrival: its time and drawn destination.
+type openCand struct {
+	t    float64
+	host int
+	dst  int
+}
+
+// NewOpenPoisson builds the streaming source. cfg.Duration bounds the
+// arrival window exactly like Generate; zero or negative leaves the
+// stream unbounded. The layout and pattern must describe the topology
+// the flows will run on.
+func NewOpenPoisson(l *Layout, cfg Config) (*OpenPoisson, error) {
+	if cfg.Pattern == nil {
+		return nil, fmt.Errorf("workload: nil pattern")
+	}
+	if cfg.RatePerHost <= 0 || math.IsInf(cfg.RatePerHost, 0) || math.IsNaN(cfg.RatePerHost) {
+		return nil, fmt.Errorf("workload: rate %g must be positive and finite", cfg.RatePerHost)
+	}
+	if fpcmp.IsZero(cfg.SizeBytes) {
+		cfg.SizeBytes = DefaultSizeBytes
+	}
+	if cfg.SizeBytes < 0 {
+		return nil, fmt.Errorf("workload: negative size %g", cfg.SizeBytes)
+	}
+	if l.NumHosts < 2 {
+		return nil, fmt.Errorf("workload: need at least 2 hosts, have %d", l.NumHosts)
+	}
+	op := &OpenPoisson{
+		pattern:  cfg.Pattern,
+		rate:     cfg.RatePerHost,
+		sizeBits: cfg.SizeBytes * 8,
+		duration: cfg.Duration,
+		seed:     cfg.Seed,
+		hosts:    make([]openHost, l.NumHosts),
+	}
+	for h := range op.hosts {
+		seeded := detrand.NewSeeded(cfg.Seed + int64(h)*7919)
+		op.hosts[h] = openHost{rng: rand.New(seeded), src: seeded}
+		op.advance(h)
+	}
+	op.rebuildHeap()
+	return op, nil
+}
+
+// advance draws host h's next arrival: extend the clock by an
+// exponential gap, draw a destination, and skip self-flows exactly like
+// Generate. A bounded stream retires the host at the horizon.
+func (op *OpenPoisson) advance(h int) {
+	hs := &op.hosts[h]
+	hs.live = false
+	for {
+		hs.t += hs.rng.ExpFloat64() / op.rate
+		if op.duration > 0 && hs.t >= op.duration {
+			return
+		}
+		dst := op.pattern.PickDst(hs.rng, h)
+		if dst == h {
+			continue // self-flows are meaningless
+		}
+		hs.cand = openCand{t: hs.t, host: h, dst: dst}
+		hs.live = true
+		return
+	}
+}
+
+// rebuildHeap reconstructs the merge heap from the live candidates.
+// Heap layout never reaches the output — the (t, host) key is a total
+// order, so the pop sequence is unique — which also means a restored
+// stream needs no layout from the snapshot.
+func (op *OpenPoisson) rebuildHeap() {
+	op.heap = op.heap[:0]
+	for h := range op.hosts {
+		if op.hosts[h].live {
+			op.heap.push(op.hosts[h].cand)
+		}
+	}
+}
+
+// Peek implements flowsim.ArrivalSource.
+func (op *OpenPoisson) Peek() (Flow, bool) {
+	if len(op.heap) == 0 {
+		return Flow{}, false
+	}
+	c := op.heap[0]
+	return Flow{
+		ID:       op.nextID,
+		Src:      c.host,
+		Dst:      c.dst,
+		SizeBits: op.sizeBits,
+		Arrival:  c.t,
+	}, true
+}
+
+// Next implements flowsim.ArrivalSource.
+func (op *OpenPoisson) Next() (Flow, bool) {
+	wf, ok := op.Peek()
+	if !ok {
+		return Flow{}, false
+	}
+	h := op.heap.pop().host
+	op.advance(h)
+	if op.hosts[h].live {
+		op.heap.push(op.hosts[h].cand)
+	}
+	op.nextID++
+	return wf, true
+}
+
+// SnapshotState implements flowsim.SnapshotArrivalSource: the consumed
+// count plus, per host, the substream position and the materialized
+// candidate. Hosts are encoded in index order, so identical logical
+// states yield identical bytes regardless of heap layout.
+func (op *OpenPoisson) SnapshotState(enc *snap.Encoder) {
+	enc.I64(int64(op.nextID))
+	enc.U32(uint32(len(op.hosts)))
+	for h := range op.hosts {
+		hs := &op.hosts[h]
+		enc.U64(hs.src.State())
+		enc.F64(hs.t)
+		enc.Bool(hs.live)
+		if hs.live {
+			enc.F64(hs.cand.t)
+			enc.I64(int64(hs.cand.dst))
+		}
+	}
+}
+
+// RestoreState implements flowsim.SnapshotArrivalSource. The source
+// must have been constructed with the snapshotted parameters; only the
+// stream positions are restored.
+func (op *OpenPoisson) RestoreState(dec *snap.Decoder) error {
+	nextID := int(dec.I64())
+	n := int(dec.U32())
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if nextID < 0 {
+		return fmt.Errorf("workload: snapshot arrival count %d negative", nextID)
+	}
+	if n != len(op.hosts) {
+		return fmt.Errorf("workload: snapshot has %d arrival streams, topology has %d hosts", n, len(op.hosts))
+	}
+	for h := range op.hosts {
+		hs := &op.hosts[h]
+		hs.src.SetState(dec.U64())
+		hs.t = dec.F64()
+		hs.live = dec.Bool()
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		if hs.live {
+			t := dec.F64()
+			dst := int(dec.I64())
+			if err := dec.Err(); err != nil {
+				return err
+			}
+			if dst < 0 || dst >= len(op.hosts) || dst == h {
+				return fmt.Errorf("workload: snapshot stream %d has invalid destination %d", h, dst)
+			}
+			hs.cand = openCand{t: t, host: h, dst: dst}
+		} else {
+			hs.cand = openCand{}
+		}
+	}
+	op.nextID = nextID
+	op.rebuildHeap()
+	return nil
+}
+
+// openHeap is a min-heap of candidates keyed (t, host); the key is a
+// total order, so pops are deterministic.
+type openHeap []openCand
+
+func (h openHeap) less(i, j int) bool {
+	//dardlint:floateq total-order comparator: exact compare, then integer host tie-break
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].host < h[j].host
+}
+
+func (h *openHeap) push(c openCand) {
+	*h = append(*h, c)
+	a := *h
+	i := len(a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !a.less(i, parent) {
+			break
+		}
+		a[i], a[parent] = a[parent], a[i]
+		i = parent
+	}
+}
+
+func (h *openHeap) pop() openCand {
+	a := *h
+	c := a[0]
+	last := len(a) - 1
+	a[0] = a[last]
+	a = a[:last]
+	*h = a
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= len(a) {
+			break
+		}
+		child := left
+		if right := left + 1; right < len(a) && a.less(right, left) {
+			child = right
+		}
+		if !a.less(child, i) {
+			break
+		}
+		a[i], a[child] = a[child], a[i]
+		i = child
+	}
+	return c
+}

@@ -1,6 +1,7 @@
 package dard
 
 import (
+	"context"
 	"fmt"
 
 	"dard/internal/parallel"
@@ -29,9 +30,17 @@ import (
 // collected with errors.Join and the surviving reports are still
 // returned (failed slots stay nil).
 func RunAll(scenarios []Scenario, workers int) ([]*Report, error) {
+	return RunAllContext(context.Background(), scenarios, workers)
+}
+
+// RunAllContext is RunAll with cooperative cancellation: canceling ctx
+// stops in-flight scenarios at their next boundary and skips unstarted
+// ones. Completed reports are still returned at their slots; every
+// abandoned slot contributes its cancellation error to the join.
+func RunAllContext(ctx context.Context, scenarios []Scenario, workers int) ([]*Report, error) {
 	reports := make([]*Report, len(scenarios))
-	err := parallel.ForEach(workers, len(scenarios), func(i int) error {
-		rep, err := scenarios[i].Run()
+	err := parallel.ForEachContext(ctx, workers, len(scenarios), func(i int) error {
+		rep, err := scenarios[i].RunContext(ctx)
 		if err != nil {
 			return fmt.Errorf("scenario %d: %w", i, err)
 		}

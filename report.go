@@ -2,6 +2,7 @@ package dard
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"dard/internal/flowsim"
@@ -49,6 +50,40 @@ type Report struct {
 	// schedulers).
 	DARDShifts int
 	DARDRounds int
+
+	// Windows holds the steady-state windowed metrics when the scenario
+	// configured a window width (WindowSec, or steady mode's default):
+	// per tumbling window, the completed volume, throughput, and Jain
+	// fairness of the members' achieved rates. Empty otherwise, so
+	// reports without windows serialize exactly as before the field
+	// existed.
+	Windows []metrics.WindowStat `json:",omitempty"`
+}
+
+// steadyWindows folds a flow-run's completed transfers into tumbling
+// windows. Completions are ordered by (finish time, flow ID) — the order
+// the engine dispatched them and the order a live trace stream observes
+// them — so the serving layer's /metrics endpoint and this final report
+// agree byte for byte on every window both have seen.
+func steadyWindows(width float64, res *flowsim.Results) ([]metrics.WindowStat, error) {
+	done := make([]flowsim.FlowStat, 0, len(res.Flows))
+	for _, f := range res.Flows {
+		if f.Completed() {
+			done = append(done, f)
+		}
+	}
+	// Flows is ID-ordered; a stable sort on finish time yields (Finish,
+	// ID) — ties keep ID order — matching completion-dispatch order.
+	sort.SliceStable(done, func(i, j int) bool { return done[i].Finish < done[j].Finish })
+	samples := make([]metrics.WindowSample, len(done))
+	for i, f := range done {
+		samples[i] = metrics.WindowSample{
+			Finish: f.Finish,
+			Bits:   f.SizeBits,
+			Rate:   f.SizeBits / f.TransferTime,
+		}
+	}
+	return metrics.ComputeWindows(width, samples)
 }
 
 func flowReport(s Scenario, topo *Topology, res *flowsim.Results) *Report {

@@ -1,0 +1,90 @@
+package dard
+
+import (
+	"fmt"
+	"math"
+)
+
+// Validate checks the scenario without building a topology or running
+// anything, so a serving layer can reject a bad submission before
+// committing a worker to it. Every failure is a *ValidationError naming
+// the offending field, with the same message Run would eventually
+// produce for the same mistake. A nil return means the scenario's shape
+// is sound; name resolution that needs the built topology (link-failure
+// endpoints) still happens inside Run.
+func (s Scenario) Validate() error {
+	s = s.withDefaults()
+	invalid := func(field string, format string, args ...any) error {
+		return &ValidationError{Field: field, Err: fmt.Errorf(format, args...)}
+	}
+
+	switch s.Engine {
+	case EngineFlow, EnginePacket:
+	default:
+		return invalid("Engine", "dard: unknown engine %q", s.Engine)
+	}
+	switch s.Scheduler {
+	case SchedulerECMP, SchedulerPVLB, SchedulerDARD:
+	case SchedulerAnnealing:
+		if s.Engine == EnginePacket {
+			return invalid("Scheduler", "dard: the centralized scheduler runs on Engine: EngineFlow")
+		}
+	case SchedulerTeXCP:
+		if s.Engine == EngineFlow {
+			return invalid("Scheduler", "dard: TeXCP requires Engine: EnginePacket (per-packet splitting)")
+		}
+	default:
+		return invalid("Scheduler", "dard: unknown scheduler %q", s.Scheduler)
+	}
+	switch s.Pattern {
+	case PatternRandom, PatternStaggered, PatternStride:
+	default:
+		return invalid("Pattern", "dard: unknown pattern %q", s.Pattern)
+	}
+	if s.Topo == nil {
+		switch s.Topology.Kind {
+		case FatTree, "", Clos, ThreeTier:
+		default:
+			return invalid("Topology", "dard: unknown topology kind %q", s.Topology.Kind)
+		}
+	}
+
+	if !(s.RatePerHost > 0) || math.IsInf(s.RatePerHost, 0) {
+		return invalid("RatePerHost", "dard: rate per host %g must be positive and finite", s.RatePerHost)
+	}
+	if math.IsNaN(s.Duration) || math.IsInf(s.Duration, 0) {
+		return invalid("Duration", "dard: duration %g must be finite", s.Duration)
+	}
+	if !(s.FileSizeMB > 0) || math.IsInf(s.FileSizeMB, 0) {
+		return invalid("FileSizeMB", "dard: file size %g MB must be positive and finite", s.FileSizeMB)
+	}
+	if math.IsNaN(s.MaxTimeSec) || math.IsInf(s.MaxTimeSec, 0) || s.MaxTimeSec < 0 {
+		return invalid("MaxTimeSec", "dard: max time %g must be a non-negative finite duration", s.MaxTimeSec)
+	}
+	if math.IsNaN(s.WindowSec) || math.IsInf(s.WindowSec, 0) {
+		return invalid("WindowSec", "dard: metrics window %g must be finite", s.WindowSec)
+	}
+
+	if s.Steady {
+		if s.Engine != EngineFlow {
+			return invalid("Steady", "dard: steady mode requires Engine: EngineFlow (open arrivals stream through the fluid engine)")
+		}
+		if s.Duration <= 0 && !(s.MaxTimeSec > 0) {
+			return invalid("MaxTimeSec", "dard: an unbounded steady run (Duration <= 0) needs MaxTimeSec to end")
+		}
+	} else if s.Duration <= 0 {
+		// The batch generator requires a positive arrival window; only the
+		// steady stream may be unbounded.
+		return invalid("Duration", "workload: rate %g and duration %g must be positive", s.RatePerHost, s.Duration)
+	}
+
+	if err := s.DARD.faults(s.Seed).Validate(); err != nil {
+		return &ValidationError{Field: "DARD", Err: err}
+	}
+	for _, lf := range s.LinkFailures {
+		if math.IsNaN(lf.AtSec) || math.IsInf(lf.AtSec, 0) || lf.AtSec < 0 {
+			return invalid("LinkFailures", "dard: link failure at invalid time %g", lf.AtSec)
+		}
+	}
+	return nil
+}
