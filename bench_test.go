@@ -305,10 +305,10 @@ func BenchmarkMaxMinScale(b *testing.B) {
 
 // p64Topo lazily builds the p=64 switching fabric once per process:
 // topology construction dominates setup at this size, and every
-// intra-worker configuration must measure the same fabric. No Prewarm —
-// the full per-ToR-pair path cache at p=64 is ~4M pairs x 1024 paths
-// (hundreds of GB); the lazy cache fills with just the pairs the
-// workload touches and is shared across the sub-benchmarks.
+// intra-worker configuration must measure the same fabric. Paths
+// resolve through the implicit per-topology index tables built at
+// construction (topology.PathSet), so sharing the fabric costs nothing
+// and there is no per-pair cache to fill or contend on.
 var p64Topo = struct {
 	sync.Once
 	topo *dard.Topology

@@ -64,15 +64,13 @@ func TestSharedTopologyConcurrentScenarios(t *testing.T) {
 
 // TestSharedTopologyConcurrentDARDControlLoops hammers one topology with
 // many concurrent DARD control loops (the paper's selfish schedulers all
-// querying the same fabric), exercising the path cache, the addressing
-// plan, and the layout under contention, against a cold cache.
+// querying the same fabric), exercising the implicit path sets and the
+// layout under contention.
 func TestSharedTopologyConcurrentDARDControlLoops(t *testing.T) {
 	topo, err := TopologySpec{Kind: Clos, D: 4}.Build()
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Deliberately no Prewarm: concurrent first-touch path builds must be
-	// safe too.
 	var wg sync.WaitGroup
 	for w := 0; w < 8; w++ {
 		w := w
@@ -102,19 +100,28 @@ func TestSharedTopologyConcurrentDARDControlLoops(t *testing.T) {
 	wg.Wait()
 }
 
-// TestPrewarmConcurrentWithRuns overlaps Prewarm with running scenarios:
-// warming the cache mid-flight must never race with readers.
-func TestPrewarmConcurrentWithRuns(t *testing.T) {
+// TestLazyAddressPlanConcurrentWithRuns overlaps the facade calls that
+// build the lazy addressing plan (sync.Once on first use) with a
+// running scenario: materializing the plan mid-flight must never race
+// with the data path, and every caller must see the same plan.
+func TestLazyAddressPlanConcurrentWithRuns(t *testing.T) {
 	topo, err := TopologySpec{Kind: FatTree, P: 8}.Build()
 	if err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
-	wg.Add(2)
-	go func() {
-		defer wg.Done()
-		topo.Prewarm()
-	}()
+	wg.Add(3)
+	rules := make([]int, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		go func() {
+			defer wg.Done()
+			if _, err := topo.HostAddresses("E1"); err != nil {
+				t.Error(err)
+			}
+			rules[i] = topo.TotalFlowRules()
+		}()
+	}
 	go func() {
 		defer wg.Done()
 		if _, err := (Scenario{
@@ -130,6 +137,9 @@ func TestPrewarmConcurrentWithRuns(t *testing.T) {
 		}
 	}()
 	wg.Wait()
+	if rules[0] == 0 || rules[0] != rules[1] {
+		t.Fatalf("concurrent TotalFlowRules disagree or are empty: %v", rules)
+	}
 }
 
 // TestIntraWorkersScenariosConcurrently overlaps scenarios that each

@@ -57,6 +57,12 @@ type Collector struct {
 	inFlight bool
 	misses   map[topology.NodeID]int
 	cache    map[topology.LinkID]ctlmsg.PortState
+	// round is the per-round link-state map, cleared and reused every
+	// round instead of allocated per query tick. Rounds never pipeline
+	// (inFlight skips an overlapping tick; the sync path completes before
+	// returning), and done callbacks fold synchronously without retaining
+	// the map, so one scratch map per collector is safe.
+	round map[topology.LinkID]ctlmsg.PortState
 }
 
 // NewCollector builds the collector for one monitor over its covering
@@ -75,6 +81,7 @@ func NewCollector(env Env, monitorID uint64, switches []topology.NodeID, opts Op
 		deadAfter: opts.DeadAfter,
 		misses:    make(map[topology.NodeID]int),
 		cache:     make(map[topology.LinkID]ctlmsg.PortState),
+		round:     make(map[topology.LinkID]ctlmsg.PortState),
 	}
 }
 
@@ -95,7 +102,8 @@ func (c *Collector) Assemble(done func(linkState map[topology.LinkID]ctlmsg.Port
 	c.inFlight = true
 	c.seqNo++
 	seq := c.seqNo
-	linkState := make(map[topology.LinkID]ctlmsg.PortState)
+	clear(c.round)
+	linkState := c.round
 	totalBytes := 0
 	complete := true
 	remaining := len(c.switches)
@@ -146,7 +154,8 @@ func (c *Collector) Assemble(done func(linkState map[topology.LinkID]ctlmsg.Port
 // synchronous exchange loop, byte for byte.
 func (c *Collector) assembleSync(done func(map[topology.LinkID]ctlmsg.PortState, int, bool)) error {
 	c.seqNo++
-	linkState := make(map[topology.LinkID]ctlmsg.PortState)
+	clear(c.round)
+	linkState := c.round
 	totalBytes := 0
 	for _, sw := range c.switches {
 		agent, err := c.agent(sw)
@@ -266,28 +275,60 @@ func (c *Collector) channel(sw topology.NodeID) *ctlmsg.Channel {
 func FoldPV(paths []topology.Path, linkState map[topology.LinkID]ctlmsg.PortState) ([]PathState, error) {
 	pv := make([]PathState, len(paths))
 	for i, p := range paths {
-		st := PathState{Bandwidth: math.Inf(1), BoNF: math.Inf(1)}
-		for _, l := range p.Links {
-			port, ok := linkState[l]
-			if !ok {
-				return nil, fmt.Errorf("no switch reported state for link %d", l)
-			}
-			capacity := float64(port.BandwidthMbps) * 1e6
-			n := int(port.ElephantFlows)
-			bonf := math.Inf(1)
-			switch {
-			case fpcmp.IsZero(capacity):
-				bonf = 0 // failed link
-			case n > 0:
-				bonf = capacity / float64(n)
-			}
-			if bonf < st.BoNF || (math.IsInf(st.BoNF, 1) && capacity < st.Bandwidth) {
-				st = PathState{Bandwidth: capacity, Flows: n, BoNF: bonf}
-			}
+		st, err := foldPathState(p.Links, linkState)
+		if err != nil {
+			return nil, err
 		}
 		pv[i] = st
 	}
 	return pv, nil
+}
+
+// FoldPVInto is FoldPV over an implicit path set, folding into pv's
+// backing array (resized to ps.Len()) with buf as link scratch, so a
+// monitor's steady-state query tick allocates nothing once warm. It
+// returns the folded pv and the (possibly grown) buf; neither retains
+// linkState.
+func FoldPVInto(pv []PathState, buf []topology.LinkID, ps topology.PathSet, linkState map[topology.LinkID]ctlmsg.PortState) ([]PathState, []topology.LinkID, error) {
+	n := ps.Len()
+	if cap(pv) < n {
+		pv = make([]PathState, n)
+	} else {
+		pv = pv[:n]
+	}
+	for i := 0; i < n; i++ {
+		buf = ps.AppendLinks(i, buf[:0])
+		st, err := foldPathState(buf, linkState)
+		if err != nil {
+			return nil, buf, err
+		}
+		pv[i] = st
+	}
+	return pv, buf, nil
+}
+
+// foldPathState reduces one path's links to its bottleneck state.
+func foldPathState(links []topology.LinkID, linkState map[topology.LinkID]ctlmsg.PortState) (PathState, error) {
+	st := PathState{Bandwidth: math.Inf(1), BoNF: math.Inf(1)}
+	for _, l := range links {
+		port, ok := linkState[l]
+		if !ok {
+			return st, fmt.Errorf("no switch reported state for link %d", l)
+		}
+		capacity := float64(port.BandwidthMbps) * 1e6
+		n := int(port.ElephantFlows)
+		bonf := math.Inf(1)
+		switch {
+		case fpcmp.IsZero(capacity):
+			bonf = 0 // failed link
+		case n > 0:
+			bonf = capacity / float64(n)
+		}
+		if bonf < st.BoNF || (math.IsInf(st.BoNF, 1) && capacity < st.Bandwidth) {
+			st = PathState{Bandwidth: capacity, Flows: n, BoNF: bonf}
+		}
+	}
+	return st, nil
 }
 
 // MinBoNF is the monitor's congestion signal: the worst path's BoNF,

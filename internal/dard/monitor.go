@@ -22,17 +22,24 @@ type monitor struct {
 	ctl            *Controller
 	srcHost        topology.NodeID
 	srcToR, dstToR topology.NodeID
-	paths          []topology.Path
+	// ps is the pair's implicit path set; the monitor stores this small
+	// handle instead of materialized paths.
+	ps topology.PathSet
 	// flows holds the host's elephant flows towards dstToR, by flow ID.
 	flows map[int]*flowsim.Flow
 	// pv is the path state vector assembled at the last completed query
 	// round; nil until the first round completes. An incomplete round
 	// (faults, no cached state yet) leaves the previous pv in place.
+	// Complete rounds fold into the same backing array.
 	pv []PathState
 	// dead marks paths whose BoNF collapsed to zero, for PathDead
 	// transition events and immediate evacuation.
 	dead []bool
 	coll *Collector
+	// fv and linkBuf are scratch reused across query ticks and
+	// scheduling rounds.
+	fv      []int
+	linkBuf []topology.LinkID
 
 	// serial is the monitor's run-unique identity, carried by its query
 	// timers in checkpoints. Issued by Controller.monitorSeq; overwritten
@@ -49,16 +56,24 @@ func newMonitor(s *flowsim.Sim, c *Controller, srcHost, srcToR, dstToR topology.
 		srcHost: srcHost,
 		srcToR:  srcToR,
 		dstToR:  dstToR,
-		paths:   s.Paths(srcToR, dstToR),
+		ps:      s.PathSet(srcToR, dstToR),
 		flows:   make(map[int]*flowsim.Flow),
 		serial:  c.monitorSeq,
 	}
-	// The switches to query are the upstream endpoints of every path
-	// link: exactly the four groups of §2.4.2.
+	m.coll = NewCollector(s, m.entity(), CoveringSwitches(s.Net().Graph(), m.ps), c.opts)
+	return m
+}
+
+// CoveringSwitches returns the sorted upstream endpoints of every path
+// link of the set: exactly the four switch groups of §2.4.2. Shared
+// with the packet-level DARD policy, whose monitors query the same
+// switches.
+func CoveringSwitches(g *topology.Graph, ps topology.PathSet) []topology.NodeID {
 	seen := make(map[topology.NodeID]bool)
-	g := s.Net().Graph()
-	for _, p := range m.paths {
-		for _, l := range p.Links {
+	var buf []topology.LinkID
+	for i := 0; i < ps.Len(); i++ {
+		buf = ps.AppendLinks(i, buf[:0])
+		for _, l := range buf {
 			seen[g.Link(l).From] = true
 		}
 	}
@@ -67,8 +82,7 @@ func newMonitor(s *flowsim.Sim, c *Controller, srcHost, srcToR, dstToR topology.
 		switches = append(switches, sw)
 	}
 	sort.Slice(switches, func(i, j int) bool { return switches[i] < switches[j] })
-	m.coll = NewCollector(s, m.entity(), switches, c.opts)
-	return m
+	return switches
 }
 
 // entity is the monitor's identity in queries and trace records.
@@ -112,11 +126,11 @@ func (m *monitor) assemble(s *flowsim.Sim) error {
 		if m.released || !complete {
 			return // keep the previous pv until a full round lands
 		}
-		pv, err := FoldPV(m.paths, linkState)
+		pv, buf, err := FoldPVInto(m.pv[:0], m.linkBuf, m.ps, linkState)
 		if err != nil {
 			panic(fmt.Sprintf("dard: path state assembling: %v", err))
 		}
-		m.pv = pv
+		m.pv, m.linkBuf = pv, buf
 		m.dead = MarkDeadPaths(s.Tracer(), s.Now(), int64(m.entity()), pv, m.dead)
 		if tr := s.Tracer(); tr.Enabled() {
 			// One congestion signal per monitor and tick: the worst
@@ -142,9 +156,16 @@ func (m *monitor) victimOn(s *flowsim.Sim, path int) *flowsim.Flow {
 }
 
 // flowVector builds FV: the number of the monitor's elephant flows on
-// each path (§2.5).
+// each path (§2.5). The returned slice is the monitor's scratch, valid
+// until the next call.
 func (m *monitor) flowVector(n int) []int {
-	fv := make([]int, n)
+	if cap(m.fv) < n {
+		m.fv = make([]int, n)
+	}
+	fv := m.fv[:n]
+	for i := range fv {
+		fv[i] = 0
+	}
 	for _, f := range m.flows {
 		if f.PathIdx >= 0 && f.PathIdx < n {
 			fv[f.PathIdx]++

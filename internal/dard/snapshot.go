@@ -194,8 +194,8 @@ func (c *Controller) restoreMonitor(s *flowsim.Sim, n topology.NodeID, h *hostSt
 		if err := dec.Err(); err != nil {
 			return err
 		}
-		if nPV != len(m.paths) {
-			return fmt.Errorf("dard: snapshot pv has %d entries for %d paths", nPV, len(m.paths))
+		if nPV != m.ps.Len() {
+			return fmt.Errorf("dard: snapshot pv has %d entries for %d paths", nPV, m.ps.Len())
 		}
 		m.pv = make([]PathState, nPV)
 		for i := range m.pv {
@@ -211,8 +211,8 @@ func (c *Controller) restoreMonitor(s *flowsim.Sim, n topology.NodeID, h *hostSt
 		return err
 	}
 	if nDead != 0 {
-		if nDead != len(m.paths) {
-			return fmt.Errorf("dard: snapshot dead mask has %d entries for %d paths", nDead, len(m.paths))
+		if nDead != m.ps.Len() {
+			return fmt.Errorf("dard: snapshot dead mask has %d entries for %d paths", nDead, m.ps.Len())
 		}
 		m.dead = make([]bool, nDead)
 		for i := range m.dead {

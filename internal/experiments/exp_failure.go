@@ -22,7 +22,6 @@ func FailureRecovery(p Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	topo.Prewarm()
 	type cell struct {
 		engine dard.Engine
 		sched  dard.Scheduler

@@ -20,7 +20,6 @@ func Figure15(p Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	topo.Prewarm()
 	rates := []float64{0.1, 0.25, 0.5, 1.0, 2.0}
 	// One pool cell per rate; the DARD and centralized runs of a cell
 	// share one derived seed so both schedulers see the same workload.

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"dard"
@@ -21,6 +22,8 @@ func EngineScale(p Params) (*Result, error) {
 		flows   int
 		simTime float64
 		wall    time.Duration
+		heapMB  float64
+		sysMB   float64
 	}
 	cells := make([]cell, len(p.FatTreeP))
 	// Cells run serially on purpose: each measures wall clock, and
@@ -31,7 +34,6 @@ func EngineScale(p Params) (*Result, error) {
 		if err != nil {
 			return err
 		}
-		topo.Prewarm()
 		s := dard.Scenario{
 			Topo:         topo,
 			Scheduler:    dard.SchedulerECMP,
@@ -50,20 +52,33 @@ func EngineScale(p Params) (*Result, error) {
 		if rep.Unfinished != 0 {
 			return fmt.Errorf("p=%d: %d unfinished flows", pp, rep.Unfinished)
 		}
-		cells[i] = cell{flows: rep.Flows, simTime: rep.SimTime, wall: time.Since(start)}
+		wall := time.Since(start)
+		// Peak RSS proxy: live heap and total OS-claimed memory right
+		// after the run, before the topology is released. Sys only grows
+		// within a process, so later (larger) cells subsume earlier ones;
+		// running p ascending keeps each cell's reading meaningful.
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		cells[i] = cell{
+			flows: rep.Flows, simTime: rep.SimTime, wall: wall,
+			heapMB: float64(ms.HeapAlloc) / (1 << 20),
+			sysMB:  float64(ms.Sys) / (1 << 20),
+		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	tbl := metrics.NewTable("flow-level engine wall clock (stride, ECMP, 1 host/ToR)",
-		"p", "flows", "sim s", "wall s")
+		"p", "flows", "sim s", "wall s", "heap MB", "sys MB")
 	values := make(map[string]float64)
 	for i, pp := range p.FatTreeP {
 		c := cells[i]
-		tbl.AddRowf(fmt.Sprintf("%d", pp), c.flows, c.simTime, c.wall.Seconds())
+		tbl.AddRowf(fmt.Sprintf("%d", pp), c.flows, c.simTime, c.wall.Seconds(), c.heapMB, c.sysMB)
 		values[fmt.Sprintf("p=%d/flows", pp)] = float64(c.flows)
 		values[fmt.Sprintf("p=%d/wall_s", pp)] = c.wall.Seconds()
+		values[fmt.Sprintf("p=%d/heap_mb", pp)] = c.heapMB
+		values[fmt.Sprintf("p=%d/sys_mb", pp)] = c.sysMB
 	}
 	return &Result{
 		ID:     "scale",

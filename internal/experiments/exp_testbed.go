@@ -26,7 +26,6 @@ func Figure4(p Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	topo.Prewarm()
 	rates := []float64{0.1, 0.2, 0.4, 0.8, 1.6}
 	// One pool cell per (rate, pattern): the ECMP and DARD runs of a cell
 	// stay together on one seed so the improvement is measured on a

@@ -17,8 +17,8 @@ import (
 // tables are bit-identical for any worker count.
 
 // buildAll constructs one topology per size on the worker pool and
-// pre-warms each path cache so the concurrent scenario runs that follow
-// share the topologies contention-free.
+// the concurrent scenario runs that follow share the topologies safely:
+// paths resolve through immutable construction-time index tables.
 func buildAll(workers int, sizes []int, build func(int) (*dard.Topology, error)) ([]*dard.Topology, error) {
 	topos := make([]*dard.Topology, len(sizes))
 	err := parallel.ForEach(workers, len(sizes), func(i int) error {
@@ -26,7 +26,6 @@ func buildAll(workers int, sizes []int, build func(int) (*dard.Topology, error))
 		if err != nil {
 			return err
 		}
-		t.Prewarm()
 		topos[i] = t
 		return nil
 	})

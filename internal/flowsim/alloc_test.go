@@ -1,0 +1,40 @@
+package flowsim
+
+import (
+	"testing"
+
+	"dard/internal/workload"
+)
+
+// TestBuildRouteAllocs is the tier-1 alloc gate for the engine hot path:
+// re-resolving a warm flow's route from the implicit path set — host
+// uplink, ToR-to-ToR links, host downlink — must not allocate. Every
+// arrival and every path switch funnels through buildRoute, so a single
+// allocation here multiplies by the flow count at scale.
+func TestBuildRouteAllocs(t *testing.T) {
+	ft := testFatTree(t)
+	// Host 0 is in pod 1, host 8 in pod 3: an inter-pod pair with the
+	// full p^2/4-path set.
+	flows := []workload.Flow{{ID: 0, Src: 0, Dst: 8, SizeBits: 1e6, Arrival: 0}}
+	s, err := New(Config{Net: ft, Controller: &staticController{}, Flows: flows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	f := s.Flow(0)
+	if f == nil || f.SrcToR == f.DstToR {
+		t.Fatal("expected an inter-pod flow")
+	}
+	ps := s.PathSet(f.SrcToR, f.DstToR)
+	idx := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		ps = s.PathSet(f.SrcToR, f.DstToR)
+		s.buildRoute(f, ps, idx)
+		idx = (idx + 1) % ps.Len()
+	})
+	if allocs != 0 {
+		t.Fatalf("buildRoute allocates %.1f times per call on a warm flow, want 0", allocs)
+	}
+}

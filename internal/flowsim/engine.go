@@ -336,7 +336,15 @@ func (s *Sim) Tracer() trace.Tracer { return s.tracer }
 // relies on.
 func (s *Sim) Seed() int64 { return s.cfg.Seed }
 
-// Paths returns the equal-cost ToR-to-ToR path set of a flow.
+// PathSet returns the implicit equal-cost ToR-to-ToR path set of a
+// flow. Obtaining and resolving it allocates nothing.
+func (s *Sim) PathSet(srcToR, dstToR topology.NodeID) topology.PathSet {
+	return s.net.PathSet(srcToR, dstToR)
+}
+
+// Paths returns the equal-cost ToR-to-ToR path set as materialized
+// values. Legacy API kept as the test oracle; the simulator itself
+// routes through PathSet.
 func (s *Sim) Paths(srcToR, dstToR topology.NodeID) []topology.Path {
 	return s.net.Paths(srcToR, dstToR)
 }
@@ -419,9 +427,9 @@ func (s *Sim) ControlBytes() float64 { return s.controlBytes }
 // a different index counts as one path switch; re-selecting the current
 // path is a no-op.
 func (s *Sim) SetPath(f *Flow, pathIdx int) error {
-	paths := s.Paths(f.SrcToR, f.DstToR)
-	if pathIdx < 0 || pathIdx >= len(paths) {
-		return fmt.Errorf("flowsim: path index %d out of range [0,%d)", pathIdx, len(paths))
+	ps := s.net.PathSet(f.SrcToR, f.DstToR)
+	if pathIdx < 0 || pathIdx >= ps.Len() {
+		return fmt.Errorf("flowsim: path index %d out of range [0,%d)", pathIdx, ps.Len())
 	}
 	if pathIdx == f.PathIdx {
 		return nil
@@ -429,7 +437,7 @@ func (s *Sim) SetPath(f *Flow, pathIdx int) error {
 	old := f.PathIdx
 	f.PathIdx = pathIdx
 	s.detachLinks(f)
-	s.buildRoute(f, paths[pathIdx])
+	s.buildRoute(f, ps, pathIdx)
 	s.attachLinks(f)
 	f.PathSwitches++
 	s.markStateChanged()
@@ -442,11 +450,13 @@ func (s *Sim) SetPath(f *Flow, pathIdx int) error {
 	return nil
 }
 
-// buildRoute fills f.links with the host uplink, the ToR-to-ToR path,
-// and the host downlink, reusing the slice's capacity across re-routes.
-func (s *Sim) buildRoute(f *Flow, p topology.Path) {
+// buildRoute fills f.links with the host uplink, the ToR-to-ToR path
+// resolved straight from the implicit path set, and the host downlink,
+// reusing the slice's capacity across re-routes: a warm re-route
+// allocates nothing (pinned by TestBuildRouteAllocs).
+func (s *Sim) buildRoute(f *Flow, ps topology.PathSet, pathIdx int) {
 	f.links = append(f.links[:0], s.net.HostUplink(f.Src))
-	f.links = append(f.links, p.Links...)
+	f.links = ps.AppendLinks(pathIdx, f.links)
 	f.links = append(f.links, s.net.HostDownlink(f.Dst))
 }
 
@@ -778,13 +788,13 @@ func (s *Sim) arrive(wf workload.Flow) {
 	f.DstToR = s.net.ToROf(f.Dst)
 	s.flows[wf.ID] = f
 
-	paths := s.Paths(f.SrcToR, f.DstToR)
+	ps := s.net.PathSet(f.SrcToR, f.DstToR)
 	idx := s.cfg.Controller.AssignPath(s, f)
-	if idx < 0 || idx >= len(paths) {
+	if idx < 0 || idx >= ps.Len() {
 		idx = 0
 	}
 	f.PathIdx = idx
-	s.buildRoute(f, paths[idx])
+	s.buildRoute(f, ps, idx)
 	s.attachLinks(f)
 	s.activeIdx[wf.ID] = int32(len(s.active))
 	s.active = append(s.active, f)

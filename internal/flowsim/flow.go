@@ -83,7 +83,7 @@ type Controller interface {
 	// their periodic timers here.
 	Start(s *Sim)
 	// AssignPath picks the initial path index for a new flow from the
-	// equal-cost set s.Paths(f.SrcToR, f.DstToR).
+	// equal-cost set s.PathSet(f.SrcToR, f.DstToR).
 	AssignPath(s *Sim, f *Flow) int
 }
 

@@ -440,11 +440,11 @@ func (s *Sim) restore(data []byte) error {
 		if !f.active || s.activeIdx[id] != -1 {
 			return fmt.Errorf("snapshot active list entry %d inconsistent", id)
 		}
-		paths := s.Paths(f.SrcToR, f.DstToR)
-		if f.PathIdx < 0 || f.PathIdx >= len(paths) {
-			return fmt.Errorf("snapshot flow %d path index %d out of range [0,%d)", id, f.PathIdx, len(paths))
+		ps := s.net.PathSet(f.SrcToR, f.DstToR)
+		if f.PathIdx < 0 || f.PathIdx >= ps.Len() {
+			return fmt.Errorf("snapshot flow %d path index %d out of range [0,%d)", id, f.PathIdx, ps.Len())
 		}
-		s.buildRoute(f, paths[f.PathIdx])
+		s.buildRoute(f, ps, f.PathIdx)
 		s.attachLinks(f)
 		s.activeIdx[id] = int32(len(s.active))
 		s.active = append(s.active, f)

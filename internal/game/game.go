@@ -151,14 +151,16 @@ func FromNetwork(net topology.Network, flows [][2]topology.NodeID, delta float64
 	index := make(map[topology.LinkID]int)
 	var rev []topology.LinkID
 	routes := make([][][]int, len(flows))
+	var buf []topology.LinkID
 	for fi, pair := range flows {
-		paths := net.Paths(pair[0], pair[1])
-		if len(paths) == 1 && len(paths[0].Links) == 0 {
+		ps := net.PathSet(pair[0], pair[1])
+		if pair[0] == pair[1] {
 			return nil, nil, fmt.Errorf("game: flow %d is same-ToR and has no routed path", fi)
 		}
-		for _, p := range paths {
-			route := make([]int, 0, len(p.Links))
-			for _, l := range p.Links {
+		for pi := 0; pi < ps.Len(); pi++ {
+			buf = ps.AppendLinks(pi, buf[:0])
+			route := make([]int, 0, len(buf))
+			for _, l := range buf {
 				li, ok := index[l]
 				if !ok {
 					li = len(rev)

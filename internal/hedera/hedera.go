@@ -118,7 +118,7 @@ func (c *Controller) runRound(s *flowsim.Sim) {
 		}
 		elephants = append(elephants, f)
 		pairs[Pair{Src: hostIdx[f.Src], Dst: hostIdx[f.Dst]}]++
-		if n := len(s.Paths(f.SrcToR, f.DstToR)); n > maxVia {
+		if n := s.PathSet(f.SrcToR, f.DstToR).Len(); n > maxVia {
 			maxVia = n
 		}
 	}
@@ -141,17 +141,19 @@ func (c *Controller) runRound(s *flowsim.Sim) {
 	// Install the assignment; re-routing a flow updates the flow table
 	// of every switch along its new path, one controller -> switch
 	// message each (§4.3.4).
+	var linkBuf []topology.LinkID
 	for _, f := range elephants {
 		via, ok := assignment[f.Dst]
 		if !ok {
 			continue
 		}
-		paths := s.Paths(f.SrcToR, f.DstToR)
-		idx := via % len(paths)
+		ps := s.PathSet(f.SrcToR, f.DstToR)
+		idx := via % ps.Len()
 		if idx != f.PathIdx {
 			if err := s.SetPath(f, idx); err == nil {
 				c.Moves++
-				s.RecordControl(float64(len(paths[idx].Links)+1) * UpdateBytes)
+				linkBuf = ps.AppendLinks(idx, linkBuf[:0])
+				s.RecordControl(float64(len(linkBuf)+1) * UpdateBytes)
 			}
 		}
 	}
@@ -192,11 +194,15 @@ func (c *Controller) anneal(s *flowsim.Sim, elephants []*flowsim.Flow, demandOf 
 	load := make([]float64, g.NumLinks())
 	var touched []topology.LinkID
 	touchedSet := make([]bool, g.NumLinks())
+	// The annealing loop calls place for every flow of a destination on
+	// every iteration; resolving links through the implicit path set into
+	// one reused buffer keeps the search allocation-free.
+	linkBuf := make([]topology.LinkID, 0, 8)
 	place := func(f *flowsim.Flow, via int, sign float64) {
-		paths := s.Paths(f.SrcToR, f.DstToR)
-		p := paths[via%len(paths)]
+		ps := s.PathSet(f.SrcToR, f.DstToR)
+		linkBuf = ps.AppendLinks(via%ps.Len(), linkBuf[:0])
 		d := demandOf(f)
-		for _, l := range p.Links {
+		for _, l := range linkBuf {
 			load[l] += sign * d
 			if !touchedSet[l] {
 				touchedSet[l] = true

@@ -27,7 +27,7 @@ func (ECMP) Start(*Runtime) {}
 // policy, so runs are paired across policies.
 func (ECMP) InitialPath(rt *Runtime, f *FlowState) int {
 	return sched.PathHash(rt.Seed(), 0xec3f, f.ID, int32(f.SrcHost), int32(f.DstHost),
-		len(rt.Paths(f.SrcToR, f.DstToR)))
+		rt.PathSet(f.SrcToR, f.DstToR).Len())
 }
 
 // PVLB re-picks a random path every Interval seconds (§4.2).
@@ -55,7 +55,7 @@ func (v *PVLB) OnArrival(rt *Runtime, f *FlowState) {
 	if interval <= 0 {
 		interval = 5
 	}
-	n := len(rt.Paths(f.SrcToR, f.DstToR))
+	n := rt.PathSet(f.SrcToR, f.DstToR).Len()
 	if n <= 1 {
 		return
 	}
@@ -99,11 +99,17 @@ type dardHost struct {
 type dardMonitor struct {
 	srcHost        topology.NodeID
 	srcToR, dstToR topology.NodeID
-	paths          []topology.Path
-	flows          map[int]*FlowState
-	pv             []dard.PathState
-	dead           []bool
-	coll           *dard.Collector
+	// ps is the pair's implicit path set; the monitor stores this small
+	// handle instead of materialized paths.
+	ps    topology.PathSet
+	flows map[int]*FlowState
+	pv    []dard.PathState
+	dead  []bool
+	coll  *dard.Collector
+	// fv and linkBuf are scratch reused across query ticks and
+	// scheduling rounds.
+	fv      []int
+	linkBuf []topology.LinkID
 	// lastUna/stall track each elephant's cumulative-ACK pointer across
 	// scheduling rounds for zero-goodput dead-path detection.
 	lastUna  map[int]int
@@ -151,24 +157,12 @@ func (d *DARD) OnElephant(rt *Runtime, f *FlowState) {
 			srcHost: f.SrcHost,
 			srcToR:  f.SrcToR,
 			dstToR:  f.DstToR,
-			paths:   rt.Paths(f.SrcToR, f.DstToR),
+			ps:      rt.PathSet(f.SrcToR, f.DstToR),
 			flows:   make(map[int]*FlowState),
 			lastUna: make(map[int]int),
 			stall:   make(map[int]int),
 		}
-		seen := make(map[topology.NodeID]bool)
-		g := rt.Topo().Graph()
-		for _, p := range m.paths {
-			for _, l := range p.Links {
-				seen[g.Link(l).From] = true
-			}
-		}
-		switches := make([]topology.NodeID, 0, len(seen))
-		for sw := range seen {
-			switches = append(switches, sw)
-		}
-		sort.Slice(switches, func(i, j int) bool { return switches[i] < switches[j] })
-		m.coll = dard.NewCollector(rt, m.entity(), switches, d.Opts)
+		m.coll = dard.NewCollector(rt, m.entity(), dard.CoveringSwitches(rt.Topo().Graph(), m.ps), d.Opts)
 		h.monitors[f.DstToR] = m
 		d.scheduleQuery(rt, m)
 	}
@@ -229,11 +223,11 @@ func (d *DARD) assemble(rt *Runtime, m *dardMonitor) {
 		if m.released || !complete {
 			return // keep the previous pv until a full round lands
 		}
-		pv, err := dard.FoldPV(m.paths, linkState)
+		pv, buf, err := dard.FoldPVInto(m.pv[:0], m.linkBuf, m.ps, linkState)
 		if err != nil {
 			panic(fmt.Sprintf("psim: path state assembling: %v", err))
 		}
-		m.pv = pv
+		m.pv, m.linkBuf = pv, buf
 		m.dead = dard.MarkDeadPaths(rt.tracer, rt.Now(), int64(m.entity()), pv, m.dead)
 		if rt.tracer.Enabled() {
 			rt.tracer.Sample(trace.MetricMinBoNF, int64(m.entity()), rt.Now(), dard.MinBoNF(pv))
@@ -357,10 +351,18 @@ func (d *DARD) selfishSchedule(rt *Runtime, m *dardMonitor) {
 }
 
 // flowVector builds FV: the monitor's elephant flows per path (§2.5).
+// The returned slice is the monitor's scratch, valid until the next call.
 func (m *dardMonitor) flowVector() []int {
-	fv := make([]int, len(m.pv))
+	n := len(m.pv)
+	if cap(m.fv) < n {
+		m.fv = make([]int, n)
+	}
+	fv := m.fv[:n]
+	for i := range fv {
+		fv[i] = 0
+	}
 	for _, f := range m.flows {
-		if f.PathIdx >= 0 && f.PathIdx < len(fv) {
+		if f.PathIdx >= 0 && f.PathIdx < n {
 			fv[f.PathIdx]++
 		}
 	}

@@ -121,6 +121,9 @@ type Runtime struct {
 
 	eleCounts    []int
 	controlBytes float64
+	// linkBuf is scratch for resolving a path's links without
+	// materializing the path (elephant accounting on every reroute).
+	linkBuf []topology.LinkID
 
 	tracer trace.Tracer // never nil (Nop when tracing is off)
 
@@ -208,7 +211,14 @@ func (rt *Runtime) Seed() int64 { return rt.cfg.Seed }
 // After schedules a policy timer.
 func (rt *Runtime) After(d float64, fn func()) { rt.net.K.After(d, fn) }
 
-// Paths returns the equal-cost path set between two ToRs.
+// PathSet returns the implicit equal-cost path set between two ToRs.
+func (rt *Runtime) PathSet(srcToR, dstToR topology.NodeID) topology.PathSet {
+	return rt.topo.PathSet(srcToR, dstToR)
+}
+
+// Paths returns the equal-cost path set between two ToRs as
+// materialized values. Legacy API kept as the test oracle; the runtime
+// itself routes through PathSet.
 func (rt *Runtime) Paths(srcToR, dstToR topology.NodeID) []topology.Path {
 	return rt.topo.Paths(srcToR, dstToR)
 }
@@ -237,12 +247,16 @@ func (rt *Runtime) LinkCapacity(l topology.LinkID) float64 {
 	return rt.g.Link(l).Capacity
 }
 
-// Route materializes a flow's host-to-host source route for a path index.
+// Route materializes a flow's host-to-host source route for a path
+// index. The connection owns the returned slice, so this allocates one
+// exact-size route; the path links themselves come straight from the
+// implicit path set.
 func (rt *Runtime) Route(f *FlowState, pathIdx int) []topology.LinkID {
-	p := rt.Paths(f.SrcToR, f.DstToR)[pathIdx]
-	route := make([]topology.LinkID, 0, len(p.Links)+2)
+	ps := rt.topo.PathSet(f.SrcToR, f.DstToR)
+	rt.linkBuf = ps.AppendLinks(pathIdx, rt.linkBuf[:0])
+	route := make([]topology.LinkID, 0, len(rt.linkBuf)+2)
 	route = append(route, rt.topo.HostUplink(f.SrcHost))
-	route = append(route, p.Links...)
+	route = append(route, rt.linkBuf...)
 	route = append(route, rt.topo.HostDownlink(f.DstHost))
 	return route
 }
@@ -250,9 +264,9 @@ func (rt *Runtime) Route(f *FlowState, pathIdx int) []topology.LinkID {
 // SetPath reroutes a flow; future packets (and retransmissions) take the
 // new path.
 func (rt *Runtime) SetPath(f *FlowState, pathIdx int) error {
-	paths := rt.Paths(f.SrcToR, f.DstToR)
-	if pathIdx < 0 || pathIdx >= len(paths) {
-		return fmt.Errorf("psim: path index %d out of range [0,%d)", pathIdx, len(paths))
+	ps := rt.topo.PathSet(f.SrcToR, f.DstToR)
+	if pathIdx < 0 || pathIdx >= ps.Len() {
+		return fmt.Errorf("psim: path index %d out of range [0,%d)", pathIdx, ps.Len())
 	}
 	if pathIdx == f.PathIdx {
 		return nil
@@ -276,9 +290,10 @@ func (rt *Runtime) SetPath(f *FlowState, pathIdx int) error {
 }
 
 func (rt *Runtime) countElephant(f *FlowState, sign int) {
-	p := rt.Paths(f.SrcToR, f.DstToR)[f.PathIdx]
+	ps := rt.topo.PathSet(f.SrcToR, f.DstToR)
+	rt.linkBuf = ps.AppendLinks(f.PathIdx, rt.linkBuf[:0])
 	rt.eleCounts[rt.topo.HostUplink(f.SrcHost)] += sign
-	for _, l := range p.Links {
+	for _, l := range rt.linkBuf {
 		rt.eleCounts[l] += sign
 	}
 	rt.eleCounts[rt.topo.HostDownlink(f.DstHost)] += sign
@@ -318,8 +333,7 @@ func (rt *Runtime) RunContext(ctx context.Context) (*Results, error) {
 			rt.flows[wf.ID] = f
 
 			idx := cfg.Policy.InitialPath(rt, f)
-			paths := rt.Paths(f.SrcToR, f.DstToR)
-			if idx < 0 || idx >= len(paths) {
+			if idx < 0 || idx >= rt.topo.PathSet(f.SrcToR, f.DstToR).Len() {
 				idx = 0
 			}
 			f.PathIdx = idx

@@ -32,7 +32,7 @@ func (ECMP) Start(*flowsim.Sim) {}
 // shared RNG, so initial assignments are identical across schedulers.
 func (ECMP) AssignPath(s *flowsim.Sim, f *flowsim.Flow) int {
 	return PathHash(s.Seed(), 0xec3f, f.ID, int32(f.Src), int32(f.Dst),
-		len(s.Paths(f.SrcToR, f.DstToR)))
+		s.PathSet(f.SrcToR, f.DstToR).Len())
 }
 
 // DefaultVLBInterval is pVLB's re-pick period in seconds.
@@ -66,12 +66,12 @@ func (*PVLB) Start(*flowsim.Sim) {}
 // through the periodic re-picks.
 func (*PVLB) AssignPath(s *flowsim.Sim, f *flowsim.Flow) int {
 	return PathHash(s.Seed(), 0xec3f, f.ID, int32(f.Src), int32(f.Dst),
-		len(s.Paths(f.SrcToR, f.DstToR)))
+		s.PathSet(f.SrcToR, f.DstToR).Len())
 }
 
 // OnArrival installs the per-flow re-pick timer chain.
 func (v *PVLB) OnArrival(s *flowsim.Sim, f *flowsim.Flow) {
-	if len(s.Paths(f.SrcToR, f.DstToR)) <= 1 {
+	if s.PathSet(f.SrcToR, f.DstToR).Len() <= 1 {
 		return
 	}
 	s.AfterRef(v.interval(), repickRef(f), v.repickFn(s, f))
@@ -97,7 +97,7 @@ func (v *PVLB) repickFn(s *flowsim.Sim, f *flowsim.Flow) func() {
 		if !s.IsActive(f) {
 			return
 		}
-		n := len(s.Paths(f.SrcToR, f.DstToR))
+		n := s.PathSet(f.SrcToR, f.DstToR).Len()
 		// SetPath ignores a re-pick of the current path, matching a VLB
 		// source that happens to draw the same core again.
 		if err := s.SetPath(f, s.Rand().Intn(n)); err == nil {

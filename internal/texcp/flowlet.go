@@ -46,13 +46,13 @@ func (*FlowletPolicy) Name() string { return "TeXCP-flowlet" }
 // PacketRoute returns a picker that holds the path within a flowlet and
 // re-draws from the TeXCP weights between flowlets.
 func (p *FlowletPolicy) PacketRoute(rt *psim.Runtime, f *psim.FlowState) func() []topology.LinkID {
-	paths := rt.Paths(f.SrcToR, f.DstToR)
-	if len(paths) <= 1 {
+	n := rt.PathSet(f.SrcToR, f.DstToR).Len()
+	if n <= 1 {
 		return nil
 	}
 	a := p.agent(rt, f.SrcToR, f.DstToR)
-	routes := make([][]topology.LinkID, len(paths))
-	for i := range paths {
+	routes := make([][]topology.LinkID, n)
+	for i := range routes {
 		routes[i] = rt.Route(f, i)
 	}
 	cur := a.pick(rt)

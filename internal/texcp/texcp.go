@@ -67,14 +67,14 @@ func (p *Policy) InitialPath(rt *psim.Runtime, f *psim.FlowState) int {
 // PacketRoute returns a per-packet route picker: every data packet draws
 // a path from the pair agent's current weights.
 func (p *Policy) PacketRoute(rt *psim.Runtime, f *psim.FlowState) func() []topology.LinkID {
-	paths := rt.Paths(f.SrcToR, f.DstToR)
-	if len(paths) <= 1 {
+	n := rt.PathSet(f.SrcToR, f.DstToR).Len()
+	if n <= 1 {
 		return nil // single path: no splitting
 	}
 	a := p.agent(rt, f.SrcToR, f.DstToR)
 	// Pre-build the host-to-host routes once.
-	routes := make([][]topology.LinkID, len(paths))
-	for i := range paths {
+	routes := make([][]topology.LinkID, n)
+	for i := range routes {
 		routes[i] = rt.Route(f, i)
 	}
 	return func() []topology.LinkID {
@@ -84,7 +84,9 @@ func (p *Policy) PacketRoute(rt *psim.Runtime, f *psim.FlowState) func() []topol
 
 // agent is the per-ToR-pair load balancer.
 type agent struct {
-	paths   []topology.Path
+	// ps is the pair's implicit path set; the agent stores this small
+	// handle instead of materialized paths.
+	ps      topology.PathSet
 	weights []float64
 	cum     []float64 // cumulative weights for sampling
 
@@ -93,6 +95,7 @@ type agent struct {
 	utils     []float64
 	probes    int
 	step      float64
+	linkBuf   []topology.LinkID // scratch for per-path link resolution
 }
 
 func (p *Policy) agent(rt *psim.Runtime, srcToR, dstToR topology.NodeID) *agent {
@@ -100,12 +103,13 @@ func (p *Policy) agent(rt *psim.Runtime, srcToR, dstToR topology.NodeID) *agent 
 	if a, ok := p.agents[key]; ok {
 		return a
 	}
-	paths := rt.Paths(srcToR, dstToR)
+	ps := rt.PathSet(srcToR, dstToR)
+	n := ps.Len()
 	a := &agent{
-		paths:    paths,
-		weights:  make([]float64, len(paths)),
-		cum:      make([]float64, len(paths)),
-		utils:    make([]float64, len(paths)),
+		ps:       ps,
+		weights:  make([]float64, n),
+		cum:      make([]float64, n),
+		utils:    make([]float64, n),
 		linkSnap: make(map[topology.LinkID]float64),
 		step:     p.Step,
 	}
@@ -113,7 +117,7 @@ func (p *Policy) agent(rt *psim.Runtime, srcToR, dstToR topology.NodeID) *agent 
 		a.step = DefaultStep
 	}
 	for i := range a.weights {
-		a.weights[i] = 1 / float64(len(paths))
+		a.weights[i] = 1 / float64(n)
 	}
 	a.rebuildCum()
 	p.agents[key] = a
@@ -136,8 +140,9 @@ func (p *Policy) agent(rt *psim.Runtime, srcToR, dstToR topology.NodeID) *agent 
 // snapshotLinks records the BitsSent counter of every link on the agent's
 // paths.
 func (a *agent) snapshotLinks(rt *psim.Runtime) {
-	for _, p := range a.paths {
-		for _, l := range p.Links {
+	for i := 0; i < a.ps.Len(); i++ {
+		a.linkBuf = a.ps.AppendLinks(i, a.linkBuf[:0])
+		for _, l := range a.linkBuf {
 			a.linkSnap[l] = rt.Net().BitsSent(l)
 		}
 	}
@@ -151,10 +156,11 @@ func (a *agent) probe(rt *psim.Runtime) {
 	if dt <= 0 {
 		return
 	}
-	rt.RecordControl(float64(len(a.paths)) * ProbeBytes)
-	for i, p := range a.paths {
+	rt.RecordControl(float64(a.ps.Len()) * ProbeBytes)
+	for i := 0; i < a.ps.Len(); i++ {
 		maxU := 0.0
-		for _, l := range p.Links {
+		a.linkBuf = a.ps.AppendLinks(i, a.linkBuf[:0])
+		for _, l := range a.linkBuf {
 			sent := rt.Net().BitsSent(l) - a.linkSnap[l]
 			u := sent / (rt.LinkCapacity(l) * dt)
 			if u > maxU {

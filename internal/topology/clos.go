@@ -69,6 +69,14 @@ type Clos struct {
 	aggrs         []NodeID
 	// tors[pair][t] is ToR t of aggregation pair `pair`.
 	tors [][]NodeID
+
+	// Uplink index tables backing PathSet; downlinks are the graph's
+	// Reverse of the same entries.
+	//
+	// torAggrUp[torIdx*2 + j] is ToR torIdx -> aggr j of its pair.
+	torAggrUp []LinkID
+	// aggrIntUp[aggrIdx*DI + m] is aggr aggrIdx -> intermediate m.
+	aggrIntUp []LinkID
 }
 
 var _ Network = (*Clos)(nil)
@@ -122,6 +130,20 @@ func NewClos(cfg ClosConfig) (*Clos, error) {
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("clos construction: %w", err)
 	}
+	cl.torAggrUp = make([]LinkID, torIdx*2)
+	for pair := 0; pair < pairs; pair++ {
+		for _, tor := range cl.tors[pair] {
+			ti := g.Node(tor).Index
+			cl.torAggrUp[ti*2] = mustLink(g, tor, cl.aggrs[2*pair])
+			cl.torAggrUp[ti*2+1] = mustLink(g, tor, cl.aggrs[2*pair+1])
+		}
+	}
+	cl.aggrIntUp = make([]LinkID, cfg.DA*cfg.DI)
+	for a, aggr := range cl.aggrs {
+		for m, mid := range cl.intermediates {
+			cl.aggrIntUp[a*cfg.DI+m] = mustLink(g, aggr, mid)
+		}
+	}
 	return cl, nil
 }
 
@@ -135,6 +157,57 @@ func (cl *Clos) Aggrs() []NodeID { return cl.aggrs }
 func (cl *Clos) AggrPairOf(tor NodeID) [2]NodeID {
 	pair := cl.g.Node(tor).Pod
 	return [2]NodeID{cl.aggrs[2*pair], cl.aggrs[2*pair+1]}
+}
+
+// PathSet implements Network. Cross-pair path i decodes in buildPaths
+// order as the (uphill aggr j, intermediate m, downhill aggr k) triple
+// with i = j*(DI*2) + m*2 + k; intra-pair path i goes via shared aggr i.
+func (cl *Clos) PathSet(srcToR, dstToR NodeID) PathSet {
+	n := 1
+	if srcToR != dstToR {
+		if cl.g.Node(srcToR).Pod == cl.g.Node(dstToR).Pod {
+			n = 2
+		} else {
+			n = 4 * cl.cfg.DI
+		}
+	}
+	return PathSet{r: cl, src: srcToR, dst: dstToR, n: int32(n)}
+}
+
+// appendPathLinks implements pathResolver.
+func (cl *Clos) appendPathLinks(src, dst NodeID, i int, buf []LinkID) []LinkID {
+	g := cl.g
+	sn, dn := g.Node(src), g.Node(dst)
+	if sn.Pod == dn.Pod {
+		return append(buf,
+			cl.torAggrUp[sn.Index*2+i],
+			g.Reverse(cl.torAggrUp[dn.Index*2+i]))
+	}
+	di := cl.cfg.DI
+	j, rem := i/(di*2), i%(di*2)
+	m, k := rem/2, rem%2
+	return append(buf,
+		cl.torAggrUp[sn.Index*2+j],
+		cl.aggrIntUp[(2*sn.Pod+j)*di+m],
+		g.Reverse(cl.aggrIntUp[(2*dn.Pod+k)*di+m]),
+		g.Reverse(cl.torAggrUp[dn.Index*2+k]))
+}
+
+// pathVia implements pathResolver. Cross-pair labels are joined on
+// demand; they exist only for traces and display.
+func (cl *Clos) pathVia(src, dst NodeID, i int) string {
+	g := cl.g
+	sn, dn := g.Node(src), g.Node(dst)
+	if sn.Pod == dn.Pod {
+		return g.Node(cl.aggrs[2*sn.Pod+i]).Name
+	}
+	di := cl.cfg.DI
+	j, rem := i/(di*2), i%(di*2)
+	m, k := rem/2, rem%2
+	return joinVia(
+		g.Node(cl.aggrs[2*sn.Pod+j]).Name,
+		g.Node(cl.intermediates[m]).Name,
+		g.Node(cl.aggrs[2*dn.Pod+k]).Name)
 }
 
 // Paths implements Network. Cross-pair paths are labeled

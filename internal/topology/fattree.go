@@ -58,6 +58,16 @@ type FatTree struct {
 	aggrs [][]NodeID
 	// tors[pod][t] is ToR t of the pod.
 	tors [][]NodeID
+
+	// Uplink index tables backing PathSet: every path is resolved from
+	// these O(p^3) entries (a few MB even at p=128) instead of per-pair
+	// storage. Downlinks are the graph's Reverse of the same entries.
+	//
+	// torAggrUp[torIdx*half + a] is ToR torIdx -> aggr a of its pod.
+	torAggrUp []LinkID
+	// aggrCoreUp[aggrIdx*half + i] is aggr aggrIdx -> core (a*half + i)
+	// where a is the aggr's position in its pod.
+	aggrCoreUp []LinkID
 }
 
 var _ Network = (*FatTree)(nil)
@@ -117,6 +127,22 @@ func NewFatTree(cfg FatTreeConfig) (*FatTree, error) {
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("fat-tree construction: %w", err)
 	}
+	ft.torAggrUp = make([]LinkID, p*half*half)
+	ft.aggrCoreUp = make([]LinkID, p*half*half)
+	for pod := 0; pod < p; pod++ {
+		for t := 0; t < half; t++ {
+			torIdx := pod*half + t
+			for a := 0; a < half; a++ {
+				ft.torAggrUp[torIdx*half+a] = mustLink(g, ft.tors[pod][t], ft.aggrs[pod][a])
+			}
+		}
+		for a := 0; a < half; a++ {
+			aggrIdx := pod*half + a
+			for i := 0; i < half; i++ {
+				ft.aggrCoreUp[aggrIdx*half+i] = mustLink(g, ft.aggrs[pod][a], ft.cores[a*half+i])
+			}
+		}
+	}
 	return ft, nil
 }
 
@@ -143,6 +169,43 @@ func (ft *FatTree) NumPaths(srcToR, dstToR NodeID) int {
 	default:
 		return ft.cfg.P * ft.cfg.P / 4
 	}
+}
+
+// PathSet implements Network. Path i is pinned to buildPaths order:
+// intra-pod path i goes via aggr i of the pod; inter-pod path i goes via
+// core i, whose aggr on either side is the core's group i/(p/2).
+func (ft *FatTree) PathSet(srcToR, dstToR NodeID) PathSet {
+	return PathSet{r: ft, src: srcToR, dst: dstToR, n: int32(ft.NumPaths(srcToR, dstToR))}
+}
+
+// appendPathLinks implements pathResolver.
+func (ft *FatTree) appendPathLinks(src, dst NodeID, i int, buf []LinkID) []LinkID {
+	g := ft.g
+	half := ft.cfg.P / 2
+	sn, dn := g.Node(src), g.Node(dst)
+	if sn.Pod == dn.Pod {
+		// Intra-pod: up to aggr i, down to the destination ToR.
+		return append(buf,
+			ft.torAggrUp[sn.Index*half+i],
+			g.Reverse(ft.torAggrUp[dn.Index*half+i]))
+	}
+	// Inter-pod: core i lives in group i/half; both pods reach it through
+	// their aggr of that group, at core offset i%half.
+	group, off := i/half, i%half
+	return append(buf,
+		ft.torAggrUp[sn.Index*half+group],
+		ft.aggrCoreUp[(sn.Pod*half+group)*half+off],
+		g.Reverse(ft.aggrCoreUp[(dn.Pod*half+group)*half+off]),
+		g.Reverse(ft.torAggrUp[dn.Index*half+group]))
+}
+
+// pathVia implements pathResolver. Fat-tree labels are stored node names,
+// so they never allocate.
+func (ft *FatTree) pathVia(src, dst NodeID, i int) string {
+	if ft.g.Node(src).Pod == ft.g.Node(dst).Pod {
+		return ft.g.Node(ft.aggrs[ft.g.Node(src).Pod][i]).Name
+	}
+	return ft.g.Node(ft.cores[i]).Name
 }
 
 // Paths implements Network. Inter-pod paths are labeled by core switch

@@ -34,8 +34,15 @@ type Network interface {
 	Hosts() []NodeID
 	// ToROf returns the ToR switch a host attaches to.
 	ToROf(host NodeID) NodeID
-	// Paths returns the equal-cost paths from srcToR to dstToR. For
-	// srcToR == dstToR it returns a single empty path. The slice is
+	// PathSet returns the implicit equal-cost path set from srcToR to
+	// dstToR. For srcToR == dstToR the set holds a single empty path.
+	// The handle is a small value backed by construction-time index
+	// tables; obtaining or resolving it stores nothing per pair.
+	PathSet(srcToR, dstToR NodeID) PathSet
+	// Paths returns the equal-cost paths from srcToR to dstToR as
+	// materialized values, in the same order and with the same Via
+	// labels as PathSet. This is the legacy representation, kept as the
+	// test oracle and for display; simulators use PathSet. The slice is
 	// cached and shared; callers must not modify it.
 	Paths(srcToR, dstToR NodeID) []Path
 	// HostUplink returns the host->ToR link of a host.
@@ -44,29 +51,36 @@ type Network interface {
 	HostDownlink(host NodeID) LinkID
 }
 
-// pathCache memoizes per-ToR-pair path sets; safe for concurrent use.
+// pathCache memoizes per-ToR-pair materialized path sets for the legacy
+// Paths API; safe for concurrent use. Each key builds exactly once
+// (single-flight): concurrent callers that miss agree on one entry and
+// the late ones block on its once instead of redundantly building and
+// racing to overwrite.
 type pathCache struct {
-	mu    sync.RWMutex
-	paths map[[2]NodeID][]Path
+	mu      sync.Mutex
+	entries map[[2]NodeID]*pathEntry
+}
+
+type pathEntry struct {
+	once  sync.Once
+	paths []Path
 }
 
 func newPathCache() *pathCache {
-	return &pathCache{paths: make(map[[2]NodeID][]Path)}
+	return &pathCache{entries: make(map[[2]NodeID]*pathEntry)}
 }
 
 func (c *pathCache) get(a, b NodeID, build func() []Path) []Path {
 	key := [2]NodeID{a, b}
-	c.mu.RLock()
-	p, ok := c.paths[key]
-	c.mu.RUnlock()
-	if ok {
-		return p
-	}
-	p = build()
 	c.mu.Lock()
-	c.paths[key] = p
+	e, ok := c.entries[key]
+	if !ok {
+		e = &pathEntry{}
+		c.entries[key] = e
+	}
 	c.mu.Unlock()
-	return p
+	e.once.Do(func() { e.paths = build() })
+	return e.paths
 }
 
 // hostAttachment records a host's duplex edge link.

@@ -1,0 +1,68 @@
+package topology
+
+// PathSet is an implicit, zero-storage view of the equal-cost paths
+// between one ToR pair. Nothing is materialized per pair: a PathSet is a
+// small value (resolver + endpoints + count) and resolving any member
+// path is a handful of index-table lookups inside the topology. This is
+// the structural fact the paper's hierarchical addressing rests on — a
+// multi-rooted-tree path is fully determined by its (pair, branch
+// choice), so the O(p^4)-byte materialized path cache the simulators
+// used to warm is unnecessary.
+//
+// Path order and Via labels are pinned to the legacy materialized
+// enumeration (Network.Paths) exactly: flow state stores (pair, PathIdx)
+// across snapshots and reports compare byte-identically, so any
+// reordering or relabeling would be a silent behavior change. The golden
+// equivalence tests in pathset_test.go enforce this per topology.
+type PathSet struct {
+	r        pathResolver
+	src, dst NodeID
+	n        int32
+}
+
+// pathResolver is the per-topology backend of a PathSet. src and dst are
+// distinct ToRs of the same Network; i is in [0, numPaths).
+type pathResolver interface {
+	// appendPathLinks appends path i's switch-switch links to buf.
+	appendPathLinks(src, dst NodeID, i int, buf []LinkID) []LinkID
+	// pathVia returns path i's trace label.
+	pathVia(src, dst NodeID, i int) string
+}
+
+// Len reports the number of equal-cost paths in the set. A same-ToR pair
+// has exactly one (empty) path.
+func (ps PathSet) Len() int { return int(ps.n) }
+
+// AppendLinks appends the switch-switch links of path i, source ToR
+// first, to buf and returns the extended slice. It allocates nothing
+// when buf has capacity; i must be in [0, Len()). The direct same-ToR
+// path appends nothing.
+func (ps PathSet) AppendLinks(i int, buf []LinkID) []LinkID {
+	if i < 0 || i >= int(ps.n) {
+		panic("topology: PathSet index out of range")
+	}
+	if ps.src == ps.dst {
+		return buf
+	}
+	return ps.r.appendPathLinks(ps.src, ps.dst, i, buf)
+}
+
+// Via returns the label of path i — the branch choice that determines
+// it, e.g. "core3" in a fat-tree. Labels are built on demand (they may
+// allocate) and are only for traces and display; simulation state never
+// depends on them.
+func (ps PathSet) Via(i int) string {
+	if i < 0 || i >= int(ps.n) {
+		panic("topology: PathSet index out of range")
+	}
+	if ps.src == ps.dst {
+		return "direct"
+	}
+	return ps.r.pathVia(ps.src, ps.dst, i)
+}
+
+// Path materializes path i as a legacy Path value. Convenience for
+// display and tests; hot paths use AppendLinks.
+func (ps PathSet) Path(i int) Path {
+	return Path{Links: ps.AppendLinks(i, nil), Via: ps.Via(i)}
+}

@@ -1,0 +1,147 @@
+package topology
+
+import (
+	"testing"
+)
+
+// buildNetworks returns small instances of all three topology families,
+// large enough that inter-pod, intra-pod, and same-ToR cases all occur
+// and the index decodings are exercised beyond their smallest shapes.
+func buildNetworks(t *testing.T) []Network {
+	t.Helper()
+	ft, err := NewFatTree(FatTreeConfig{P: 6})
+	if err != nil {
+		t.Fatalf("fat-tree: %v", err)
+	}
+	cl, err := NewClos(ClosConfig{DI: 6, DA: 8})
+	if err != nil {
+		t.Fatalf("clos: %v", err)
+	}
+	tt, err := NewThreeTier(ThreeTierConfig{NumCores: 4, NumPods: 3, AccessPerPod: 3, HostsPerAccess: 2})
+	if err != nil {
+		t.Fatalf("three-tier: %v", err)
+	}
+	return []Network{ft, cl, tt}
+}
+
+// TestPathSetMatchesBuildPaths is the golden equivalence gate: over ALL
+// ToR pairs of every topology family, the implicit PathSet must agree
+// with the legacy materialized enumeration on count, link sequences,
+// order, and Via labels. Flow state stores (pair, PathIdx) and reports
+// are pinned byte-identical across releases, so any divergence here is a
+// behavior change, not a refactor.
+func TestPathSetMatchesBuildPaths(t *testing.T) {
+	for _, net := range buildNetworks(t) {
+		t.Run(net.Name(), func(t *testing.T) {
+			tors := net.Graph().NodesOfKind(ToR)
+			var buf []LinkID
+			for _, a := range tors {
+				for _, b := range tors {
+					want := net.Paths(a, b)
+					ps := net.PathSet(a, b)
+					if ps.Len() != len(want) {
+						t.Fatalf("pair (%d,%d): PathSet.Len()=%d, legacy has %d paths",
+							a, b, ps.Len(), len(want))
+					}
+					for i, w := range want {
+						buf = ps.AppendLinks(i, buf[:0])
+						if len(buf) != len(w.Links) {
+							t.Fatalf("pair (%d,%d) path %d: %d links, want %d",
+								a, b, i, len(buf), len(w.Links))
+						}
+						for j := range buf {
+							if buf[j] != w.Links[j] {
+								t.Fatalf("pair (%d,%d) path %d link %d: got %d, want %d",
+									a, b, i, buf[j], j, w.Links[j])
+							}
+						}
+						if via := ps.Via(i); via != w.Via {
+							t.Fatalf("pair (%d,%d) path %d: Via %q, want %q", a, b, i, via, w.Via)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPathSetAppendSemantics checks that AppendLinks appends rather than
+// overwrites and that the direct path appends nothing.
+func TestPathSetAppendSemantics(t *testing.T) {
+	ft, err := NewFatTree(FatTreeConfig{P: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tors := ft.Graph().NodesOfKind(ToR)
+	src, dst := tors[0], tors[len(tors)-1]
+	ps := ft.PathSet(src, dst)
+	buf := []LinkID{999}
+	buf = ps.AppendLinks(0, buf)
+	if len(buf) != 5 || buf[0] != 999 {
+		t.Fatalf("AppendLinks must append after existing entries, got %v", buf)
+	}
+	direct := ft.PathSet(src, src)
+	if direct.Len() != 1 {
+		t.Fatalf("same-ToR PathSet has %d paths, want 1", direct.Len())
+	}
+	if got := direct.AppendLinks(0, buf[:0]); len(got) != 0 {
+		t.Fatalf("direct path appended links: %v", got)
+	}
+	if via := direct.Via(0); via != "direct" {
+		t.Fatalf("direct path Via = %q", via)
+	}
+}
+
+// TestPathSetLinkResolutionAllocs is the tier-1 alloc gate: resolving
+// the links of any path through a PathSet must not allocate when the
+// caller's buffer has capacity.
+func TestPathSetLinkResolutionAllocs(t *testing.T) {
+	for _, net := range buildNetworks(t) {
+		t.Run(net.Name(), func(t *testing.T) {
+			tors := net.Graph().NodesOfKind(ToR)
+			src, dst := tors[0], tors[len(tors)-1]
+			ps := net.PathSet(src, dst)
+			buf := make([]LinkID, 0, 8)
+			idx := 0
+			allocs := testing.AllocsPerRun(100, func() {
+				ps = net.PathSet(src, dst)
+				buf = ps.AppendLinks(idx, buf[:0])
+				idx = (idx + 1) % ps.Len()
+			})
+			if allocs != 0 {
+				t.Fatalf("PathSet link resolution allocates %.1f times per run, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestPathCacheSingleFlight hammers one cold cache key from many
+// goroutines and checks every caller observes the same slice — the
+// build ran once, not once per racing goroutine.
+func TestPathCacheSingleFlight(t *testing.T) {
+	c := newPathCache()
+	const workers = 32
+	results := make([][]Path, workers)
+	builds := make(chan struct{}, workers)
+	done := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			results[w] = c.get(1, 2, func() []Path {
+				builds <- struct{}{}
+				return []Path{{Via: "once"}}
+			})
+			done <- w
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	if n := len(builds); n != 1 {
+		t.Fatalf("build ran %d times for one key, want 1", n)
+	}
+	for w := 1; w < workers; w++ {
+		if &results[w][0] != &results[0][0] {
+			t.Fatalf("goroutine %d observed a different slice than goroutine 0", w)
+		}
+	}
+}

@@ -82,6 +82,14 @@ type ThreeTier struct {
 	aggrs [][2]NodeID
 	// access[pod][t] is access switch t of the pod.
 	access [][]NodeID
+
+	// Uplink index tables backing PathSet; downlinks are the graph's
+	// Reverse of the same entries.
+	//
+	// accAggrUp[accIdx*2 + j] is access switch accIdx -> aggr j of its pod.
+	accAggrUp []LinkID
+	// aggrCoreUp[aggrIdx*C + c] is aggr aggrIdx -> core c.
+	aggrCoreUp []LinkID
 }
 
 var _ Network = (*ThreeTier)(nil)
@@ -130,6 +138,21 @@ func NewThreeTier(cfg ThreeTierConfig) (*ThreeTier, error) {
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("three-tier construction: %w", err)
 	}
+	tt.accAggrUp = make([]LinkID, accIdx*2)
+	tt.aggrCoreUp = make([]LinkID, cfg.NumPods*2*cfg.NumCores)
+	for pod := 0; pod < cfg.NumPods; pod++ {
+		for _, acc := range tt.access[pod] {
+			ai := g.Node(acc).Index
+			tt.accAggrUp[ai*2] = mustLink(g, acc, tt.aggrs[pod][0])
+			tt.accAggrUp[ai*2+1] = mustLink(g, acc, tt.aggrs[pod][1])
+		}
+		for a := 0; a < 2; a++ {
+			aggrIdx := pod*2 + a
+			for c, core := range tt.cores {
+				tt.aggrCoreUp[aggrIdx*cfg.NumCores+c] = mustLink(g, tt.aggrs[pod][a], core)
+			}
+		}
+	}
 	return tt, nil
 }
 
@@ -148,6 +171,57 @@ func (tt *ThreeTier) AggrOversubscription() float64 {
 	down := float64(tt.cfg.AccessPerPod) * tt.cfg.AccessUplink
 	up := float64(tt.cfg.NumCores) * tt.cfg.AggrUplink
 	return down / up
+}
+
+// PathSet implements Network. Cross-pod path i decodes in buildPaths
+// order as the (uphill aggr j, core c, downhill aggr k) triple with
+// i = j*(C*2) + c*2 + k; intra-pod path i goes via shared aggr i.
+func (tt *ThreeTier) PathSet(srcToR, dstToR NodeID) PathSet {
+	n := 1
+	if srcToR != dstToR {
+		if tt.g.Node(srcToR).Pod == tt.g.Node(dstToR).Pod {
+			n = 2
+		} else {
+			n = 4 * tt.cfg.NumCores
+		}
+	}
+	return PathSet{r: tt, src: srcToR, dst: dstToR, n: int32(n)}
+}
+
+// appendPathLinks implements pathResolver.
+func (tt *ThreeTier) appendPathLinks(src, dst NodeID, i int, buf []LinkID) []LinkID {
+	g := tt.g
+	sn, dn := g.Node(src), g.Node(dst)
+	if sn.Pod == dn.Pod {
+		return append(buf,
+			tt.accAggrUp[sn.Index*2+i],
+			g.Reverse(tt.accAggrUp[dn.Index*2+i]))
+	}
+	nc := tt.cfg.NumCores
+	j, rem := i/(nc*2), i%(nc*2)
+	c, k := rem/2, rem%2
+	return append(buf,
+		tt.accAggrUp[sn.Index*2+j],
+		tt.aggrCoreUp[(sn.Pod*2+j)*nc+c],
+		g.Reverse(tt.aggrCoreUp[(dn.Pod*2+k)*nc+c]),
+		g.Reverse(tt.accAggrUp[dn.Index*2+k]))
+}
+
+// pathVia implements pathResolver. Cross-pod labels are joined on
+// demand; they exist only for traces and display.
+func (tt *ThreeTier) pathVia(src, dst NodeID, i int) string {
+	g := tt.g
+	sn, dn := g.Node(src), g.Node(dst)
+	if sn.Pod == dn.Pod {
+		return g.Node(tt.aggrs[sn.Pod][i]).Name
+	}
+	nc := tt.cfg.NumCores
+	j, rem := i/(nc*2), i%(nc*2)
+	c, k := rem/2, rem%2
+	return joinVia(
+		g.Node(tt.aggrs[sn.Pod][j]).Name,
+		g.Node(tt.cores[c]).Name,
+		g.Node(tt.aggrs[dn.Pod][k]).Name)
 }
 
 // Paths implements Network. Cross-pod paths are labeled

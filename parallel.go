@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"dard/internal/parallel"
-	"dard/internal/topology"
 )
 
 // This file is the facade of the concurrent experiment runner. The
@@ -19,8 +18,9 @@ import (
 //     cell's identity (CellSeed), never from shared RNG state, so the
 //     numbers are independent of the worker count;
 //   - scenarios sharing one pre-built *Topology are safe to run
-//     concurrently — the only lazily-built shared state, the per-ToR-pair
-//     path cache, is lock-guarded, and Prewarm can fill it up front.
+//     concurrently — paths resolve through immutable construction-time
+//     index tables (topology.PathSet), so there is no shared mutable
+//     state on the data path at all.
 
 // RunAll executes the scenarios concurrently on a worker pool and
 // returns their reports in input order. workers <= 0 uses one worker per
@@ -104,15 +104,10 @@ func CellSeed(base int64, topo *Topology, pat Pattern) int64 {
 	return parallel.Seed(base, topo.Name()+"/"+string(pat))
 }
 
-// Prewarm fills the topology's per-ToR-pair path cache for every ToR
-// pair. The cache is lock-guarded and fills lazily anyway; pre-warming
-// moves that cost out of concurrent runs so scenarios sharing the
-// topology proceed contention-free.
-func (t *Topology) Prewarm() {
-	tors := t.net.Graph().NodesOfKind(topology.ToR)
-	for _, a := range tors {
-		for _, b := range tors {
-			t.net.Paths(a, b)
-		}
-	}
-}
+// Prewarm is a no-op kept for API compatibility. It used to fill the
+// materialized per-ToR-pair path cache — O(p^4) bytes per warm pair on a
+// fat-tree — so that concurrent scenarios would not contend on its lock.
+// Paths now resolve through implicit per-topology index tables built at
+// construction (topology.PathSet): there is nothing left to warm, and
+// nothing for concurrent runs to contend on.
+func (t *Topology) Prewarm() {}

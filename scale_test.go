@@ -60,12 +60,13 @@ func TestPaperScaleFabric(t *testing.T) {
 	}
 }
 
-// p64Scenario is the BENCH_pr6 workload (see BenchmarkIntraWorkersP64):
-// the p=64 switching fabric under staggered traffic with the
-// simulated-annealing controller, whose central rounds re-route many
-// elephants from one timer — the event shape that dirties several
-// disjoint sharing-graph components per recompute.
-func p64Scenario(topo *Topology, workers int) Scenario {
+// benchScenario is the BENCH_pr6/BENCH_pr8 workload (see
+// BenchmarkIntraWorkersP64): a switching fabric under staggered traffic
+// with the simulated-annealing controller, whose central rounds
+// re-route many elephants from one timer — the event shape that dirties
+// several disjoint sharing-graph components per recompute. The rate is
+// per host, so the same scenario scales from the p=64 fabric to p=128.
+func benchScenario(topo *Topology, workers int) Scenario {
 	return Scenario{
 		Topo:           topo,
 		Scheduler:      SchedulerAnnealing,
@@ -82,10 +83,10 @@ func p64Scenario(topo *Topology, workers int) Scenario {
 // TestEmitBenchPR6 measures the p=64 fabric serial vs IntraWorkers
 // 2/4/8 — wall clock and memory (runtime.ReadMemStats before/after) —
 // verifies the retained reference scheduler agrees byte-for-byte as the
-// oracle, and writes BENCH_pr6.json. The run costs minutes (the p=64
-// path cache alone takes ~30 s to build), so it only executes when
-// DARD_BENCH_PR6 names an output path ("1" means BENCH_pr6.json); the
-// CI bench-smoke job sets it and uploads the artifact.
+// oracle, and writes BENCH_pr6.json. The run costs minutes, so it only
+// executes when DARD_BENCH_PR6 names an output path ("1" means
+// BENCH_pr6.json); the CI bench-smoke job sets it and uploads the
+// artifact.
 func TestEmitBenchPR6(t *testing.T) {
 	out := os.Getenv("DARD_BENCH_PR6")
 	if out == "" {
@@ -98,39 +99,7 @@ func TestEmitBenchPR6(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// No Prewarm: at p=64 the full per-ToR-pair path cache is ~4M pairs
-	// x 1024 paths — hundreds of GB. The runs here are sequential, so
-	// the cache fills lazily with just the pairs the workload touches,
-	// shared across worker settings; an untimed warmup run below pays
-	// the fill before anything is measured.
-
-	// Oracle: on a shortened p=64 run (the reference scheduler is
-	// O(events x flows), full length would take tens of minutes), the
-	// serial engine, the 8-worker engine, and the reference scheduler
-	// must serialize to identical report bytes.
-	shorten := func(s Scenario) Scenario {
-		s.Duration = 1.5
-		s.RatePerHost = 0.25
-		return s
-	}
-	marshal := func(s Scenario) []byte {
-		rep, err := s.Run()
-		if err != nil {
-			t.Fatal(err)
-		}
-		j, err := json.Marshal(rep)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return j
-	}
-	serialJSON := marshal(shorten(p64Scenario(topo, 1)))
-	if !bytes.Equal(marshal(shorten(p64Scenario(topo, 8))), serialJSON) {
-		t.Fatal("oracle: IntraWorkers=8 diverges from serial at p=64")
-	}
-	if !bytes.Equal(marshal(shorten(p64Scenario(topo, 1)).WithReferenceEngine()), serialJSON) {
-		t.Fatal("oracle: reference scheduler diverges from the incremental engine at p=64")
-	}
+	assertScaleOracle(t, topo, true)
 
 	type benchCase struct {
 		Workers    int     `json:"workers"`
@@ -140,11 +109,11 @@ func TestEmitBenchPR6(t *testing.T) {
 		SysMB      float64 `json:"sys_mb"`
 		SpeedupVs1 float64 `json:"speedup_vs_serial"`
 	}
-	// One untimed warmup run fills the lazy path cache with every
-	// ToR pair this workload touches; without it the first timed case
-	// (serial) pays the fill and the comparison tilts toward whichever
-	// worker counts run later.
-	if _, err := p64Scenario(topo, 1).Run(); err != nil {
+	// One untimed warmup run lets the heap and the runtime's size
+	// classes reach steady state; without it the first timed case
+	// (serial) pays the one-time growth and the comparison tilts toward
+	// whichever worker counts run later.
+	if _, err := benchScenario(topo, 1).Run(); err != nil {
 		t.Fatal(err)
 	}
 
@@ -158,7 +127,7 @@ func TestEmitBenchPR6(t *testing.T) {
 			var before, after runtime.MemStats
 			runtime.ReadMemStats(&before)
 			start := time.Now()
-			r, err := p64Scenario(topo, w).Run()
+			r, err := benchScenario(topo, w).Run()
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -198,6 +167,147 @@ func TestEmitBenchPR6(t *testing.T) {
 		HostCPUs:    runtime.NumCPU(),
 		Gomaxprocs:  runtime.GOMAXPROCS(0),
 		Oracle:      "byte-identical reports: serial == IntraWorkers=8 == reference scheduler on the shortened p=64 scenario",
+		Cases:       cases,
+	}
+	j, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(j, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}
+
+// assertScaleOracle checks the determinism oracle on a shortened run of
+// the benchmark scenario: the serial engine and the 8-worker engine —
+// and, when withReference is set, the retained reference scheduler —
+// must serialize to identical report bytes. The reference scheduler is
+// O(events x flows), affordable on the shortened p=64 run but not at
+// p=128, where the two incremental configurations still cross-check
+// each other.
+func assertScaleOracle(t *testing.T, topo *Topology, withReference bool) {
+	t.Helper()
+	shorten := func(s Scenario) Scenario {
+		s.Duration = 1.5
+		s.RatePerHost = 0.25
+		return s
+	}
+	marshal := func(s Scenario) []byte {
+		rep, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	serialJSON := marshal(shorten(benchScenario(topo, 1)))
+	if !bytes.Equal(marshal(shorten(benchScenario(topo, 8))), serialJSON) {
+		t.Fatalf("oracle: IntraWorkers=8 diverges from serial on %s", topo.Name())
+	}
+	if withReference && !bytes.Equal(marshal(shorten(benchScenario(topo, 1)).WithReferenceEngine()), serialJSON) {
+		t.Fatalf("oracle: reference scheduler diverges from the incremental engine on %s", topo.Name())
+	}
+}
+
+// TestEmitBenchPR8 measures what implicit path sets unlock and writes
+// BENCH_pr8.json. Two fabrics run the BENCH_pr6 workload serially:
+// p=64 — apples-to-apples against BENCH_pr6.json, whose ~914 MB
+// process footprint the materialized per-ToR-pair path slices
+// dominated — and p=128, which never completed before (4096 equal-cost
+// paths per inter-pod pair; materializing just the pairs one workload
+// touches costs tens of GB). Wall clock is the best of several full
+// runs; alloc_mb is the heap the best run allocated, heap_mb the live
+// heap and sys_mb the total OS-claimed memory after it
+// (runtime.ReadMemStats — sys_mb is the peak-RSS proxy BENCH_pr6.json
+// records). The run costs minutes, so it only executes when
+// DARD_BENCH_PR8 names an output path ("1" means BENCH_pr8.json); the
+// CI bench-smoke job sets it and uploads the artifact.
+func TestEmitBenchPR8(t *testing.T) {
+	out := os.Getenv("DARD_BENCH_PR8")
+	if out == "" {
+		t.Skip("set DARD_BENCH_PR8=<path|1> to run the p=64/p=128 scale benchmark")
+	}
+	if out == "1" {
+		out = "BENCH_pr8.json"
+	}
+
+	type benchCase struct {
+		P       int     `json:"p"`
+		Paths   int     `json:"paths_per_interpod_pair"`
+		Hosts   int     `json:"hosts"`
+		Flows   int     `json:"flows"`
+		Runs    int     `json:"runs"`
+		WallNs  int64   `json:"wall_ns"`
+		AllocMB float64 `json:"alloc_mb"`
+		HeapMB  float64 `json:"heap_mb"`
+		SysMB   float64 `json:"sys_mb"`
+	}
+	var cases []benchCase
+	// Ascending p keeps each case's Sys reading meaningful: Sys only
+	// grows within a process, so a larger earlier fabric would mask a
+	// smaller later one.
+	for _, tc := range []struct{ p, runs int }{{64, 7}, {128, 3}} {
+		topo, err := TopologySpec{Kind: FatTree, P: tc.p, HostsPerToR: 1}.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertScaleOracle(t, topo, tc.p == 64)
+		// Untimed warmup: let the heap and the runtime's size classes
+		// reach steady state before the timed runs.
+		if _, err := benchScenario(topo, 1).Run(); err != nil {
+			t.Fatal(err)
+		}
+		c := benchCase{P: tc.p, Paths: (tc.p / 2) * (tc.p / 2), Hosts: topo.NumHosts(), Runs: tc.runs}
+		best := int64(1<<63 - 1)
+		for rep := 0; rep < tc.runs; rep++ {
+			runtime.GC() // don't let one run's garbage bill the next run's clock
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			start := time.Now()
+			r, err := benchScenario(topo, 1).Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wall := time.Since(start).Nanoseconds()
+			runtime.ReadMemStats(&after)
+			if r.Unfinished != 0 {
+				t.Fatalf("p=%d: %d unfinished flows", tc.p, r.Unfinished)
+			}
+			if wall < best {
+				best = wall
+				c.Flows = r.Flows
+				c.WallNs = wall
+				c.AllocMB = float64(after.TotalAlloc-before.TotalAlloc) / 1e6
+				c.HeapMB = float64(after.HeapAlloc) / 1e6
+				c.SysMB = float64(after.Sys) / 1e6
+			}
+		}
+		cases = append(cases, c)
+		t.Logf("p=%d: %d flows, %.2fs, %.0f MB allocated, %.0f MB live heap, %.0f MB sys",
+			tc.p, c.Flows, float64(c.WallNs)/1e9, c.AllocMB, c.HeapMB, c.SysMB)
+	}
+
+	doc := struct {
+		Benchmark   string      `json:"benchmark"`
+		Description string      `json:"description"`
+		Goos        string      `json:"goos"`
+		Goarch      string      `json:"goarch"`
+		HostCPUs    int         `json:"host_cpus"`
+		Gomaxprocs  int         `json:"gomaxprocs"`
+		Oracle      string      `json:"oracle"`
+		Cases       []benchCase `json:"cases"`
+	}{
+		Benchmark:   "TestEmitBenchPR8",
+		Description: "Implicit path sets (O(1) memory per ToR pair) on fat-tree switching fabrics (HostsPerToR=1): the BENCH_pr6 workload — staggered pattern, SimulatedAnnealing controller, rate 0.5 flows/s/host, 5 s window, 64 MB transfers, seed 7, serial engine — at p=64 (compare sys_mb against BENCH_pr6.json, measured when every warm ToR pair held a materialized []Path) and at p=128, the first completed run at that scale. wall_ns is the best full run of `runs`; alloc_mb is the heap the best run allocated, heap_mb the live heap and sys_mb the process footprint after it (runtime.ReadMemStats).",
+		Goos:        runtime.GOOS,
+		Goarch:      runtime.GOARCH,
+		HostCPUs:    runtime.NumCPU(),
+		Gomaxprocs:  runtime.GOMAXPROCS(0),
+		Oracle:      "byte-identical reports: serial == IntraWorkers=8 == reference scheduler on the shortened p=64 scenario; serial == IntraWorkers=8 on the shortened p=128 scenario",
 		Cases:       cases,
 	}
 	j, err := json.MarshalIndent(doc, "", "  ")

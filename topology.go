@@ -3,6 +3,7 @@ package dard
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"dard/internal/addressing"
 	"dard/internal/topology"
@@ -44,13 +45,22 @@ type TopologySpec struct {
 }
 
 // Topology is a built network plus its hierarchical addressing plan.
+// The plan materializes one address per (host, tree root) — O(p^4)
+// entries on a fat-tree — so it is built lazily on first use: scenario
+// runs never touch it (simulation routes through the implicit path
+// sets), and building it eagerly would dominate the memory footprint of
+// large-scale runs.
 type Topology struct {
 	net    topology.Network
-	plan   *addressing.Plan
 	layout *workload.Layout
+
+	planOnce sync.Once
+	plan     *addressing.Plan
+	planErr  error
 }
 
-// Build constructs the topology and allocates its addressing plan.
+// Build constructs the topology. The addressing plan is deferred to the
+// first facade call that renders addresses or tables.
 func (spec TopologySpec) Build() (*Topology, error) {
 	var (
 		net topology.Network
@@ -91,11 +101,21 @@ func (spec TopologySpec) Build() (*Topology, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan, err := addressing.Build(net)
-	if err != nil {
-		return nil, fmt.Errorf("dard: addressing %s: %w", net.Name(), err)
-	}
-	return &Topology{net: net, plan: plan, layout: workload.NewLayout(net)}, nil
+	return &Topology{net: net, layout: workload.NewLayout(net)}, nil
+}
+
+// addressPlan builds the hierarchical addressing plan on first use;
+// safe for concurrent callers.
+func (t *Topology) addressPlan() (*addressing.Plan, error) {
+	t.planOnce.Do(func() {
+		plan, err := addressing.Build(t.net)
+		if err != nil {
+			t.planErr = fmt.Errorf("dard: addressing %s: %w", t.net.Name(), err)
+			return
+		}
+		t.plan = plan
+	})
+	return t.plan, t.planErr
 }
 
 // Name returns the topology's descriptive name, e.g. "fattree(p=8)".
@@ -118,7 +138,7 @@ func (t *Topology) NumPaths(srcHost, dstHost string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	return len(t.net.Paths(t.net.ToROf(s), t.net.ToROf(d))), nil
+	return t.net.PathSet(t.net.ToROf(s), t.net.ToROf(d)).Len(), nil
 }
 
 // HostNames lists every host name in index order.
@@ -139,8 +159,12 @@ func (t *Topology) HostAddresses(hostName string) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
+	plan, err := t.addressPlan()
+	if err != nil {
+		return nil, err
+	}
 	var out []string
-	for _, a := range t.plan.AddressesOf(h) {
+	for _, a := range plan.AddressesOf(h) {
 		s := a.String()
 		if ip, err := a.IPv4(); err == nil {
 			s += " = " + ip
@@ -157,7 +181,11 @@ func (t *Topology) RoutingTables(switchName string) (string, error) {
 	if !ok {
 		return "", fmt.Errorf("dard: unknown switch %q", switchName)
 	}
-	tables := t.plan.TablesOf(n.ID)
+	plan, err := t.addressPlan()
+	if err != nil {
+		return "", err
+	}
+	tables := plan.TablesOf(n.ID)
 	if tables == nil {
 		return "", fmt.Errorf("dard: %q has no routing tables (is it a host?)", switchName)
 	}
@@ -172,7 +200,11 @@ func (t *Topology) FlowTables(switchName string) (string, error) {
 	if !ok {
 		return "", fmt.Errorf("dard: unknown switch %q", switchName)
 	}
-	for _, prog := range t.plan.FlowTablePrograms() {
+	plan, err := t.addressPlan()
+	if err != nil {
+		return "", err
+	}
+	for _, prog := range plan.FlowTablePrograms() {
 		if prog.Switch == switchName {
 			return prog.String(), nil
 		}
@@ -182,8 +214,16 @@ func (t *Topology) FlowTables(switchName string) (string, error) {
 }
 
 // TotalFlowRules counts the rules the one-time NOX-style initializer
-// installs network-wide.
-func (t *Topology) TotalFlowRules() int { return t.plan.TotalRules() }
+// installs network-wide. It returns 0 if the addressing plan cannot be
+// built (construction validates the topologies this facade offers, so
+// that does not happen in practice).
+func (t *Topology) TotalFlowRules() int {
+	plan, err := t.addressPlan()
+	if err != nil {
+		return 0
+	}
+	return plan.TotalRules()
+}
 
 // PathsBetween describes the equal-cost paths between two hosts' ToRs as
 // hop sequences, one line per path.
@@ -198,10 +238,13 @@ func (t *Topology) PathsBetween(srcHost, dstHost string) (string, error) {
 	}
 	g := t.net.Graph()
 	var b strings.Builder
-	for _, p := range t.net.Paths(t.net.ToROf(s), t.net.ToROf(d)) {
-		fmt.Fprintf(&b, "%-24s", p.Via)
-		for i, l := range p.Links {
-			if i == 0 {
+	ps := t.net.PathSet(t.net.ToROf(s), t.net.ToROf(d))
+	var links []topology.LinkID
+	for i := 0; i < ps.Len(); i++ {
+		fmt.Fprintf(&b, "%-24s", ps.Via(i))
+		links = ps.AppendLinks(i, links[:0])
+		for j, l := range links {
+			if j == 0 {
 				b.WriteString(g.Node(g.Link(l).From).Name)
 			}
 			b.WriteString(" -> " + g.Node(g.Link(l).To).Name)
