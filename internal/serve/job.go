@@ -129,6 +129,9 @@ func (s *Server) restoreJob(wire checkpointWire, id string) (*job, error) {
 	if len(wire.Session) == 0 {
 		return nil, fmt.Errorf("serve: checkpoint carries no session")
 	}
+	if id != "" && wire.ID != "" && wire.ID != id {
+		return nil, fmt.Errorf("serve: checkpoint records job %q but was loaded as %q (renamed checkpoint file?)", wire.ID, id)
+	}
 	stream := trace.NewStreamer()
 	stream.Seed(wire.Events)
 	sess, err := dard.ResumeSession(wire.Session, stream)
@@ -369,6 +372,8 @@ const checkpointVersion = 1
 // checkpointWire is a job checkpoint: the session snapshot (scenario +
 // engine state) plus the full trace history, so a restored job's stream
 // replays identically from offset zero.
+//
+//dardsnap:fields encoder=job.snapshotWire decoder=Server.restoreJob
 type checkpointWire struct {
 	Version int           `json:"version"`
 	ID      string        `json:"id"`

@@ -8,6 +8,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -489,6 +491,34 @@ func TestShutdownSuspendsAndResumes(t *testing.T) {
 		if id == queuedID {
 			t.Errorf("completed job %s resurrected on reboot", queuedID)
 		}
+	}
+}
+
+// TestRestoreRejectsRenamedCheckpoint: the checkpoint blob records the
+// job ID it belongs to, and boot-time restore refuses a file whose
+// name disagrees — a renamed or copied .ckpt must not resume a job
+// under a borrowed identity.
+func TestRestoreRejectsRenamedCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	h := newHarness(t, serve.Options{Workers: 1, StateDir: dir})
+	id := h.submit(unboundedScenario(3), 0)
+	h.await(id, "running", func(st status) bool { return st.State == serve.StateRunning && st.Events > 0 })
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := h.srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(filepath.Join(dir, id+".ckpt"), filepath.Join(dir, "job-9.ckpt")); err != nil {
+		t.Fatal(err)
+	}
+
+	h2 := newHarness(t, serve.Options{StateDir: dir})
+	resumed, errs := h2.srv.LoadCheckpoints()
+	if len(resumed) != 0 {
+		t.Fatalf("renamed checkpoint resumed as %v", resumed)
+	}
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "renamed checkpoint file") {
+		t.Fatalf("want one identity-mismatch error, got %v", errs)
 	}
 }
 
