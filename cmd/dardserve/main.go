@@ -18,6 +18,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -62,8 +63,19 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	httpSrv := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
 	fmt.Fprintf(out, "listening on %s\n", ln.Addr())
 
+	// The server goroutine is joined on every exit path: httpSrv.Close()
+	// forces Serve to return, and the deferred Wait keeps run from
+	// returning while the goroutine is still winding down — a test
+	// driving boot→drain cycles must never see a serve goroutine outlive
+	// its run() call.
 	served := make(chan error, 1)
-	go func() { served <- httpSrv.Serve(ln) }()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		served <- httpSrv.Serve(ln)
+	}()
+	defer wg.Wait()
 	select {
 	case err := <-served:
 		return err
@@ -81,6 +93,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("drain: %w", err)
 	}
 	httpSrv.Close()
+	wg.Wait()
+	select {
+	case err := <-served:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(out, "http server: %v\n", err)
+		}
+	default:
+	}
 	fmt.Fprintln(out, "checkpointed and stopped")
 	return nil
 }

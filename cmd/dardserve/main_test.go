@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -180,6 +181,34 @@ func TestDaemonLifecycle(t *testing.T) {
 	}
 	if err := d2.stop(); err != nil {
 		t.Fatalf("second drain: %v", err)
+	}
+}
+
+// TestDrainJoinsServer drives empty boot→drain cycles back to back:
+// run must join the HTTP server goroutine before returning, so no
+// serve goroutines accumulate across cycles, and a clean drain reports
+// no server error.
+func TestDrainJoinsServer(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		d := startDaemon(t)
+		if err := d.stop(); err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+		for line := range d.lines {
+			if strings.HasPrefix(line, "http server:") {
+				t.Errorf("cycle %d: clean drain reported a server error: %s", i, line)
+			}
+		}
+	}
+	// Joined goroutines are gone by the time run returns; allow slack
+	// for the runtime's own background workers settling.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > base+3 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base+3 {
+		t.Errorf("goroutines grew from %d to %d across drain cycles", base, n)
 	}
 }
 
