@@ -1,19 +1,24 @@
-// Command dardlint runs the DARD determinism analyzers (wallclock,
-// maporder, floateq, seedflow — see internal/lint) over the module and
-// exits non-zero on any unsuppressed finding. It is the multichecker
-// CI runs on every push; run it locally with
+// Command dardlint runs the DARD determinism analyzers — the four
+// syntactic ones (wallclock, maporder, floateq, seedflow) and the four
+// state-aware ones (snapfield, scratchalias, ctxflow, mergeorder); see
+// internal/lint — over the module and exits non-zero on any
+// unsuppressed finding. It is the multichecker CI runs on every push;
+// run it locally with
 //
 //	go run ./cmd/dardlint ./...
 //
 // Findings are silenced site-by-site with a justified
 // `//dardlint:KEY why` comment; dardlint itself flags suppressions that
 // are unjustified, unused, or misspelled, so the exception list cannot
-// rot.
+// rot. `dardlint -suppressed` audits that list: it prints every
+// silenced finding alongside its justification and exits non-zero if
+// any suppression has gone stale (unused, unjustified, or misspelled).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -22,9 +27,9 @@ import (
 
 func main() {
 	showSuppressed := flag.Bool("suppressed", false,
-		"also list findings silenced by //dardlint comments (audit mode; never fails the run)")
+		"audit mode: list findings silenced by //dardlint comments with their justifications; exit non-zero on stale suppressions")
 	only := flag.String("only", "",
-		"run a single analyzer by name (wallclock, maporder, floateq, seedflow)")
+		"run a single analyzer by name (see the list below)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"usage: dardlint [-only analyzer] [-suppressed] [packages]\n\nAnalyzers:\n")
@@ -59,20 +64,43 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dardlint: %v\n", err)
 		os.Exit(2)
 	}
-	failed := false
-	for _, d := range diags {
-		if d.Suppressed {
-			if *showSuppressed {
-				fmt.Printf("%s [suppressed]\n", d)
-			}
-			continue
+	if *showSuppressed {
+		if !runAudit(diags, os.Stdout) {
+			os.Exit(1)
 		}
+		return
+	}
+	failed := false
+	for _, d := range lint.Unsuppressed(diags) {
 		failed = true
 		fmt.Println(d)
 	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// runAudit implements -suppressed: it prints the full suppression
+// inventory (each silenced finding with the justification that silenced
+// it) and then the hygiene violations — the framework's "dardlint"
+// meta-diagnostics for unused, unjustified, or unknown-key comments.
+// It reports whether the inventory is clean; a stale suppression fails
+// the audit so the exception list cannot quietly outlive the code it
+// excused.
+func runAudit(diags []lint.Diagnostic, w io.Writer) bool {
+	for _, d := range diags {
+		if d.Suppressed {
+			fmt.Fprintf(w, "%s [suppressed: %s]\n", d, d.Justification)
+		}
+	}
+	clean := true
+	for _, d := range lint.Unsuppressed(diags) {
+		if d.Analyzer == "dardlint" {
+			clean = false
+			fmt.Fprintf(w, "%s [stale]\n", d)
+		}
+	}
+	return clean
 }
 
 // Check loads every package matching patterns (resolved against the

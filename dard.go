@@ -164,6 +164,14 @@ type LinkFailure struct {
 }
 
 // Scenario is one experiment: a topology, a scheduler, and a workload.
+//
+// The json directive registers Scenario with the snapfield analyzer in
+// JSON mode: exported fields ride encoding/json reflection inside
+// sessionWire, but any unexported field must be explicitly carried
+// across Snapshot/ResumeSession (as flowsimReference is, via
+// sessionWire.Reference) or a checkpointed run silently loses it.
+//
+//dardsnap:json encoder=Session.Snapshot decoder=ResumeSession
 type Scenario struct {
 	// Topology to build (zero value: p=8 fat-tree).
 	Topology TopologySpec

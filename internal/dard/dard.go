@@ -130,9 +130,11 @@ func (o *Options) applyDefaults() {
 // Controller is the DARD strategy for flowsim. Flows start on their ECMP
 // hash path (DARD uses ECMP as the default routing mechanism, §2.4) and
 // elephants are adaptively re-routed by their source host.
+//
+//dardsnap:fields encoder=Controller.SnapshotState decoder=Controller.RestoreState
 type Controller struct {
 	opts  Options
-	ecmp  sched.ECMP
+	ecmp  sched.ECMP //dardlint:snapfield stateless hash scheduler: path choice is a pure function of topology and flow ID
 	hosts map[topology.NodeID]*hostState
 
 	// monitorSeq issues every monitor a run-unique serial, the stable
@@ -250,6 +252,8 @@ func perFlowKey(flowID int) monitorKey { return monitorKey(-1 - int64(flowID)) }
 
 // hostState is the per-end-host daemon state (§3.1): the monitor list and
 // the flow scheduler's round timer.
+//
+//dardsnap:fields encoder=Controller.SnapshotState decoder=Controller.RestoreState
 type hostState struct {
 	monitors    map[monitorKey]*monitor
 	roundActive bool

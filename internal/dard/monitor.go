@@ -18,12 +18,15 @@ import (
 // The exchange itself lives in the Collector, shared with the
 // packet-level engine, which also gives this monitor retry/backoff and
 // dead-switch detection when control-channel faults are enabled.
+//
+//dardsnap:fields encoder=Controller.SnapshotState decoder=Controller.restoreMonitor
 type monitor struct {
-	ctl            *Controller
-	srcHost        topology.NodeID
-	srcToR, dstToR topology.NodeID
+	ctl            *Controller     //dardlint:snapfield backlink to the owning controller, wired by newMonitor
+	srcHost        topology.NodeID //dardlint:snapfield identity comes from the enclosing host record; restore hands it to newMonitor
+	srcToR, dstToR topology.NodeID //dardlint:snapfield srcToR is the host's ToR, re-derived from topology (dstToR is serialized)
 	// ps is the pair's implicit path set; the monitor stores this small
 	// handle instead of materialized paths.
+	//dardlint:snapfield pure function of the topology; newMonitor recomputes the implicit path set
 	ps topology.PathSet
 	// flows holds the host's elephant flows towards dstToR, by flow ID.
 	flows map[int]*flowsim.Flow
@@ -38,15 +41,15 @@ type monitor struct {
 	coll *Collector
 	// fv and linkBuf are scratch reused across query ticks and
 	// scheduling rounds.
-	fv      []int
-	linkBuf []topology.LinkID
+	fv      []int             //dardlint:snapfield scratch, overwritten before every use
+	linkBuf []topology.LinkID //dardlint:snapfield scratch, overwritten before every use
 
 	// serial is the monitor's run-unique identity, carried by its query
 	// timers in checkpoints. Issued by Controller.monitorSeq; overwritten
 	// from the snapshot on restore.
 	serial int64
 
-	released bool
+	released bool //dardlint:snapfield released monitors are dropped from the host map and never serialized; a restored monitor is live by construction
 }
 
 func newMonitor(s *flowsim.Sim, c *Controller, srcHost, srcToR, dstToR topology.NodeID) *monitor {

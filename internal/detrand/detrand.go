@@ -17,6 +17,8 @@ package detrand
 import "math/rand"
 
 // Source is a splitmix64 stream. It implements math/rand.Source64.
+//
+//dardsnap:fields encoder=Source.State decoder=Source.SetState
 type Source struct {
 	state uint64
 }

@@ -40,8 +40,10 @@ type SnapshotArrivalSource interface {
 
 // sliceSource adapts the classic Config.Flows list. Its checkpoint
 // state is just the consumption index.
+//
+//dardsnap:fields encoder=sliceSource.SnapshotState decoder=sliceSource.RestoreState
 type sliceSource struct {
-	flows []workload.Flow
+	flows []workload.Flow //dardlint:snapfield the list is Config.Flows — configuration, not state; only the cursor moves
 	pos   int
 }
 

@@ -95,11 +95,20 @@ func (c Config) intraWorkers() int {
 
 // Sim is one simulation run. Controllers receive it in their callbacks to
 // inspect state, reroute flows, and schedule timers.
+//
+// The directive below registers Sim with the snapfield analyzer: every
+// field must be referenced by the snapshot encoder or restore decoder
+// (directly or through their callees), or carry a justified
+// //dardlint:snapfield suppression explaining why a checkpoint can
+// omit it. Adding a field without deciding its checkpoint story is a
+// build error in CI, not a silent restore divergence.
+//
+//dardsnap:fields encoder=Sim.Snapshot decoder=Sim.restore
 type Sim struct {
 	cfg Config
-	net topology.Network
+	net topology.Network //dardlint:snapfield topology is configuration, not state; restore re-derives it from the run's Config
 	g   *topology.Graph
-	rng *rand.Rand
+	rng *rand.Rand //dardlint:snapfield New rebuilds it around rngSrc; the stream position is rngSrc's draw count
 
 	// rngSrc is the raw source under rng. It counts draws so a
 	// checkpoint can record the stream position and restore replays to
@@ -112,13 +121,13 @@ type Sim struct {
 	// an open-ended run grows the population: a full chunk is never
 	// reallocated, only new chunks are appended.
 	slabs     [][]Flow
-	flows     []*Flow // by workload flow ID; nil until arrival
+	flows     []*Flow //dardlint:snapfield by-workload-ID index into slabs (nil until arrival); restore rebuilds it flow by flow
 	active    []*Flow
 	arrivals  ArrivalSource
 	sliceSrc  *sliceSource // non-nil when arrivals wraps Config.Flows
 	arrived   int          // flows consumed from the source == next expected ID
 	timers    timerHeap
-	timerFree []*timer // recycled timer events (After allocates from here)
+	timerFree []*timer //dardlint:snapfield recycled timer events (After allocates from here); an empty free list after restore only costs allocations
 	timerSeq  int64
 
 	// started latches the one-time Run setup (link-event timers,
@@ -130,14 +139,14 @@ type Sim struct {
 	// pauseAt pauses the run once events reaches it (-1 disabled); the
 	// deterministic checkpoint trigger. pauseReq is its asynchronous
 	// sibling, settable from any goroutine.
-	pauseAt  int64
-	pauseReq atomic.Bool
+	pauseAt  int64       //dardlint:snapfield run-control knob, not simulation state; the resuming caller re-arms it
+	pauseReq atomic.Bool //dardlint:snapfield asynchronous pause request; a pending pause is moot once the run is parked
 
-	ratesDirty bool
+	ratesDirty bool //dardlint:snapfield snapshots are taken at a freshly recomputed boundary, so false on both sides by construction
 
-	eleCounts    []int
-	eleVersion   uint64
-	stateVersion uint64
+	eleCounts    []int  //dardlint:snapfield version-tagged cache; a stale eleVersion after restore forces the rebuild
+	eleVersion   uint64 //dardlint:snapfield cache tag for eleCounts; restore leaves it stale on purpose
+	stateVersion uint64 //dardlint:snapfield monotonic invalidation counter; only its inequality to eleVersion is observable
 
 	controlBytes  float64
 	curElephants  int
@@ -145,8 +154,8 @@ type Sim struct {
 
 	linkDown []bool
 
-	tracer     trace.Tracer // never nil (Nop when tracing is off)
-	probeEvery float64      // 0 when probing is off
+	tracer     trace.Tracer //dardlint:snapfield never nil (Nop when tracing is off); the restored run injects its own sink
+	probeEvery float64      //dardlint:snapfield mirror of Config.ProbeInterval (0 when probing is off); set by New
 	nextProbe  float64
 
 	// Struct-of-arrays flow state, indexed by workload flow ID. The
@@ -157,48 +166,48 @@ type Sim struct {
 	remaining []float64 // unsent bits, exact as of syncAt
 	syncAt    []float64 // time remaining was last materialized
 	finishAt  []float64 // projected completion; +Inf while rate <= 0
-	newRate   []float64 // recompute scratch: tentative rate (<0 = unfrozen)
-	seen      []uint64  // recompute-epoch marker for the component BFS
-	activeIdx []int32   // index in Sim.active; -1 once departed
-	heapIdx   []int32   // position in the completion heap; -1 when absent
+	newRate   []float64 //dardlint:snapfield recompute scratch: tentative rate (<0 = unfrozen), dead between recomputes
+	seen      []uint64  //dardlint:snapfield recompute-epoch marker for the component BFS; an epoch bump invalidates it wholesale
+	activeIdx []int32   //dardlint:snapfield index in Sim.active (-1 once departed); restore's re-attach replay rebuilds it
+	heapIdx   []int32   //dardlint:snapfield position in the completion heap (-1 when absent); re-heapify assigns it
 
 	// Incremental engine state (maxmin.go): per-link flow-membership
 	// lists maintained on arrival/departure/path-switch, the dirty-link
 	// seeds accumulated since the last recompute, the component-BFS
 	// epoch marks, the component spans of the current recompute, and the
 	// two indexed heaps.
-	linkFlows  [][]int32
-	dirtyLinks []topology.LinkID
-	linkDirty  []bool
-	linkSeen   []uint64
-	epoch      uint64
-	compFlows  []int32
-	comps      []compSpan
-	lheap      *linkHeap
-	done       finishHeap
+	linkFlows  [][]int32         //dardlint:snapfield rebuilt by restore's canonical re-attach replay; membership order is proven immaterial
+	dirtyLinks []topology.LinkID //dardlint:snapfield drained at every snapshot boundary; empty on both sides
+	linkDirty  []bool            //dardlint:snapfield mirrors dirtyLinks and is likewise empty at a boundary
+	linkSeen   []uint64          //dardlint:snapfield recompute-epoch marks; an epoch bump invalidates them wholesale
+	epoch      uint64            //dardlint:snapfield BFS epoch counter; only equality against linkSeen/seen is observable
+	compFlows  []int32           //dardlint:snapfield recompute scratch; component spans live only within one recompute
+	comps      []compSpan        //dardlint:snapfield recompute scratch; component spans live only within one recompute
+	lheap      *linkHeap         //dardlint:snapfield re-heapified from total-order keys; internal layout is observably irrelevant
+	done       finishHeap        //dardlint:snapfield re-heapified from total-order keys; internal layout is observably irrelevant
 
 	// Intra-run worker pool (Config.IntraWorkers > 1): component fills
 	// dispatch here during Run; each slot owns one bottleneck heap so
 	// concurrent fills never share mutable heap state. Nil while serial
 	// and outside Run.
-	pool       *parallel.Pool
-	slotHeaps  []*linkHeap
-	intraStats IntraStats
+	pool       *parallel.Pool //dardlint:snapfield live only inside Run; a restored run starts its own pool
+	slotHeaps  []*linkHeap    //dardlint:snapfield per-worker scratch heaps owned by the pool's lifetime
+	intraStats IntraStats     //dardlint:snapfield observability counters for the worker pool, not simulation state
 
 	// Progressive-filling accumulators, shared by both schedulers.
 	// Disjoint components touch disjoint links, so concurrent component
 	// fills may share these arrays without synchronization.
-	residual []float64
-	unfrozen []int
-	linkUsed []topology.LinkID // links of the current recompute (doubles as the BFS queue)
+	residual []float64         //dardlint:snapfield progressive-filling scratch, overwritten at the start of every fill
+	unfrozen []int             //dardlint:snapfield progressive-filling scratch, overwritten at the start of every fill
+	linkUsed []topology.LinkID //dardlint:snapfield links of the current recompute (doubles as the BFS queue); scratch
 
 	// Reference-engine scratch (reference.go): membership lists rebuilt
 	// from scratch on every recompute, stamped per round.
-	refFlows [][]int32
-	refStamp []uint64
-	stamp    uint64
+	refFlows [][]int32 //dardlint:snapfield reference-engine scratch, rebuilt from scratch on every recompute
+	refStamp []uint64  //dardlint:snapfield reference-engine scratch, rebuilt from scratch on every recompute
+	stamp    uint64    //dardlint:snapfield reference-engine round stamp; only per-round equality is observable
 
-	loadScratch []float64 // probe() per-link load buffer
+	loadScratch []float64 //dardlint:snapfield probe() per-link load buffer, overwritten before every use
 }
 
 // New validates the configuration and prepares a run.

@@ -112,8 +112,10 @@ type SnapshotController interface {
 // fresh source. Keeping the stock generator (rather than swapping in a
 // directly serializable one) preserves every historical run bit for
 // bit.
+//
+//dardsnap:fields encoder=Sim.Snapshot decoder=Sim.restore
 type countedSource struct {
-	src   rand.Source64
+	src   rand.Source64 //dardlint:snapfield the stream is a pure function of (seed, draws); restore replays a fresh source
 	draws uint64
 }
 

@@ -1,0 +1,230 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ctxflowPackages names the packages held to the goroutine/context
+// hygiene rule: the serving layer, the worker-pool plumbing, the
+// session facade (package dard at the module root), and the daemon
+// binaries (package main). Matching is by package name, like the
+// wallclock scoping. Simulation code outside these packages is
+// single-threaded by construction and not in scope.
+var ctxflowPackages = map[string]bool{
+	"serve": true, "parallel": true, "dard": true, "main": true,
+}
+
+// CtxFlow closes the goroutine-leak class the daemon's drain path is
+// exposed to: in serving and pool code, every spawned goroutine must be
+// tied to a tracked lifecycle, and every blocking wait must be
+// cancellable. Concretely:
+//
+//   - a `go` statement must hand the goroutine a context argument, or
+//     start a closure that observes a context, participates in a
+//     sync.WaitGroup, drains a channel with a close-terminated range
+//     loop, or blocks only in selects that have a cancellation case;
+//   - a `select` must carry a cancellation case: a default, a
+//     ctx.Done() receive, or a receive from a done/stop/quit channel;
+//   - a bare blocking receive (outside any select) must read from a
+//     cancellation channel; anything else can wedge a worker forever.
+//
+// A site whose lifecycle is tracked by other means (a buffered
+// handshake that provably cannot block, a slot token return) carries a
+// //dardlint:ctxflow justification.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "in serving/pool packages, tie every goroutine to a tracked lifecycle and " +
+		"make every blocking receive or select cancellable",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	if !ctxflowPackages[pass.Pkg.Name()] {
+		return
+	}
+	for _, f := range pass.Files {
+		inSelect := selectReceives(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.GoStmt:
+				checkGoStmt(pass, v)
+			case *ast.SelectStmt:
+				if !selectCancellable(pass, v) {
+					pass.Reportf(v.Pos(),
+						"select has no cancellation case (default, ctx.Done, or a done/stop channel); a wedged peer blocks this goroutine forever — add one or justify with //dardlint:ctxflow")
+				}
+			case *ast.UnaryExpr:
+				if v.Op == token.ARROW && !inSelect[v] && !cancelChanExpr(pass, v.X) {
+					pass.Reportf(v.Pos(),
+						"blocking channel receive outside a select; wrap it in a select with a cancellation case or justify with //dardlint:ctxflow")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// selectReceives collects the receive expressions that appear as select
+// communication clauses — those block under the select's own
+// cancellation discipline and are judged by selectCancellable instead.
+func selectReceives(f *ast.File) map[*ast.UnaryExpr]bool {
+	out := make(map[*ast.UnaryExpr]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, cl := range sel.Body.List {
+			comm, ok := cl.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			switch st := comm.Comm.(type) {
+			case *ast.ExprStmt:
+				if ue, ok := st.X.(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+					out[ue] = true
+				}
+			case *ast.AssignStmt:
+				for _, r := range st.Rhs {
+					if ue, ok := r.(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+						out[ue] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func checkGoStmt(pass *Pass, g *ast.GoStmt) {
+	for _, a := range g.Call.Args {
+		if isContextType(pass.TypeOf(a)) {
+			return // the goroutine's work is bounded by the context
+		}
+	}
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok && goroutineTracked(pass, lit) {
+		return
+	}
+	pass.Reportf(g.Pos(),
+		"goroutine has no tracked lifecycle (no context argument, WaitGroup, close-terminated range, or cancellable select in its body); tie it to a runner or pool, or justify with //dardlint:ctxflow")
+}
+
+// goroutineTracked reports whether a goroutine closure's body ties it
+// to a lifecycle the owner can drain: a captured context, WaitGroup
+// participation, a close-terminated channel range, or a select with a
+// cancellation case.
+func goroutineTracked(pass *Pass, lit *ast.FuncLit) bool {
+	tracked := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if tracked {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.Ident:
+			if t := pass.TypeOf(v); isContextType(t) || isWaitGroupType(t) {
+				tracked = true
+			}
+		case *ast.RangeStmt:
+			if isChanType(pass.TypeOf(v.X)) {
+				tracked = true
+			}
+		case *ast.SelectStmt:
+			if selectCancellable(pass, v) {
+				tracked = true
+			}
+		}
+		return !tracked
+	})
+	return tracked
+}
+
+// selectCancellable reports whether a select can always make progress:
+// it has a default, or some case receives from a cancellation channel.
+func selectCancellable(pass *Pass, sel *ast.SelectStmt) bool {
+	for _, cl := range sel.Body.List {
+		comm, ok := cl.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if comm.Comm == nil {
+			return true // default clause
+		}
+		var ch ast.Expr
+		switch st := comm.Comm.(type) {
+		case *ast.ExprStmt:
+			if ue, ok := st.X.(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+				ch = ue.X
+			}
+		case *ast.AssignStmt:
+			if len(st.Rhs) == 1 {
+				if ue, ok := st.Rhs[0].(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+					ch = ue.X
+				}
+			}
+		}
+		if ch != nil && cancelChanExpr(pass, ch) {
+			return true
+		}
+	}
+	return false
+}
+
+// cancelChanExpr recognizes cancellation channels: ctx.Done() (any
+// Done() call), or a channel whose name says it exists to stop things.
+func cancelChanExpr(pass *Pass, ch ast.Expr) bool {
+	switch v := ch.(type) {
+	case *ast.ParenExpr:
+		return cancelChanExpr(pass, v.X)
+	case *ast.CallExpr:
+		if sel, ok := v.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+			return true
+		}
+	case *ast.Ident:
+		return cancelChanName(v.Name)
+	case *ast.SelectorExpr:
+		return cancelChanName(v.Sel.Name)
+	}
+	return false
+}
+
+func cancelChanName(name string) bool {
+	name = strings.ToLower(name)
+	for _, w := range []string{"done", "stop", "quit", "cancel", "closed", "exit"} {
+		if strings.Contains(name, w) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	return isNamedType(t, "context", "Context")
+}
+
+func isWaitGroupType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return isNamedType(t, "sync", "WaitGroup")
+}
+
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+func isNamedType(t types.Type, path, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == path && obj.Name() == name
+}

@@ -1,13 +1,29 @@
 // Package lint is a small, dependency-free static-analysis framework
-// plus the four DARD-specific analyzers that machine-check the
+// plus the eight DARD-specific analyzers that machine-check the
 // simulator's determinism invariants (see DESIGN.md "Determinism
 // rules"). The headline equivalence tests — serial==parallel,
-// traced==untraced, incremental==reference — all assume that no
-// simulation code reads wall-clock time, draws from unseeded
-// randomness, leaks map-iteration order into outputs, or compares
-// floats for identity outside the canonical tie-break sites. Those
-// assumptions used to be enforced only probabilistically, by byte-diff
-// tests; this package enforces them at the syntax/type level.
+// traced==untraced, incremental==reference, checkpointed==uninterrupted
+// — all assume that no simulation code reads wall-clock time, draws
+// from unseeded randomness, leaks map-iteration or channel-completion
+// order into outputs, compares floats for identity outside the
+// canonical tie-break sites, drops snapshot fields, retains
+// caller-owned scratch buffers, or leaks goroutines past their
+// lifecycle. Those assumptions used to be enforced only
+// probabilistically, by byte-diff tests that fire after a regression
+// ships; this package rejects the patterns at the syntax/type level.
+//
+// The first four analyzers (wallclock, maporder, floateq, seedflow)
+// are syntactic; the second four are state-aware, leaning on go/types
+// information and a package-local call graph:
+//
+//   - snapfield: field-coverage of //dardsnap-registered snapshot
+//     structs (snapfield.go);
+//   - scratchalias: escape analysis of append-into-caller-buffer
+//     functions (scratchalias.go);
+//   - ctxflow: goroutine/context hygiene in serving and pool packages
+//     (ctxflow.go);
+//   - mergeorder: completion-order channel drains feeding
+//     order-sensitive merges (mergeorder.go).
 //
 // The framework mirrors golang.org/x/tools/go/analysis (Analyzer, Pass,
 // Reportf) so analyzers could be ported to the real multichecker if the
@@ -20,9 +36,9 @@
 //
 // on the flagged line or on the line immediately above it, where KEY is
 // the analyzer's suppression key (wallclock, ordered, floateq,
-// seedflow). A suppression comment with an empty justification is
-// itself a diagnostic: every exception in the tree must say why it is
-// safe.
+// seedflow, snapfield, scratchalias, ctxflow, mergeorder). A
+// suppression comment with an empty justification is itself a
+// diagnostic: every exception in the tree must say why it is safe.
 package lint
 
 import (
@@ -57,7 +73,10 @@ func (a *Analyzer) suppressKey() string {
 
 // All returns the full DARD analyzer suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Wallclock, MapOrder, FloatEq, SeedFlow}
+	return []*Analyzer{
+		Wallclock, MapOrder, MergeOrder, FloatEq, SeedFlow,
+		Snapfield, ScratchAlias, CtxFlow,
+	}
 }
 
 // A Pass carries one type-checked package through one analyzer.
@@ -83,6 +102,9 @@ type Diagnostic struct {
 	// Suppressed findings are kept (tests assert on them) but excluded
 	// from Unsuppressed().
 	Suppressed bool
+	// Justification carries the suppressing comment's one-line
+	// rationale when Suppressed is set, for the -suppressed audit.
+	Justification string
 }
 
 func (d Diagnostic) String() string {
@@ -138,10 +160,22 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		a.Run(pass)
 		key := a.suppressKey()
 		for _, d := range pass.diags {
-			for _, s := range sups[d.Pos.Filename] {
-				if s.key == key && (s.line == d.Pos.Line || s.line == d.Pos.Line-1) {
-					d.Suppressed = true
-					s.used = true
+			// Same-line comments take priority over line-above ones:
+			// with per-field trailing suppressions (struct registries),
+			// line N's comment must not swallow line N+1's finding and
+			// leave N+1's own suppression looking unused.
+			for _, wantLine := range []int{d.Pos.Line, d.Pos.Line - 1} {
+				matched := false
+				for _, s := range sups[d.Pos.Filename] {
+					if s.key == key && s.line == wantLine {
+						d.Suppressed = true
+						d.Justification = s.justification
+						s.used = true
+						matched = true
+						break
+					}
+				}
+				if matched {
 					break
 				}
 			}

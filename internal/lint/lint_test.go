@@ -25,13 +25,73 @@ func TestFloatEqFixtures(t *testing.T) {
 
 // The component-merge fixture pins the determinism hazard the
 // intra-run parallel engine avoids: merging per-component recompute
-// results via map iteration instead of stable partition order.
+// results via map iteration instead of stable partition order. Both
+// order analyzers run together: map merges are maporder's, channel
+// drains are mergeorder's, and the fixture holds both shapes.
 func TestCompMergeFixtures(t *testing.T) {
-	linttest.Run(t, "testdata/src/compmerge", lint.MapOrder)
+	linttest.Run(t, "testdata/src/compmerge", lint.MapOrder, lint.MergeOrder)
+}
+
+func TestMergeOrderFixtures(t *testing.T) {
+	linttest.Run(t, "testdata/src/mergeorder", lint.MergeOrder)
 }
 
 func TestSeedFlowFixtures(t *testing.T) {
 	linttest.Run(t, "testdata/src/seedflow", lint.SeedFlow)
+}
+
+func TestSnapfieldFixtures(t *testing.T) {
+	linttest.Run(t, "testdata/src/snapfield", lint.Snapfield)
+}
+
+// TestSnapfieldDirectiveErrors covers the diagnostics snapfield raises
+// about the //dardsnap: directives themselves. These cannot use // want
+// comments: a want comment after a //dardsnap directive would be
+// swallowed into the directive's own comment text, so the fixture is
+// asserted programmatically.
+func TestSnapfieldDirectiveErrors(t *testing.T) {
+	loader, err := lint.NewLoader("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := filepath.Abs("testdata/src/snapfieldbad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.RunAnalyzers(pkg, []*lint.Analyzer{lint.Snapfield})
+
+	wantMessages := []string{
+		`names encoder "blob.missing", which is not a function or method`,
+		`names decoder "blob.missing", which is not a function or method`,
+		"is not a struct type",
+		"not attached to a struct type declaration",
+		"malformed //dardsnap directive",
+	}
+	for _, want := range wantMessages {
+		found := false
+		for _, d := range diags {
+			if !d.Suppressed && strings.Contains(d.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("expected a snapfield directive diagnostic containing %q, got:\n%s", want, render(diags))
+		}
+	}
+}
+
+func TestScratchAliasFixtures(t *testing.T) {
+	linttest.Run(t, "testdata/src/scratchalias", lint.ScratchAlias)
+}
+
+func TestCtxFlowFixtures(t *testing.T) {
+	linttest.Run(t, "testdata/src/ctxflow/servepkg", lint.CtxFlow)
+	linttest.Run(t, "testdata/src/ctxflow/nonserve", lint.CtxFlow)
 }
 
 // TestSuppressionHygiene asserts the framework's own diagnostics:

@@ -2,7 +2,6 @@ package lint
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
 )
 
@@ -31,22 +30,15 @@ import (
 // Pure per-key effects (writing m2[k], integer counters, existence
 // checks) are commutative and stay legal. A site whose order is
 // genuinely harmless can carry `//dardlint:ordered <why>`.
+//
+// The effect walk itself is shared with mergeorder (orderleak.go),
+// which applies the same taxonomy to completion-order channel drains.
 var MapOrder = &Analyzer{
 	Name:        "maporder",
 	SuppressKey: "ordered",
 	Doc: "flag range-over-map whose body leaks iteration order " +
 		"(append/send/FP-accumulate/emit/return) unless keys are sorted or the site is justified",
 	Run: runMapOrder,
-}
-
-// emitNames are method/function names treated as order-observing sinks.
-var emitNames = map[string]bool{
-	"Emit": true, "Record": true, "At": true, "Schedule": true,
-	"Print": true, "Printf": true, "Println": true,
-	"Fprint": true, "Fprintf": true, "Fprintln": true,
-	"Sprintf": false, // pure: builds a value, observes nothing
-	"Write":   true, "WriteString": true, "WriteByte": true, "WriteRune": true,
-	"Encode": true, "Error": true, "Fatal": true, "Fatalf": true,
 }
 
 func runMapOrder(pass *Pass) {
@@ -88,7 +80,13 @@ func checkMapRanges(pass *Pass, n ast.Node, fnBody *ast.BlockStmt) {
 		if _, isMap := t.Underlying().(*types.Map); !isMap {
 			return true
 		}
-		if effect := orderSensitiveEffect(pass, rs, fnBody); effect != "" {
+		sc := loopScope{
+			loop: rs,
+			body: rs.Body,
+			vars: rangeVarObjects(pass, rs),
+			keys: rangeKeyObject(pass, rs),
+		}
+		if effect := orderLeak(pass, sc, fnBody); effect != "" {
 			pass.Reportf(rs.Pos(),
 				"map iteration order reaches an order-sensitive effect (%s); sort the keys first or justify with //dardlint:ordered",
 				effect)
@@ -97,234 +95,15 @@ func checkMapRanges(pass *Pass, n ast.Node, fnBody *ast.BlockStmt) {
 	})
 }
 
-// orderSensitiveEffect reports the first order-leaking effect found in
-// the loop body, or "" when every effect is commutative.
-func orderSensitiveEffect(pass *Pass, rs *ast.RangeStmt, fnBody *ast.BlockStmt) string {
-	loopVars := rangeVarObjects(pass, rs)
-	var effect string
-	ast.Inspect(rs.Body, func(n ast.Node) bool {
-		if effect != "" {
-			return false
-		}
-		if _, ok := n.(*ast.FuncLit); ok {
-			return false // its body is checked as its own function
-		}
-		switch st := n.(type) {
-		case *ast.SendStmt:
-			effect = "channel send"
-		case *ast.AssignStmt:
-			effect = assignEffect(pass, st, rs, fnBody, loopVars)
-		case *ast.CallExpr:
-			if name, ok := emitCallName(pass, st); ok {
-				effect = "call to " + name
-			}
-		case *ast.ReturnStmt:
-			for _, res := range st.Results {
-				if referencesAny(pass, res, loopVars) {
-					effect = "return of a value picked by iteration order"
-					break
-				}
-			}
-		}
-		return true
-	})
-	return effect
-}
-
-// assignEffect classifies one assignment inside a map-range body.
-func assignEffect(pass *Pass, st *ast.AssignStmt, rs *ast.RangeStmt, fnBody *ast.BlockStmt, loopVars map[types.Object]bool) string {
-	switch st.Tok {
-	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
-		lhs := st.Lhs[0]
-		if !isFloat(pass.TypeOf(lhs)) {
-			return ""
-		}
-		if obj := rootObject(pass, lhs); obj != nil && declaredOutside(obj, rs) {
-			return "floating-point accumulation into " + obj.Name() + " (FP addition is order-dependent)"
-		}
-	case token.ASSIGN:
-		for i, lhs := range st.Lhs {
-			if i >= len(st.Rhs) {
-				break
-			}
-			rhs := st.Rhs[i]
-			obj := rootObject(pass, lhs)
-			if obj == nil || !declaredOutside(obj, rs) {
-				continue
-			}
-			if call, ok := rhs.(*ast.CallExpr); ok && isBuiltin(pass, call.Fun, "append") {
-				if !sortedAfter(pass, obj, rs, fnBody) {
-					return "append to " + obj.Name() + " (not sorted afterwards)"
-				}
-				continue
-			}
-			if keyedByRangeKey(pass, lhs, rs) {
-				continue // per-key write: each iteration owns its slot
-			}
-			if referencesAny(pass, rhs, loopVars) {
-				return "assignment of a loop-dependent value to " + obj.Name() + " (last writer wins, in arbitrary order)"
-			}
-		}
-	}
-	return ""
-}
-
-// keyedByRangeKey reports whether lvalue lhs contains an index
-// expression whose index mentions the range statement's key variable —
-// out[k] or state[k].field — which makes the write per-key and hence
-// order-free. Indexing by the range VALUE does not qualify: values are
-// not unique per iteration, so two iterations can race for one slot.
-func keyedByRangeKey(pass *Pass, lhs ast.Expr, rs *ast.RangeStmt) bool {
-	keyID, ok := rs.Key.(*ast.Ident)
-	if !ok || keyID.Name == "_" {
-		return false
-	}
-	keyObj := pass.Info.ObjectOf(keyID)
-	if keyObj == nil {
-		return false
-	}
-	keySet := map[types.Object]bool{keyObj: true}
-	for {
-		switch v := lhs.(type) {
-		case *ast.IndexExpr:
-			if referencesAny(pass, v.Index, keySet) {
-				return true
-			}
-			lhs = v.X
-		case *ast.SelectorExpr:
-			lhs = v.X
-		case *ast.StarExpr:
-			lhs = v.X
-		case *ast.ParenExpr:
-			lhs = v.X
-		default:
-			return false
-		}
-	}
-}
-
-// emitCallName reports whether call targets an order-observing sink,
-// returning a printable name for the diagnostic.
-func emitCallName(pass *Pass, call *ast.CallExpr) (string, bool) {
-	var sel *ast.SelectorExpr
-	switch fun := call.Fun.(type) {
-	case *ast.SelectorExpr:
-		sel = fun
-	default:
-		return "", false
-	}
-	obj := pass.Info.Uses[sel.Sel]
-	fn, ok := obj.(*types.Func)
-	if !ok || !emitNames[fn.Name()] {
-		return "", false
-	}
-	// Qualify with the receiver or package for a readable message.
-	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
-		return types.TypeString(recv.Type(), types.RelativeTo(pass.Pkg)) + "." + fn.Name(), true
-	}
-	if fn.Pkg() != nil {
-		return fn.Pkg().Name() + "." + fn.Name(), true
-	}
-	return fn.Name(), true
-}
-
-// sortedAfter reports whether obj (a slice collected inside the loop)
-// is passed to a sort/slices call after the loop in the same function —
-// the collect-then-sort idiom that makes the collection order moot.
-func sortedAfter(pass *Pass, obj types.Object, rs *ast.RangeStmt, fnBody *ast.BlockStmt) bool {
-	found := false
-	ast.Inspect(fnBody, func(n ast.Node) bool {
-		if found {
-			return false
-		}
-		call, ok := n.(*ast.CallExpr)
-		if !ok || call.Pos() < rs.End() || len(call.Args) == 0 {
-			return true
-		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
-		if !ok || fn.Pkg() == nil {
-			return true
-		}
-		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
-			return true
-		}
-		if referencesAny(pass, call.Args[0], map[types.Object]bool{obj: true}) {
-			found = true
-		}
-		return !found
-	})
-	return found
-}
-
-func rangeVarObjects(pass *Pass, rs *ast.RangeStmt) map[types.Object]bool {
-	out := make(map[types.Object]bool)
-	for _, e := range []ast.Expr{rs.Key, rs.Value} {
-		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
-			if obj := pass.Info.ObjectOf(id); obj != nil {
-				out[obj] = true
-			}
+// rangeKeyObject returns the range statement's key variable as a
+// singleton set (or an empty set for `for _, v := range m`). Only the
+// key is unique per iteration, so only key-indexed writes are per-slot.
+func rangeKeyObject(pass *Pass, rs *ast.RangeStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool, 1)
+	if id, ok := rs.Key.(*ast.Ident); ok && id.Name != "_" {
+		if obj := pass.Info.ObjectOf(id); obj != nil {
+			out[obj] = true
 		}
 	}
 	return out
-}
-
-func referencesAny(pass *Pass, e ast.Expr, objs map[types.Object]bool) bool {
-	found := false
-	ast.Inspect(e, func(n ast.Node) bool {
-		if id, ok := n.(*ast.Ident); ok {
-			if obj := pass.Info.ObjectOf(id); obj != nil && objs[obj] {
-				found = true
-			}
-		}
-		return !found
-	})
-	return found
-}
-
-// rootObject resolves the base variable of an lvalue: x, x.f, x[i].f
-// all root at x.
-func rootObject(pass *Pass, e ast.Expr) types.Object {
-	for {
-		switch v := e.(type) {
-		case *ast.Ident:
-			return pass.Info.ObjectOf(v)
-		case *ast.SelectorExpr:
-			e = v.X
-		case *ast.IndexExpr:
-			e = v.X
-		case *ast.StarExpr:
-			e = v.X
-		case *ast.ParenExpr:
-			e = v.X
-		default:
-			return nil
-		}
-	}
-}
-
-// declaredOutside reports whether obj's declaration lies outside the
-// range statement (loop-local temporaries cannot leak order).
-func declaredOutside(obj types.Object, rs *ast.RangeStmt) bool {
-	return obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
-}
-
-func isFloat(t types.Type) bool {
-	if t == nil {
-		return false
-	}
-	b, ok := t.Underlying().(*types.Basic)
-	return ok && b.Info()&types.IsFloat != 0
-}
-
-func isBuiltin(pass *Pass, fun ast.Expr, name string) bool {
-	id, ok := fun.(*ast.Ident)
-	if !ok || id.Name != name {
-		return false
-	}
-	_, isBuiltin := pass.Info.ObjectOf(id).(*types.Builtin)
-	return isBuiltin
 }

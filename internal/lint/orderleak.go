@@ -1,0 +1,347 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file holds the order-leak detection shared by maporder (range
+// over a map: iteration order is randomized per run) and mergeorder
+// (draining per-worker results from a channel: delivery order is
+// completion order). Both walk a loop body for effects through which
+// the nondeterministic visit order reaches the outside world.
+
+// loopScope describes one order-hazardous loop for orderLeak.
+type loopScope struct {
+	// loop is the range/for statement; its position bounds decide what
+	// "declared outside the loop" and "sorted after the loop" mean.
+	loop ast.Node
+	body *ast.BlockStmt
+	// vars are the iteration variables: range key/value, or the
+	// variables a receive assigns. Values derived from them are
+	// loop-dependent.
+	vars map[types.Object]bool
+	// keys are the vars whose appearance in an index expression makes a
+	// write per-slot and hence order-free (out[k] = v). For map ranges
+	// that is the range key (unique per iteration); for channel drains
+	// it is the received message, whose slot field is the worker's own.
+	keys map[types.Object]bool
+	// recvDependent treats receive expressions themselves (<-ch) as
+	// loop-dependent values: what a receive yields depends on arrival
+	// order.
+	recvDependent bool
+	// orderedIteration marks loops that visit iterations in a
+	// deterministic order (a plain counted for loop). There only
+	// receive-derived values are hazardous; loop-invariant effects
+	// happen in program order.
+	orderedIteration bool
+}
+
+// dependent reports whether e's value depends on the loop's
+// nondeterministic visit/arrival order.
+func (sc loopScope) dependent(pass *Pass, e ast.Expr) bool {
+	if referencesAny(pass, e, sc.vars) {
+		return true
+	}
+	return sc.recvDependent && containsReceive(e)
+}
+
+// orderLeak reports the first order-leaking effect found in the loop
+// body, or "" when every effect is commutative. fnBody is the innermost
+// enclosing function body, the scope searched for a sort-after-collect
+// call.
+func orderLeak(pass *Pass, sc loopScope, fnBody *ast.BlockStmt) string {
+	var effect string
+	ast.Inspect(sc.body, func(n ast.Node) bool {
+		if effect != "" {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // its body is checked as its own function
+		}
+		switch st := n.(type) {
+		case *ast.SendStmt:
+			if !sc.orderedIteration || sc.dependent(pass, st.Value) {
+				effect = "channel send"
+			}
+		case *ast.AssignStmt:
+			effect = assignEffect(pass, st, sc, fnBody)
+		case *ast.CallExpr:
+			if name, ok := emitCallName(pass, st); ok {
+				if !sc.orderedIteration || anyDependentArg(pass, st.Args, sc) {
+					effect = "call to " + name
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range st.Results {
+				if sc.dependent(pass, res) {
+					effect = "return of a value picked by iteration order"
+					break
+				}
+			}
+		}
+		return true
+	})
+	return effect
+}
+
+// assignEffect classifies one assignment inside the loop body.
+func assignEffect(pass *Pass, st *ast.AssignStmt, sc loopScope, fnBody *ast.BlockStmt) string {
+	switch st.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		lhs := st.Lhs[0]
+		if !isFloat(pass.TypeOf(lhs)) {
+			return ""
+		}
+		if sc.orderedIteration && len(st.Rhs) == 1 && !sc.dependent(pass, st.Rhs[0]) {
+			return "" // accumulating loop-invariant values in program order
+		}
+		if obj := rootObject(pass, lhs); obj != nil && declaredOutside(obj, sc.loop) {
+			return "floating-point accumulation into " + obj.Name() + " (FP addition is order-dependent)"
+		}
+	case token.ASSIGN:
+		for i, lhs := range st.Lhs {
+			if i >= len(st.Rhs) {
+				break
+			}
+			rhs := st.Rhs[i]
+			obj := rootObject(pass, lhs)
+			if obj == nil || !declaredOutside(obj, sc.loop) {
+				continue
+			}
+			if call, ok := rhs.(*ast.CallExpr); ok && isBuiltin(pass, call.Fun, "append") {
+				if sc.orderedIteration && !anyDependentArg(pass, call.Args[1:], sc) {
+					continue // appending order-independent values in program order
+				}
+				if !sortedAfter(pass, obj, sc.loop, fnBody) {
+					return "append to " + obj.Name() + " (not sorted afterwards)"
+				}
+				continue
+			}
+			if keyedByLoopKey(pass, lhs, sc.keys) {
+				continue // per-key/per-slot write: each iteration owns its slot
+			}
+			if sc.dependent(pass, rhs) {
+				return "assignment of a loop-dependent value to " + obj.Name() + " (last writer wins, in arbitrary order)"
+			}
+		}
+	}
+	return ""
+}
+
+func anyDependentArg(pass *Pass, args []ast.Expr, sc loopScope) bool {
+	for _, a := range args {
+		if sc.dependent(pass, a) {
+			return true
+		}
+	}
+	return false
+}
+
+// keyedByLoopKey reports whether lvalue lhs contains an index
+// expression whose index mentions one of the loop's key variables —
+// out[k] or state[k].field — which makes the write per-key and hence
+// order-free. Indexing by the range VALUE does not qualify for map
+// ranges: values are not unique per iteration, so two iterations can
+// race for one slot.
+func keyedByLoopKey(pass *Pass, lhs ast.Expr, keys map[types.Object]bool) bool {
+	if len(keys) == 0 {
+		return false
+	}
+	for {
+		switch v := lhs.(type) {
+		case *ast.IndexExpr:
+			if referencesAny(pass, v.Index, keys) {
+				return true
+			}
+			lhs = v.X
+		case *ast.SelectorExpr:
+			lhs = v.X
+		case *ast.StarExpr:
+			lhs = v.X
+		case *ast.ParenExpr:
+			lhs = v.X
+		default:
+			return false
+		}
+	}
+}
+
+// emitNames are method/function names treated as order-observing sinks.
+var emitNames = map[string]bool{
+	"Emit": true, "Record": true, "At": true, "Schedule": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Sprintf": false, // pure: builds a value, observes nothing
+	"Write":   true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "Error": true, "Fatal": true, "Fatalf": true,
+}
+
+// emitCallName reports whether call targets an order-observing sink,
+// returning a printable name for the diagnostic.
+func emitCallName(pass *Pass, call *ast.CallExpr) (string, bool) {
+	var sel *ast.SelectorExpr
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		sel = fun
+	default:
+		return "", false
+	}
+	obj := pass.Info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || !emitNames[fn.Name()] {
+		return "", false
+	}
+	// Qualify with the receiver or package for a readable message.
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		return types.TypeString(recv.Type(), types.RelativeTo(pass.Pkg)) + "." + fn.Name(), true
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name(), true
+	}
+	return fn.Name(), true
+}
+
+// sortedAfter reports whether obj (a slice collected inside the loop)
+// is passed to a sort/slices call after the loop in the same function —
+// the collect-then-sort idiom that makes the collection order moot.
+func sortedAfter(pass *Pass, obj types.Object, loop ast.Node, fnBody *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < loop.End() || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		if referencesAny(pass, call.Args[0], map[types.Object]bool{obj: true}) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func rangeVarObjects(pass *Pass, rs *ast.RangeStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.Info.ObjectOf(id); obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// receivedVars collects the variables that channel receives assign to
+// anywhere in body (plain `r := <-ch` and select comm clauses alike).
+// Nested function literals are skipped: they are checked as their own
+// functions.
+func receivedVars(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		ue, ok := as.Rhs[0].(*ast.UnaryExpr)
+		if !ok || ue.Op != token.ARROW {
+			return true
+		}
+		for _, l := range as.Lhs {
+			if id, ok := l.(*ast.Ident); ok && id.Name != "_" {
+				if obj := pass.Info.ObjectOf(id); obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// containsReceive reports whether n contains a channel receive.
+func containsReceive(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if ue, ok := n.(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func referencesAny(pass *Pass, n ast.Node, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.Info.ObjectOf(id); obj != nil && objs[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// rootObject resolves the base variable of an lvalue: x, x.f, x[i].f
+// all root at x.
+func rootObject(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return pass.Info.ObjectOf(v)
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether obj's declaration lies outside the
+// loop statement (loop-local temporaries cannot leak order).
+func declaredOutside(obj types.Object, loop ast.Node) bool {
+	return obj.Pos() < loop.Pos() || obj.Pos() > loop.End()
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isBuiltin(pass *Pass, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isBuiltin := pass.Info.ObjectOf(id).(*types.Builtin)
+	return isBuiltin
+}

@@ -1,0 +1,339 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ScratchAlias protects the append-into-caller-buffer contract that the
+// implicit path machinery (PathSet.AppendLinks, FoldPVInto, the
+// collector and psim linkBuf scratch) and the AllocsPerRun==0 gates
+// depend on: a function that grows a caller-provided slice and hands it
+// back must not also squirrel the buffer away somewhere that outlives
+// the call. A retained alias turns the caller's reuse of its scratch
+// into silent aliasing corruption — the retained copy mutates under
+// whoever kept it — and forces defensive copies that break the
+// zero-alloc budget.
+//
+// Scope: a function is an append-into-caller-buffer function when some
+// slice parameter (or an alias of it: a reslice, an append result, or
+// the result of a call the buffer was passed through) is appended to or
+// returned. Within such a function, storing a buffer alias to a struct
+// field, a package-level variable, a channel, a map or slice element of
+// non-buffer storage, or a goroutine closure is a diagnostic. Returning
+// the buffer is the contract, not an escape, and passing it to ordinary
+// calls (sort.Slice, helper appenders) stays legal — the callee is
+// analyzed under the same rule.
+var ScratchAlias = &Analyzer{
+	Name: "scratchalias",
+	Doc: "forbid append-into-caller-buffer functions from storing the buffer to a " +
+		"field, global, channel, element, or goroutine that outlives the call",
+	Run: runScratchAlias,
+}
+
+func runScratchAlias(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkScratchFunc(pass, fd)
+		}
+	}
+}
+
+func checkScratchFunc(pass *Pass, fd *ast.FuncDecl) {
+	params := sliceParamObjects(pass, fd)
+	if len(params) == 0 {
+		return
+	}
+	aliases := bufferAliases(pass, fd.Body, params)
+	if !isBufferFunc(pass, fd.Body, aliases) {
+		return
+	}
+	flagBufferEscapes(pass, fd.Body, aliases)
+}
+
+// sliceParamObjects collects the slice-typed parameters of fd (the
+// candidate caller-owned buffers). The receiver is excluded: storing
+// into one's own fields is the owner's business.
+func sliceParamObjects(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	if fd.Type.Params == nil {
+		return out
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pass.Info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if _, ok := obj.Type().Underlying().(*types.Slice); ok {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// bufferAliases computes the fixed point of locals that may share the
+// buffer's backing array: reslices (buf[:0]), append results, and
+// results of calls the buffer was passed through (the helper-appender
+// idiom `buf = ps.AppendLinks(i, buf[:0])`). Aliases are only ever
+// added, never killed — reassigning an alias to a fresh slice keeps it
+// in the set, which over-approximates but cannot miss an escape.
+func bufferAliases(pass *Pass, body *ast.BlockStmt, params map[types.Object]bool) map[types.Object]bool {
+	aliases := make(map[types.Object]bool, len(params))
+	for p := range params {
+		aliases[p] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+				// Multi-value call: if the buffer flows in, every result
+				// may alias it (FoldPVInto returns (pv, buf, err)).
+				if aliasExpr(pass, as.Rhs[0], aliases) {
+					for _, l := range as.Lhs {
+						changed = addBufferAlias(pass, l, aliases) || changed
+					}
+				}
+				return true
+			}
+			for i, l := range as.Lhs {
+				if i < len(as.Rhs) && aliasExpr(pass, as.Rhs[i], aliases) {
+					changed = addBufferAlias(pass, l, aliases) || changed
+				}
+			}
+			return true
+		})
+	}
+	return aliases
+}
+
+func addBufferAlias(pass *Pass, lhs ast.Expr, aliases map[types.Object]bool) bool {
+	id, ok := lhs.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return false
+	}
+	obj := pass.Info.ObjectOf(id)
+	if obj == nil || aliases[obj] {
+		return false
+	}
+	if _, ok := obj.Type().Underlying().(*types.Slice); !ok {
+		return false // only slice-typed locals can carry the backing array
+	}
+	aliases[obj] = true
+	return true
+}
+
+// aliasExpr reports whether e's value may share the buffer's backing
+// array: the alias itself, a reslice of it, or a call it was passed
+// through (append, helper appenders). Element reads (buf[i]) do not
+// qualify — they copy a value out.
+func aliasExpr(pass *Pass, e ast.Expr, aliases map[types.Object]bool) bool {
+	switch v := e.(type) {
+	case *ast.Ident:
+		obj := pass.Info.ObjectOf(v)
+		return obj != nil && aliases[obj]
+	case *ast.ParenExpr:
+		return aliasExpr(pass, v.X, aliases)
+	case *ast.SliceExpr:
+		return aliasExpr(pass, v.X, aliases)
+	case *ast.UnaryExpr:
+		return aliasExpr(pass, v.X, aliases)
+	case *ast.CallExpr:
+		if isBuiltin(pass, v.Fun, "append") {
+			// append's result aliases its first argument; the variadic
+			// tail is copied element-wise, never aliased.
+			return len(v.Args) > 0 && aliasExpr(pass, v.Args[0], aliases)
+		}
+		if !sliceResult(pass, v) {
+			// A scalar computed from the buffer (binary.Uint32(data),
+			// len(buf), an error mentioning it) cannot carry the
+			// backing array out.
+			return false
+		}
+		for _, a := range v.Args {
+			if aliasExpr(pass, a, aliases) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// sliceResult reports whether a call produces at least one slice-typed
+// value — the only call results that can alias a buffer passed in.
+func sliceResult(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.TypeOf(call)
+	if t == nil {
+		return true // unresolvable: stay conservative
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if _, ok := tup.At(i).Type().Underlying().(*types.Slice); ok {
+				return true
+			}
+		}
+		return false
+	}
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}
+
+// isBufferFunc reports whether the function actually treats a slice
+// parameter as a caller-owned scratch buffer: an alias is appended to,
+// or an alias is returned. Functions that merely receive a slice
+// (ownership transfer, read-only views) are out of scope.
+func isBufferFunc(pass *Pass, body *ast.BlockStmt, aliases map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range v.Results {
+				if aliasExpr(pass, r, aliases) {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if isBuiltin(pass, v.Fun, "append") && len(v.Args) > 0 && aliasExpr(pass, v.Args[0], aliases) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func flagBufferEscapes(pass *Pass, body *ast.BlockStmt, aliases map[types.Object]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range v.Lhs {
+				var rhs ast.Expr
+				switch {
+				case len(v.Rhs) == 1 && len(v.Lhs) > 1:
+					rhs = v.Rhs[0]
+				case i < len(v.Rhs):
+					rhs = v.Rhs[i]
+				default:
+					continue
+				}
+				sink := escapingLValue(pass, lhs, aliases)
+				if sink == "" {
+					continue
+				}
+				if aliasExpr(pass, rhs, aliases) || funcLitCapturing(pass, rhs, aliases) {
+					pass.Reportf(v.Pos(),
+						"caller-owned scratch buffer %s is stored to %s and outlives the call; copy the elements instead or justify with //dardlint:scratchalias",
+						bufferName(pass, rhs, aliases), sink)
+				}
+			}
+		case *ast.SendStmt:
+			if aliasExpr(pass, v.Value, aliases) || funcLitCapturing(pass, v.Value, aliases) {
+				pass.Reportf(v.Pos(),
+					"caller-owned scratch buffer %s is sent on a channel and outlives the call; copy the elements instead or justify with //dardlint:scratchalias",
+					bufferName(pass, v.Value, aliases))
+			}
+		case *ast.GoStmt:
+			if goroutineCaptures(pass, v.Call, aliases) {
+				pass.Reportf(v.Pos(),
+					"caller-owned scratch buffer escapes into a goroutine that may outlive the call; copy the elements instead or justify with //dardlint:scratchalias")
+			}
+		}
+		return true
+	})
+}
+
+// escapingLValue classifies an assignment target that outlives the
+// call: a struct field, a package-level variable, or an element of
+// storage that is not itself the buffer. Rebinding a local or the
+// parameter itself is the normal append idiom and stays legal.
+func escapingLValue(pass *Pass, lhs ast.Expr, aliases map[types.Object]bool) string {
+	for {
+		switch v := lhs.(type) {
+		case *ast.ParenExpr:
+			lhs = v.X
+			continue
+		case *ast.StarExpr:
+			lhs = v.X
+			continue
+		}
+		break
+	}
+	switch v := lhs.(type) {
+	case *ast.Ident:
+		if obj := pass.Info.ObjectOf(v); obj != nil && isPkgLevelVar(pass, obj) {
+			return "package-level variable " + obj.Name()
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Info.Selections[v]; ok && sel.Kind() == types.FieldVal {
+			return "field " + v.Sel.Name
+		}
+		if obj := pass.Info.Uses[v.Sel]; obj != nil && isPkgLevelVar(pass, obj) {
+			return "package-level variable " + obj.Name()
+		}
+	case *ast.IndexExpr:
+		if aliasExpr(pass, v.X, aliases) {
+			return "" // writing into the buffer itself
+		}
+		if t := pass.TypeOf(v.X); t != nil {
+			if _, ok := t.Underlying().(*types.Map); ok {
+				return "a map element"
+			}
+		}
+		return "an element of caller-visible storage"
+	}
+	return ""
+}
+
+func isPkgLevelVar(pass *Pass, obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	return ok && v.Parent() == pass.Pkg.Scope()
+}
+
+// funcLitCapturing reports whether e is a function literal whose body
+// references a buffer alias — storing or sending such a closure leaks
+// the buffer with it.
+func funcLitCapturing(pass *Pass, e ast.Expr, aliases map[types.Object]bool) bool {
+	lit, ok := e.(*ast.FuncLit)
+	return ok && referencesAny(pass, lit.Body, aliases)
+}
+
+// goroutineCaptures reports whether a go statement hands the buffer to
+// the new goroutine, by argument or by closure capture.
+func goroutineCaptures(pass *Pass, call *ast.CallExpr, aliases map[types.Object]bool) bool {
+	for _, a := range call.Args {
+		if aliasExpr(pass, a, aliases) {
+			return true
+		}
+	}
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		return referencesAny(pass, lit.Body, aliases)
+	}
+	return false
+}
+
+// bufferName names the escaping alias for the diagnostic.
+func bufferName(pass *Pass, e ast.Expr, aliases map[types.Object]bool) string {
+	name := "(buffer)"
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.Info.ObjectOf(id); obj != nil && aliases[obj] {
+				name = obj.Name()
+				return false
+			}
+		}
+		return true
+	})
+	return name
+}

@@ -1,0 +1,265 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Snapfield checks snapshot field coverage: every struct registered
+// with a //dardsnap directive must have each of its fields referenced
+// both by its snapshot encoder and by its snapshot decoder (or by a
+// helper they call). A field that is serialized on neither side — or on
+// only one — is exactly the "new field silently missing from
+// checkpoints" bug: TestCheckpointResumeEquivalence only catches it
+// when the field happens to matter in the test scenario, while this
+// analyzer rejects the pattern at review time.
+//
+// Registration is a directive comment attached to the struct type
+// declaration:
+//
+//	//dardsnap:fields encoder=Sim.Snapshot decoder=Sim.restore
+//	type Sim struct { ... }
+//
+// encoder= and decoder= name package-level functions or methods
+// (Recv.Method, or a bare name matching any function/method of that
+// name). Coverage is computed over the package-local call graph: a
+// field touched by any function reachable from the encoder (decoder)
+// counts as encoded (decoded). Reference, not proof of a write — the
+// analyzer asks "does the snapshot code know this field exists", which
+// is the property that rots when a field is added.
+//
+// The json mode checks only unexported fields:
+//
+//	//dardsnap:json encoder=Session.Snapshot decoder=ResumeSession
+//
+// Exported fields ride encoding/json reflection automatically; the
+// unexported ones are the silent losses (the flowsimReference bug).
+//
+// Fields that are legitimately rebuilt rather than serialized (derived
+// caches, scratch, wiring) carry a //dardlint:snapfield justification
+// on the field, which doubles as documentation of why the field is not
+// state.
+var Snapfield = &Analyzer{
+	Name: "snapfield",
+	Doc: "check that every field of a //dardsnap-registered struct is covered by " +
+		"its snapshot encoder and decoder (or carries a justified //dardlint:snapfield)",
+	Run: runSnapfield,
+}
+
+const dardsnapPrefix = "//dardsnap:"
+
+// dardsnapRe parses the directive. Like //go:build, the directive must
+// start the comment; the whole-line form is rejected as malformed.
+var dardsnapRe = regexp.MustCompile(`^//dardsnap:(fields|json)\s+encoder=([A-Za-z0-9_.]+)\s+decoder=([A-Za-z0-9_.]+)\s*$`)
+
+func runSnapfield(pass *Pass) {
+	idx := funcDeclIndex(pass)
+	attached := attachedSnapDirectives(pass)
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, dardsnapPrefix) {
+					continue
+				}
+				m := dardsnapRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					pass.Reportf(c.Pos(),
+						"malformed //dardsnap directive; want //dardsnap:fields|json encoder=F decoder=G")
+					continue
+				}
+				ts, ok := attached[c]
+				if !ok {
+					pass.Reportf(c.Pos(),
+						"//dardsnap directive is not attached to a struct type declaration")
+					continue
+				}
+				checkSnapStruct(pass, idx, ts, c, m[1], m[2], m[3])
+			}
+		}
+	}
+}
+
+// attachedSnapDirectives maps each //dardsnap comment that sits in a
+// type declaration's doc (or trailing comment) to its TypeSpec.
+func attachedSnapDirectives(pass *Pass) map[*ast.Comment]*ast.TypeSpec {
+	out := make(map[*ast.Comment]*ast.TypeSpec)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for i, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				groups := []*ast.CommentGroup{ts.Doc, ts.Comment}
+				if i == 0 && len(gd.Specs) == 1 {
+					groups = append(groups, gd.Doc)
+				}
+				for _, g := range groups {
+					if g == nil {
+						continue
+					}
+					for _, c := range g.List {
+						if strings.HasPrefix(c.Text, dardsnapPrefix) {
+							out[c] = ts
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func checkSnapStruct(pass *Pass, idx map[types.Object]*ast.FuncDecl, ts *ast.TypeSpec, c *ast.Comment, mode, encName, decName string) {
+	obj, _ := pass.Info.Defs[ts.Name].(*types.TypeName)
+	if obj == nil {
+		return
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		pass.Reportf(c.Pos(), "//dardsnap directive on %s, which is not a struct type", ts.Name.Name)
+		return
+	}
+	encRoots := namedFuncDecls(pass, encName)
+	if len(encRoots) == 0 {
+		pass.Reportf(c.Pos(), "//dardsnap directive names encoder %q, which is not a function or method in this package", encName)
+		return
+	}
+	decRoots := namedFuncDecls(pass, decName)
+	if len(decRoots) == 0 {
+		pass.Reportf(c.Pos(), "//dardsnap directive names decoder %q, which is not a function or method in this package", decName)
+		return
+	}
+	encRefs := reachableFieldRefs(pass, idx, encRoots)
+	decRefs := reachableFieldRefs(pass, idx, decRoots)
+	for i := 0; i < st.NumFields(); i++ {
+		fv := st.Field(i)
+		if fv.Name() == "_" {
+			continue
+		}
+		if mode == "json" && fv.Exported() {
+			continue // encoding/json reflects over exported fields by itself
+		}
+		enc, dec := encRefs[fv], decRefs[fv]
+		switch {
+		case !enc && !dec:
+			pass.Reportf(fv.Pos(),
+				"field %s of snapshotted struct %s is covered by neither encoder %s nor decoder %s; serialize it (and bump the format version) or justify with //dardlint:snapfield",
+				fv.Name(), ts.Name.Name, encName, decName)
+		case !enc:
+			pass.Reportf(fv.Pos(),
+				"field %s of snapshotted struct %s is not written by encoder %s (decoder %s restores it); serialize it or justify with //dardlint:snapfield",
+				fv.Name(), ts.Name.Name, encName, decName)
+		case !dec:
+			pass.Reportf(fv.Pos(),
+				"field %s of snapshotted struct %s is not restored by decoder %s (encoder %s writes it); restore it or justify with //dardlint:snapfield",
+				fv.Name(), ts.Name.Name, decName, encName)
+		}
+	}
+}
+
+// namedFuncDecls resolves an encoder=/decoder= spec: "Recv.Method"
+// matches methods on that receiver type, a bare name matches any
+// function or method of that name.
+func namedFuncDecls(pass *Pass, name string) []*ast.FuncDecl {
+	recv, method := "", name
+	if i := strings.LastIndex(name, "."); i >= 0 {
+		recv, method = name[:i], name[i+1:]
+	}
+	var out []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Name.Name != method {
+				continue
+			}
+			if recv != "" && recvTypeName(fd) != recv {
+				continue
+			}
+			out = append(out, fd)
+		}
+	}
+	return out
+}
+
+// recvTypeName returns the base type name of a method receiver ("Sim"
+// for func (s *Sim) ...), or "" for plain functions.
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch v := t.(type) {
+		case *ast.StarExpr:
+			t = v.X
+		case *ast.ParenExpr:
+			t = v.X
+		case *ast.IndexExpr: // generic receiver
+			t = v.X
+		case *ast.Ident:
+			return v.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// funcDeclIndex maps each package-level function/method object to its
+// declaration, the edge set for the reachability walk.
+func funcDeclIndex(pass *Pass) map[types.Object]*ast.FuncDecl {
+	idx := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.Info.Defs[fd.Name]; obj != nil {
+					idx[obj] = fd
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// reachableFieldRefs walks roots plus every package-local function
+// reachable from them (calls and function-value references alike) and
+// collects each struct field the code mentions — selector accesses and
+// keyed composite-literal writes both resolve to the field object.
+func reachableFieldRefs(pass *Pass, idx map[types.Object]*ast.FuncDecl, roots []*ast.FuncDecl) map[types.Object]bool {
+	refs := make(map[types.Object]bool)
+	visited := make(map[*ast.FuncDecl]bool)
+	queue := append([]*ast.FuncDecl(nil), roots...)
+	for len(queue) > 0 {
+		fd := queue[0]
+		queue = queue[1:]
+		if visited[fd] {
+			continue
+		}
+		visited[fd] = true
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if v, ok := obj.(*types.Var); ok && v.IsField() {
+				refs[v] = true
+			}
+			if callee, ok := idx[obj]; ok {
+				queue = append(queue, callee)
+			}
+			return true
+		})
+	}
+	return refs
+}

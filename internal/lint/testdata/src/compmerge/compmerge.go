@@ -96,3 +96,33 @@ func suppressed(results map[int]result) []int {
 	}
 	return flows
 }
+
+// drainWorkers is the fan-in sibling of mergeByMap: results pulled off
+// a channel arrive in completion order, so appending them as they land
+// is the same bit-identity bug with a different container.
+func drainWorkers(results chan result) []int {
+	var flows []int
+	for r := range results { // want `channel drain merges worker results in completion order \(append to flows`
+		flows = append(flows, r.flows...)
+	}
+	return flows
+}
+
+// drainBySlot repairs the drain the way the engine does: workers name
+// their partition slot and the drain only parks results; a later
+// slice-ordered loop does the merge.
+func drainBySlot(results chan indexed, parts [][]int) []int {
+	for r := range results {
+		parts[r.slot] = r.flows
+	}
+	var flows []int
+	for _, p := range parts {
+		flows = append(flows, p...)
+	}
+	return flows
+}
+
+type indexed struct {
+	slot  int
+	flows []int
+}

@@ -1,0 +1,10 @@
+// Package nonserve is outside the ctxflow scope (not a serving or pool
+// package name), so its goroutines and receives go unflagged.
+package nonserve
+
+func spawn(ch chan int) int {
+	go func() {
+		ch <- 1
+	}()
+	return <-ch
+}

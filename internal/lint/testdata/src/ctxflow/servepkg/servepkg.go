@@ -1,0 +1,115 @@
+// Package serve (fixture) exercises the goroutine/context hygiene
+// analyzer, which scopes by package name exactly like the real serving
+// layer.
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+type job struct {
+	results chan int
+	stop    chan struct{}
+}
+
+func (j *job) run(ctx context.Context) {}
+
+// goWithContext hands the goroutine a context: its work is bounded.
+func goWithContext(ctx context.Context, j *job) {
+	go j.run(ctx)
+}
+
+// goWaitGroup participates in a WaitGroup the owner drains.
+func goWaitGroup(wg *sync.WaitGroup, j *job) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		j.results <- 1
+	}()
+}
+
+// goRangeLoop drains a channel with a close-terminated range: closing
+// the channel ends the goroutine.
+func goRangeLoop(work chan func()) {
+	go func() {
+		for fn := range work {
+			fn()
+		}
+	}()
+}
+
+// goSelectLoop blocks only in a select with a cancellation case.
+func goSelectLoop(ctx context.Context, j *job) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case r := <-j.results:
+				_ = r
+			}
+		}
+	}()
+}
+
+// goUntracked is the leak: nothing ties the goroutine to a lifecycle.
+func goUntracked(j *job) {
+	go func() { // want `goroutine has no tracked lifecycle`
+		j.results <- 1
+	}()
+}
+
+// goNamedUntracked leaks through a named function too.
+func goNamedUntracked(j *job) {
+	go leak(j) // want `goroutine has no tracked lifecycle`
+}
+
+func leak(j *job) {}
+
+// selectNoCancel can block forever on a wedged peer.
+func selectNoCancel(a, b chan int) int {
+	select { // want `select has no cancellation case`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// selectDefault always makes progress.
+func selectDefault(a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	default:
+		return 0
+	}
+}
+
+// selectStopChan recognizes done/stop channels by name.
+func selectStopChan(j *job) int {
+	select {
+	case v := <-j.results:
+		return v
+	case <-j.stop:
+		return 0
+	}
+}
+
+// bareReceive blocks a worker with no way to cancel it.
+func bareReceive(a chan int) int {
+	return <-a // want `blocking channel receive outside a select`
+}
+
+// doneReceive waits on a cancellation channel, which is what bare
+// receives are for.
+func doneReceive(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// suppressedReceive documents a receive that provably cannot block.
+func suppressedReceive(tokens chan struct{}) {
+	//dardlint:ctxflow fixture: returns a held token to a buffered channel, never blocks
+	<-tokens
+}

@@ -1,0 +1,123 @@
+// Package mergeorder exercises the completion-order merge analyzer:
+// per-worker results drained from a channel arrive in scheduling
+// order, so feeding them into an order-sensitive merge breaks
+// serial==parallel bit-identity.
+package mergeorder
+
+import "sort"
+
+type result struct {
+	slot  int
+	flows []int
+	total float64
+}
+
+// drainAppend is the hazard in its plainest form: completion-order
+// append.
+func drainAppend(results chan result) []int {
+	var flows []int
+	for r := range results { // want `channel drain merges worker results in completion order \(append to flows`
+		flows = append(flows, r.flows...)
+	}
+	return flows
+}
+
+// drainAccumulate sums floats in arrival order: FP addition is not
+// associative.
+func drainAccumulate(results chan result) float64 {
+	var sum float64
+	for r := range results { // want `channel drain merges worker results in completion order \(floating-point accumulation into sum`
+		sum += r.total
+	}
+	return sum
+}
+
+// drainForward re-emits results in completion order.
+func drainForward(results chan result, out chan<- result) {
+	for r := range results { // want `channel drain merges worker results in completion order \(channel send`
+		out <- r
+	}
+}
+
+// drainPerSlot is the canonical repair: each worker owns its slot, so
+// the drain only parks results and a stable loop does the merge.
+func drainPerSlot(results chan result, n int) []float64 {
+	out := make([]float64, n)
+	for r := range results {
+		out[r.slot] = r.total
+	}
+	return out
+}
+
+// drainThenSort collects in completion order but sorts before use, so
+// the arrival order is moot.
+func drainThenSort(results chan result) []int {
+	var flows []int
+	for r := range results {
+		flows = append(flows, r.flows...)
+	}
+	sort.Ints(flows)
+	return flows
+}
+
+// countedReceive is the counted-loop variant of the hazard: the loop
+// order is deterministic, but the received values are not.
+func countedReceive(results chan result, n int) []int {
+	var flows []int
+	for i := 0; i < n; i++ { // want `loop receives worker results in completion order and feeds an order-sensitive effect \(append to flows`
+		r := <-results
+		flows = append(flows, r.flows...)
+	}
+	return flows
+}
+
+// countedDirect accumulates straight off the channel.
+func countedDirect(parts chan float64, n int) float64 {
+	var sum float64
+	for i := 0; i < n; i++ { // want `loop receives worker results in completion order and feeds an order-sensitive effect \(floating-point accumulation into sum`
+		sum += <-parts
+	}
+	return sum
+}
+
+// countedPerSlot parks each received result in the slot its message
+// names — order-free.
+func countedPerSlot(results chan result, n int) []float64 {
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		r := <-results
+		out[r.slot] = r.total
+	}
+	return out
+}
+
+// countedInvariant shows that a counted loop's own effects stay legal:
+// nothing here depends on what the receives yield.
+func countedInvariant(ticks chan struct{}, xs []float64) float64 {
+	var sum float64
+	for i := 0; i < len(xs); i++ {
+		<-ticks
+		sum += xs[i]
+	}
+	return sum
+}
+
+// sliceMerge ranges a stable slice — the engine's compSpans shape —
+// and is the pattern the analyzer wants code to converge on.
+func sliceMerge(results []result) []int {
+	var flows []int
+	for _, r := range results {
+		flows = append(flows, r.flows...)
+	}
+	return flows
+}
+
+// suppressed documents a drain whose order is provably harmless.
+func suppressed(results chan result) []int {
+	var flows []int
+	//dardlint:mergeorder fixture: consumer treats the list as a set and sorts before use
+	for r := range results {
+		flows = append(flows, r.flows...)
+	}
+	return flows
+}

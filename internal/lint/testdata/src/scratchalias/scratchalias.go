@@ -1,0 +1,132 @@
+// Package scratchalias exercises the caller-buffer escape analyzer:
+// functions that append into a caller-provided slice and return it
+// (the PathSet.AppendLinks / FoldPVInto idiom) must not retain the
+// buffer anywhere that outlives the call.
+package scratchalias
+
+import "sort"
+
+type cache struct {
+	saved []int
+	byKey map[string][]int
+	total int
+}
+
+var global []int
+
+// appendClean is the contract in its pure form: grow, return, retain
+// nothing.
+func appendClean(buf []int, n int) []int {
+	for i := 0; i < n; i++ {
+		buf = append(buf, i)
+	}
+	return buf
+}
+
+// stashField retains the caller's buffer in a field — the caller's
+// next reuse of its scratch mutates c.saved behind its back.
+func stashField(c *cache, buf []int) []int {
+	buf = append(buf, 1)
+	c.saved = buf // want `caller-owned scratch buffer buf is stored to field saved`
+	return buf
+}
+
+// stashGlobal leaks the buffer into package state.
+func stashGlobal(buf []int) []int {
+	buf = append(buf, 1)
+	global = buf // want `caller-owned scratch buffer buf is stored to package-level variable global`
+	return buf
+}
+
+// stashMap parks the buffer in a caller-visible map.
+func stashMap(c *cache, key string, buf []int) []int {
+	buf = append(buf, 1)
+	c.byKey[key] = buf // want `caller-owned scratch buffer buf is stored to a map element`
+	return buf
+}
+
+// sendBuf hands the live buffer to whoever is on the other end of the
+// channel.
+func sendBuf(ch chan []int, buf []int) []int {
+	buf = append(buf, 1)
+	ch <- buf // want `caller-owned scratch buffer buf is sent on a channel`
+	return buf
+}
+
+// spawn captures the buffer in a goroutine that may outlive the call.
+func spawn(buf []int) []int {
+	buf = append(buf, 1)
+	go func() { // want `caller-owned scratch buffer escapes into a goroutine`
+		_ = buf[0]
+	}()
+	return buf
+}
+
+// resliceAlias tracks aliases through reslicing: b shares buf's
+// backing array, so storing b is storing buf.
+func resliceAlias(c *cache, buf []int) []int {
+	b := buf[:0]
+	b = append(b, 9)
+	c.saved = b // want `caller-owned scratch buffer b is stored to field saved`
+	return b
+}
+
+// helperAlias tracks aliases through helper appenders, the FoldPVInto
+// shape: the result of a call the buffer was passed through still
+// aliases it.
+func helperAlias(c *cache, buf []int) []int {
+	out := appendClean(buf[:0], 4)
+	c.saved = out // want `caller-owned scratch buffer out is stored to field saved`
+	return out
+}
+
+// sortInPlace passes the buffer to an ordinary call with a closure
+// over it — the closure dies with the call, so nothing escapes.
+func sortInPlace(buf []int, n int) []int {
+	for i := n; i > 0; i-- {
+		buf = append(buf, i)
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	return buf
+}
+
+// elementCopy reads elements out of the buffer; values copied out are
+// not aliases.
+func elementCopy(c *cache, buf []int) []int {
+	buf = append(buf, 7)
+	c.saved = append(c.saved[:0], buf...)
+	return buf
+}
+
+// scalarOut stores values computed from the buffer — the decoder
+// shape `h.FlowID = binary.Uint32(data)`. A scalar result cannot carry
+// the backing array, so nothing escapes.
+func scalarOut(c *cache, buf []int) []int {
+	buf = append(buf, 3)
+	c.total = sum(buf)
+	return buf
+}
+
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// ownershipTransfer is out of scope: the slice parameter is neither
+// appended to nor returned, so the function is not an
+// append-into-caller-buffer function — storing a handed-over slice is
+// a constructor's legitimate business.
+func ownershipTransfer(c *cache, data []int) {
+	c.saved = data
+}
+
+// suppressed documents a deliberate retention with a justification.
+func suppressed(c *cache, buf []int) []int {
+	buf = append(buf, 1)
+	//dardlint:scratchalias fixture: the cache owns the buffer by documented contract
+	c.saved = buf
+	return buf
+}

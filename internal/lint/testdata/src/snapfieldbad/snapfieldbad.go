@@ -1,0 +1,40 @@
+// Package snapfieldbad holds the //dardsnap directive-error cases for
+// the snapfield analyzer. Their diagnostics land on the directive
+// comment's own line, where a fixture want comment cannot sit (a line
+// comment swallows the rest of the line), so lint_test.go asserts these
+// messages directly instead of through linttest.
+package snapfieldbad
+
+type blob struct{ n int }
+
+func (b *blob) save() int  { return b.n }
+func (b *blob) load(n int) { b.n = n }
+
+// Case 1: directive names an encoder that is not in the package.
+//
+//dardsnap:fields encoder=blob.missing decoder=blob.load
+type orphanEncoder struct {
+	n int
+}
+
+// Case 2: directive names a decoder that is not in the package.
+//
+//dardsnap:fields encoder=blob.save decoder=blob.missing
+type orphanDecoder struct {
+	n int
+}
+
+// Case 3: directive on a type that is not a struct.
+//
+//dardsnap:fields encoder=blob.save decoder=blob.load
+type notAStruct = map[int]int
+
+// Case 4: directive not attached to any type declaration.
+//
+//dardsnap:fields encoder=blob.save decoder=blob.load
+var floating int
+
+// Case 5: malformed directive (missing decoder=).
+//
+//dardsnap:fields encoder=blob.save
+var malformed int

@@ -25,22 +25,26 @@ import (
 // merge order. The substreams use detrand (a serializable generator)
 // rather than math/rand's default source so a checkpoint can carry the
 // exact stream positions in a few bytes each.
+//
+//dardsnap:fields encoder=OpenPoisson.SnapshotState decoder=OpenPoisson.RestoreState
 type OpenPoisson struct {
-	pattern  Pattern
-	rate     float64
-	sizeBits float64
-	duration float64 // <= 0 means unbounded
-	seed     int64
+	pattern  Pattern //dardlint:snapfield construction parameter; the restored source is built from the same Config
+	rate     float64 //dardlint:snapfield construction parameter; the restored source is built from the same Config
+	sizeBits float64 //dardlint:snapfield construction parameter; the restored source is built from the same Config
+	duration float64 //dardlint:snapfield construction parameter (<= 0 means unbounded); comes from Config, not the snapshot
+	seed     int64   //dardlint:snapfield construction parameter; the substream positions are what the snapshot carries
 
 	hosts  []openHost
-	heap   openHeap
+	heap   openHeap //dardlint:snapfield rebuilt from the live candidates; layout never reaches the output (rebuildHeap)
 	nextID int
 }
 
 // openHost is one source host's generator state: its substream and the
 // arrival clock the next gap extends.
+//
+//dardsnap:fields encoder=OpenPoisson.SnapshotState decoder=OpenPoisson.RestoreState
 type openHost struct {
-	rng *rand.Rand
+	rng *rand.Rand //dardlint:snapfield wraps src; the serializable source position fully determines the stream
 	src *detrand.Source
 	t   float64
 	// cand is the host's materialized next flow (valid when live); a
@@ -50,9 +54,11 @@ type openHost struct {
 }
 
 // openCand is a host's pending arrival: its time and drawn destination.
+//
+//dardsnap:fields encoder=OpenPoisson.SnapshotState decoder=OpenPoisson.RestoreState
 type openCand struct {
 	t    float64
-	host int
+	host int //dardlint:snapfield implied by the owning host's index in the stream array; restore re-keys it
 	dst  int
 }
 

@@ -37,6 +37,8 @@ type Session struct {
 // scenario (so ResumeSession can rebuild the topology, workload, and
 // controller from scratch) plus the engine's binary snapshot, which
 // carries only positions — clock, RNG draws, flow progress, timers.
+//
+//dardsnap:fields encoder=Session.Snapshot decoder=ResumeSession
 type sessionWire struct {
 	Version  int      `json:"version"`
 	Scenario Scenario `json:"scenario"`
