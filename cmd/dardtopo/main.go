@@ -8,6 +8,8 @@
 //	dardtopo -kind fattree -p 4 -host E1             # a host's addresses
 //	dardtopo -kind fattree -p 4 -switch aggr1_1      # a switch's tables
 //	dardtopo -kind clos -d 8 -paths E1,E20           # path enumeration
+//	dardtopo -kind dragonfly -d 4 -a 3 -paths E1,E9  # non-tree families
+//	dardtopo -kind dcell -n 3 -level 1
 package main
 
 import (
@@ -28,10 +30,13 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("dardtopo", flag.ContinueOnError)
-	kind := fs.String("kind", "fattree", "topology kind: fattree, clos, threetier")
+	kind := fs.String("kind", "fattree", "topology kind: fattree, clos, threetier, dragonfly, dcell")
 	p := fs.Int("p", 4, "fat-tree port count")
-	d := fs.Int("d", 4, "Clos D_I = D_A")
-	hostsPerToR := fs.Int("hosts-per-tor", 0, "override hosts per ToR (0 = family default)")
+	d := fs.Int("d", 4, "Clos D_I = D_A, or dragonfly routers per group")
+	a := fs.Int("a", 0, "dragonfly global links per router (0 = default 3)")
+	n := fs.Int("n", 0, "DCell servers per cell (0 = default 3)")
+	level := fs.Int("level", 0, "DCell recursion depth (0 = default 1)")
+	hostsPerToR := fs.Int("hosts-per-tor", 0, "override hosts per attachment switch (0 = family default)")
 	host := fs.String("host", "", "print this host's hierarchical addresses")
 	sw := fs.String("switch", "", "print this switch's routing tables")
 	flowTables := fs.String("flowtables", "", "print this switch's OpenFlow initialization program")
@@ -44,6 +49,9 @@ func run(args []string) error {
 		Kind:        dard.TopologyKind(*kind),
 		P:           *p,
 		D:           *d,
+		A:           *a,
+		N:           *n,
+		Level:       *level,
 		HostsPerToR: *hostsPerToR,
 	}.Build()
 	if err != nil {

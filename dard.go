@@ -5,7 +5,8 @@
 //
 // The package is a facade over the internal substrates:
 //
-//   - internal/topology — fat-tree, Clos, and three-tier fabrics
+//   - internal/topology — fat-tree, Clos, three-tier, dragonfly, and
+//     DCell fabrics behind one path-provider contract
 //   - internal/addressing — NIRA-style hierarchical addressing (§2.3)
 //   - internal/flowsim — flow-level max-min fluid simulator
 //   - internal/simnet + internal/tcp — packet-level simulator with

@@ -193,7 +193,9 @@ func TestTopologyKinds(t *testing.T) {
 	for _, spec := range []TopologySpec{
 		{Kind: Clos, D: 4},
 		{Kind: ThreeTier, HostsPerToR: 2},
-		{}, // default fat-tree p=8
+		{Kind: Dragonfly}, // default d=4, a=3, 2 hosts per router
+		{Kind: DCell},     // default n=3, level=1
+		{},                // default fat-tree p=8
 	} {
 		topo, err := spec.Build()
 		if err != nil {
@@ -201,6 +203,42 @@ func TestTopologyKinds(t *testing.T) {
 		}
 		if topo.NumHosts() < 2 {
 			t.Errorf("%s has %d hosts", topo.Name(), topo.NumHosts())
+		}
+	}
+}
+
+// TestFamilyAwareDiagnostics pins the path-query error messages to the
+// family's own vocabulary: naming a switch instead of a host must talk
+// about ToRs on a tree, routers on a dragonfly, and servers on a DCell.
+func TestFamilyAwareDiagnostics(t *testing.T) {
+	cases := []struct {
+		spec       TopologySpec
+		switchName string
+		wantNoun   string
+	}{
+		{TopologySpec{Kind: FatTree, P: 4}, "tor1_1", "ToR"},
+		{TopologySpec{Kind: Dragonfly, D: 2, A: 2, HostsPerToR: 1}, "r1_1", "router"},
+		{TopologySpec{Kind: DCell, N: 3, Level: 1}, "s0", "server"},
+	}
+	for _, tc := range cases {
+		topo, err := tc.spec.Build()
+		if err != nil {
+			t.Fatalf("%+v: %v", tc.spec, err)
+		}
+		_, err = topo.NumPaths(tc.switchName, "E1")
+		if err == nil {
+			t.Fatalf("%s: NumPaths(%q, E1) should fail", topo.Name(), tc.switchName)
+		}
+		if !strings.Contains(err.Error(), tc.wantNoun) {
+			t.Errorf("%s: error %q does not mention %q", topo.Name(), err, tc.wantNoun)
+		}
+		if _, err := topo.PathsBetween(tc.switchName, "E1"); err == nil ||
+			!strings.Contains(err.Error(), tc.wantNoun) {
+			t.Errorf("%s: PathsBetween error %v does not mention %q", topo.Name(), err, tc.wantNoun)
+		}
+		if _, err := topo.NumPaths("E1", "nosuch"); err == nil ||
+			strings.Contains(err.Error(), "attach") {
+			t.Errorf("%s: unknown-name error %v should stay a plain unknown-host error", topo.Name(), err)
 		}
 	}
 }

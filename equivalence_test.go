@@ -64,6 +64,23 @@ func equivalenceCases(short bool) map[string]dard.Scenario {
 		s.Pattern = dard.PatternStride
 		cases["ECMP/stride-failures"] = s
 	}
+	{
+		// The non-tree families with an active DARD loop: equivalence,
+		// worker-count invariance, and checkpoint resume must hold on the
+		// source-routed path providers too, not just the tree index tables.
+		s := active(base)
+		s.Topology = dard.TopologySpec{Kind: dard.Dragonfly, D: 2, A: 2, HostsPerToR: 2}
+		s.Scheduler = dard.SchedulerDARD
+		s.Pattern = dard.PatternStride
+		cases["DARD/dragonfly"] = s
+	}
+	{
+		s := active(base)
+		s.Topology = dard.TopologySpec{Kind: dard.DCell, N: 3, Level: 1}
+		s.Scheduler = dard.SchedulerDARD
+		s.Pattern = dard.PatternStride
+		cases["DARD/dcell"] = s
+	}
 	if !short {
 		// The paper-scale switching fabric with mid-run failures.
 		s := dard.Scenario{

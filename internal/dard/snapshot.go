@@ -161,8 +161,11 @@ func (c *Controller) restoreMonitor(s *flowsim.Sim, n topology.NodeID, h *hostSt
 		return err
 	}
 	g := s.Net().Graph()
-	if dstToR < 0 || dstToR >= topology.NodeID(g.NumNodes()) || g.Node(dstToR).Kind != topology.ToR {
-		return fmt.Errorf("dard: snapshot monitor names non-ToR destination %d", dstToR)
+	if dstToR < 0 || dstToR >= topology.NodeID(g.NumNodes()) {
+		return fmt.Errorf("dard: snapshot monitor names non-attachment destination %d", dstToR)
+	}
+	if k := g.Node(dstToR).Kind; k != topology.ToR && k != topology.Router {
+		return fmt.Errorf("dard: snapshot monitor names non-attachment destination %d", dstToR)
 	}
 	if h.monitors[key] != nil {
 		return fmt.Errorf("dard: snapshot repeats monitor key %d on host %d", key, n)

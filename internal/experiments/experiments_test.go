@@ -215,8 +215,8 @@ func TestEngineScale(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	entries := All()
-	if len(entries) != 21 {
-		t.Fatalf("registry has %d entries, want 21", len(entries))
+	if len(entries) != 22 {
+		t.Fatalf("registry has %d entries, want 22", len(entries))
 	}
 	seen := make(map[string]bool)
 	for _, e := range entries {

@@ -41,6 +41,7 @@ func All() []Entry {
 		}},
 		{"scale", "flow-level engine wall clock vs fabric size", EngineScale},
 		{"failure", "link blackout and repair under ECMP vs DARD", FailureRecovery},
+		{"dragonfly", "DARD vs ECMP on dragonfly and DCell fabrics", DragonflyDCell},
 	}
 }
 

@@ -30,23 +30,23 @@ type ClosConfig struct {
 }
 
 func (c *ClosConfig) applyDefaults() error {
-	if c.DI < 1 {
-		return fmt.Errorf("clos needs at least one intermediate switch, got %d", c.DI)
+	if c.DI < 1 || c.DI > 1024 {
+		return fmt.Errorf("%w: clos intermediate switch count %d outside [1, 1024]", ErrConfig, c.DI)
 	}
-	if c.DA < 2 || c.DA%2 != 0 {
-		return fmt.Errorf("clos aggregation count must be even and >= 2, got %d", c.DA)
+	if c.DA < 2 || c.DA%2 != 0 || c.DA > 1024 {
+		return fmt.Errorf("%w: clos aggregation count must be even and in [2, 1024], got %d", ErrConfig, c.DA)
 	}
 	if c.ToRsPerPair == 0 {
 		c.ToRsPerPair = c.DI / 2
 	}
-	if c.ToRsPerPair < 1 {
-		return fmt.Errorf("clos needs at least one ToR per aggregation pair, got %d", c.ToRsPerPair)
+	if c.ToRsPerPair < 1 || c.ToRsPerPair > 1024 {
+		return fmt.Errorf("%w: clos ToRs per aggregation pair %d outside [1, 1024]", ErrConfig, c.ToRsPerPair)
 	}
 	if c.HostsPerToR == 0 {
 		c.HostsPerToR = 4
 	}
-	if c.HostsPerToR < 0 {
-		return fmt.Errorf("negative hosts per ToR %d", c.HostsPerToR)
+	if c.HostsPerToR < 0 || c.HostsPerToR > 1024 {
+		return fmt.Errorf("%w: hosts per ToR %d outside [0, 1024]", ErrConfig, c.HostsPerToR)
 	}
 	if fpcmp.IsZero(c.LinkCapacity) {
 		c.LinkCapacity = 1e9
@@ -174,7 +174,7 @@ func (cl *Clos) PathSet(srcToR, dstToR NodeID) PathSet {
 	return PathSet{r: cl, src: srcToR, dst: dstToR, n: int32(n)}
 }
 
-// appendPathLinks implements pathResolver.
+// appendPathLinks implements PathProvider.
 func (cl *Clos) appendPathLinks(src, dst NodeID, i int, buf []LinkID) []LinkID {
 	g := cl.g
 	sn, dn := g.Node(src), g.Node(dst)
@@ -193,7 +193,7 @@ func (cl *Clos) appendPathLinks(src, dst NodeID, i int, buf []LinkID) []LinkID {
 		g.Reverse(cl.torAggrUp[dn.Index*2+k]))
 }
 
-// pathVia implements pathResolver. Cross-pair labels are joined on
+// pathVia implements PathProvider. Cross-pair labels are joined on
 // demand; they exist only for traces and display.
 func (cl *Clos) pathVia(src, dst NodeID, i int) string {
 	g := cl.g

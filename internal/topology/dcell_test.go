@@ -1,0 +1,82 @@
+package topology
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDCellStructure(t *testing.T) {
+	dc, err := NewDCell(DCellConfig{N: 3, Level: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DCell_1 with n=3: t_1 = 3*4 = 12 servers in 4 cells.
+	if got := dc.NumServers(); got != 12 {
+		t.Fatalf("%d servers, want t_1 = 12", got)
+	}
+	if got := len(dc.Graph().NodesOfKind(CellSwitch)); got != 4 {
+		t.Fatalf("%d cell switches, want 4", got)
+	}
+	if got := len(dc.Hosts()); got != 12 {
+		t.Fatalf("%d hosts, want one per server", got)
+	}
+	// Duplex links: 12 server-switch + C(4,2)=6 level-1 + 12 host uplinks.
+	if got := dc.Graph().NumLinks(); got != 2*(12+6+12) {
+		t.Fatalf("%d directed links, want %d", got, 2*30)
+	}
+	if got := dc.AttachNoun(); got != "server" {
+		t.Fatalf("AttachNoun() = %q, want \"server\"", got)
+	}
+
+	g := dc.Graph()
+	// Level-1 rule: subcells a<b joined by (a, b-1) <-> (b, a); e.g.
+	// subcells 0 and 2 by s1 <-> s6.
+	if _, ok := g.LinkBetween(dc.servers[1], dc.servers[6]); !ok {
+		t.Fatal("missing level-1 link s1 <-> s6 between subcells 0 and 2")
+	}
+	// Same cell: one path via the mini-switch, labeled by it.
+	same := dc.PathSet(dc.servers[0], dc.servers[2])
+	if same.Len() != 1 || same.Via(0) != "sw0" {
+		t.Fatalf("same-cell set: %d paths Via %q, want 1 via \"sw0\"", same.Len(), same.Via(0))
+	}
+	// Cross cell at level 1: canonical route plus proxies via the two
+	// other subcells, t_0 = 3 paths total.
+	cross := dc.PathSet(dc.servers[0], dc.servers[5])
+	if cross.Len() != 3 {
+		t.Fatalf("cross-cell set has %d paths, want t_0 = 3", cross.Len())
+	}
+	if cross.Via(0) != "direct" || cross.Via(1) != "via-c2" || cross.Via(2) != "via-c3" {
+		t.Fatalf("cross-cell labels %q %q %q", cross.Via(0), cross.Via(1), cross.Via(2))
+	}
+	// Canonical s0 -> s5: cross link (0,0)<->(1,0) is s0 <-> s3, then
+	// inside subcell 1 via its switch.
+	links := cross.AppendLinks(0, nil)
+	hops := []NodeID{dc.servers[0]}
+	for _, l := range links {
+		hops = append(hops, g.Link(l).To)
+	}
+	want := []NodeID{dc.servers[0], dc.servers[3], dc.switches[1], dc.servers[5]}
+	if len(hops) != len(want) {
+		t.Fatalf("canonical route has %d hops, want %d", len(hops), len(want))
+	}
+	for i := range want {
+		if hops[i] != want[i] {
+			t.Fatalf("canonical route hop %d = %s, want %s",
+				i, g.Node(hops[i]).Name, g.Node(want[i]).Name)
+		}
+	}
+}
+
+func TestDCellConfigErrors(t *testing.T) {
+	for _, cfg := range []DCellConfig{
+		{N: 1, Level: 1},
+		{N: 0, Level: 0},
+		{N: 3, Level: -1},
+		{N: 3, Level: 5}, // t_5 blows past the server cap
+		{N: 4097, Level: 0},
+	} {
+		if _, err := NewDCell(cfg); !errors.Is(err, ErrConfig) {
+			t.Errorf("NewDCell(%+v) error = %v, want ErrConfig", cfg, err)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package topology
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDragonflyStructure(t *testing.T) {
+	df, err := NewDragonfly(DragonflyConfig{D: 4, A: 3, P: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := df.Groups(); got != 4 {
+		t.Fatalf("Groups() = %d, want a+1 = 4", got)
+	}
+	if got := len(df.Graph().NodesOfKind(Router)); got != 16 {
+		t.Fatalf("%d routers, want (a+1)*d = 16", got)
+	}
+	if got := len(df.Hosts()); got != 32 {
+		t.Fatalf("%d hosts, want (a+1)*d*p = 32", got)
+	}
+	// Links: per group d*(d-1)/2 local meshes, d rails per group pair,
+	// one uplink per host — all duplex.
+	wantDuplex := 4*6 + 6*4 + 32
+	if got := df.Graph().NumLinks(); got != 2*wantDuplex {
+		t.Fatalf("%d directed links, want %d", got, 2*wantDuplex)
+	}
+	if got := df.AttachNoun(); got != "router" {
+		t.Fatalf("AttachNoun() = %q, want \"router\"", got)
+	}
+
+	g := df.Graph()
+	r11, r12 := df.routers[0][0], df.routers[0][1]
+	intra := df.PathSet(r11, r12)
+	if intra.Len() != 3 {
+		t.Fatalf("intra-group set has %d paths, want d-1 = 3", intra.Len())
+	}
+	if via := intra.Via(0); via != "local" {
+		t.Fatalf("intra-group path 0 Via = %q, want \"local\"", via)
+	}
+	cross := df.PathSet(r11, df.routers[2][1])
+	if cross.Len() != 4+2 {
+		t.Fatalf("inter-group set has %d paths, want d + (g-2) = 6", cross.Len())
+	}
+	// Minimal rail 2 crosses on the source's own router index: one rail
+	// hop then one local hop.
+	links := cross.AppendLinks(0, nil)
+	if len(links) != 2 || g.Link(links[0]).To != df.routers[2][0] {
+		t.Fatalf("rail path 0 = %v, want src rail into group 3", links)
+	}
+	if via := cross.Via(4); via != "via-g2" {
+		t.Fatalf("first Valiant label = %q, want \"via-g2\"", via)
+	}
+}
+
+func TestDragonflyConfigErrors(t *testing.T) {
+	for _, cfg := range []DragonflyConfig{
+		{D: 0, A: 2, P: 1},
+		{D: 2, A: 0, P: 1},
+		{D: 2, A: 2, P: 0},
+		{D: 4096, A: 63, P: 1},
+		{D: 2, A: 2, P: -1},
+	} {
+		if _, err := NewDragonfly(cfg); !errors.Is(err, ErrConfig) {
+			t.Errorf("NewDragonfly(%+v) error = %v, want ErrConfig", cfg, err)
+		}
+	}
+}

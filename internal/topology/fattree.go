@@ -28,13 +28,16 @@ type FatTreeConfig struct {
 
 func (c *FatTreeConfig) applyDefaults() error {
 	if c.P < 4 || c.P%2 != 0 {
-		return fmt.Errorf("fat-tree port count must be an even integer >= 4, got %d", c.P)
+		return fmt.Errorf("%w: fat-tree port count must be an even integer >= 4, got %d", ErrConfig, c.P)
+	}
+	if c.P > 128 {
+		return fmt.Errorf("%w: fat-tree port count %d exceeds the 128-port cap", ErrConfig, c.P)
 	}
 	if fpcmp.IsZero(c.LinkCapacity) {
 		c.LinkCapacity = 1e9
 	}
 	if c.LinkCapacity < 0 {
-		return fmt.Errorf("negative link capacity %g", c.LinkCapacity)
+		return fmt.Errorf("%w: negative link capacity %g", ErrConfig, c.LinkCapacity)
 	}
 	if fpcmp.IsZero(c.LinkDelay) {
 		c.LinkDelay = 0.1e-3
@@ -42,8 +45,8 @@ func (c *FatTreeConfig) applyDefaults() error {
 	if c.HostsPerToR == 0 {
 		c.HostsPerToR = c.P / 2
 	}
-	if c.HostsPerToR < 0 {
-		return fmt.Errorf("negative hosts per ToR %d", c.HostsPerToR)
+	if c.HostsPerToR < 0 || c.HostsPerToR > 1024 {
+		return fmt.Errorf("%w: hosts per ToR %d outside [0, 1024]", ErrConfig, c.HostsPerToR)
 	}
 	return nil
 }
@@ -178,7 +181,7 @@ func (ft *FatTree) PathSet(srcToR, dstToR NodeID) PathSet {
 	return PathSet{r: ft, src: srcToR, dst: dstToR, n: int32(ft.NumPaths(srcToR, dstToR))}
 }
 
-// appendPathLinks implements pathResolver.
+// appendPathLinks implements PathProvider.
 func (ft *FatTree) appendPathLinks(src, dst NodeID, i int, buf []LinkID) []LinkID {
 	g := ft.g
 	half := ft.cfg.P / 2
@@ -199,7 +202,7 @@ func (ft *FatTree) appendPathLinks(src, dst NodeID, i int, buf []LinkID) []LinkI
 		g.Reverse(ft.torAggrUp[dn.Index*half+group]))
 }
 
-// pathVia implements pathResolver. Fat-tree labels are stored node names,
+// pathVia implements PathProvider. Fat-tree labels are stored node names,
 // so they never allocate.
 func (ft *FatTree) pathVia(src, dst NodeID, i int) string {
 	if ft.g.Node(src).Pod == ft.g.Node(dst).Pod {

@@ -1,25 +1,36 @@
-// Package topology builds the multi-rooted tree datacenter topologies the
-// DARD paper evaluates on: fat-trees, VL2-style Clos networks, and a
-// traditional oversubscribed 8-core-3-tier network. A topology is an
-// explicit directed graph of nodes (hosts and switches) and capacitated
-// links, plus the equal-cost path sets between top-of-rack switches that
-// DARD's monitors track.
+// Package topology builds the datacenter topologies the reproduction
+// evaluates on: the paper's multi-rooted trees (fat-tree, VL2-style
+// Clos, a traditional oversubscribed 8-core-3-tier network) plus the
+// non-tree families (dragonfly, DCell) the path-provider abstraction
+// unlocked. A topology is an explicit directed graph of nodes (hosts
+// and switches) and capacitated links, plus the equal-cost path sets
+// between host-attachment switches that DARD's monitors track.
 package topology
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 )
 
-// NodeKind classifies a node by its tier in the topology.
+// ErrConfig marks an invalid topology configuration. Every family's
+// constructor wraps parameter rejections with it, so callers (and
+// FuzzTopologyBuild) can tell hostile input from a construction bug.
+var ErrConfig = errors.New("invalid topology configuration")
+
+// NodeKind classifies a node by its role in the topology.
 type NodeKind int
 
-// Node kinds, bottom tier first.
+// Node kinds. The first four are the tree tiers, bottom first; Router
+// is a dragonfly router or DCell server-NIC (the attachment switch of
+// the non-tree families), and CellSwitch is a DCell cell's mini-switch.
 const (
 	Host NodeKind = iota + 1
 	ToR
 	Aggr
 	Core
+	Router
+	CellSwitch
 )
 
 // String returns the lower-case tier name.
@@ -33,6 +44,10 @@ func (k NodeKind) String() string {
 		return "aggr"
 	case Core:
 		return "core"
+	case Router:
+		return "router"
+	case CellSwitch:
+		return "cellsw"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -211,8 +226,8 @@ func (g *Graph) Validate() error {
 				return fmt.Errorf("host %s must have exactly one duplex link, has %d out / %d in",
 					n.Name, len(g.out[n.ID]), len(g.in[n.ID]))
 			}
-			if g.nodes[g.links[g.out[n.ID][0]].To].Kind != ToR {
-				return fmt.Errorf("host %s uplink does not reach a ToR", n.Name)
+			if k := g.nodes[g.links[g.out[n.ID][0]].To].Kind; k != ToR && k != Router {
+				return fmt.Errorf("host %s uplink reaches a %s, not an attachment switch (ToR or router)", n.Name, k)
 			}
 		}
 	}

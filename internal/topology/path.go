@@ -22,8 +22,8 @@ type Path struct {
 func (p Path) String() string { return p.Via }
 
 // Network is the read side of a topology that schedulers and simulators
-// consume: the graph, the host/ToR structure, and the equal-cost ToR-to-ToR
-// path sets.
+// consume: the graph, the host/attachment structure, and the equal-cost
+// path sets between attachment switches.
 type Network interface {
 	// Name identifies the topology, e.g. "fattree(p=8)".
 	Name() string
@@ -32,8 +32,13 @@ type Network interface {
 	// Hosts lists every host, ordered by host index. The slice is shared;
 	// callers must not modify it.
 	Hosts() []NodeID
-	// ToROf returns the ToR switch a host attaches to.
+	// ToROf returns the switch a host attaches to: a ToR on the tree
+	// families, a dragonfly router or DCell server on the non-tree ones.
 	ToROf(host NodeID) NodeID
+	// AttachNoun is the family's term for the switches hosts attach to —
+	// "ToR" for the tree families, "router" for dragonfly, "server" for
+	// DCell — so diagnostics can speak the family's language.
+	AttachNoun() string
 	// PathSet returns the implicit equal-cost path set from srcToR to
 	// dstToR. For srcToR == dstToR the set holds a single empty path.
 	// The handle is a small value backed by construction-time index
@@ -92,7 +97,10 @@ type hostAttachment struct {
 
 // base carries the structure shared by every concrete topology.
 type base struct {
-	name   string
+	name string
+	// noun is the family's term for the attachment tier; newBase
+	// defaults it to "ToR", non-tree families override it.
+	noun   string
 	g      *Graph
 	hosts  []NodeID
 	attach map[NodeID]hostAttachment
@@ -102,6 +110,7 @@ type base struct {
 func newBase(name string, g *Graph) *base {
 	return &base{
 		name:   name,
+		noun:   "ToR",
 		g:      g,
 		attach: make(map[NodeID]hostAttachment),
 		cache:  newPathCache(),
@@ -128,6 +137,25 @@ func (b *base) Hosts() []NodeID { return b.hosts }
 
 // ToROf implements Network.
 func (b *base) ToROf(host NodeID) NodeID { return b.attach[host].tor }
+
+// AttachNoun implements Network.
+func (b *base) AttachNoun() string { return b.noun }
+
+// AttachSwitches returns the distinct switches hosts attach to, in first-
+// host order — the family-agnostic replacement for enumerating the ToR
+// tier, usable on every family.
+func AttachSwitches(net Network) []NodeID {
+	seen := make(map[NodeID]bool)
+	var res []NodeID
+	for _, h := range net.Hosts() {
+		tor := net.ToROf(h)
+		if !seen[tor] {
+			seen[tor] = true
+			res = append(res, tor)
+		}
+	}
+	return res
+}
 
 // HostUplink implements Network.
 func (b *base) HostUplink(host NodeID) LinkID { return b.attach[host].up }

@@ -15,14 +15,32 @@ package topology
 // reordering or relabeling would be a silent behavior change. The golden
 // equivalence tests in pathset_test.go enforce this per topology.
 type PathSet struct {
-	r        pathResolver
+	r        PathProvider
 	src, dst NodeID
 	n        int32
 }
 
-// pathResolver is the per-topology backend of a PathSet. src and dst are
-// distinct ToRs of the same Network; i is in [0, numPaths).
-type pathResolver interface {
+// PathProvider is the per-topology backend of PathSet handles: the
+// family-specific resolution of (pair, path index) to links and label.
+// src and dst are distinct attachment switches of the same Network; i
+// is in [0, numPaths).
+//
+// Two implementation styles exist. The tree families (fat-tree, Clos,
+// three-tier) implement the interface directly on the topology with
+// O(1) uplink index-table lookups — the structural fact NIRA-style
+// up/down addressing rests on, where a path is fully determined by its
+// branch choice. The non-tree families (dragonfly, DCell) have no
+// up/down hierarchy to index, so they delegate to sourceRouted: an
+// explicit per-pair source-routed path list, built deterministically on
+// first use and shared by every handle for the pair.
+//
+// Both styles honor one contract, pinned by pathprops_test.go across
+// every family: paths are loop-free link-contiguous src->dst walks over
+// switch-switch links, sets are duplicate-free with unique Via labels,
+// and enumeration order is construction-deterministic — PathIdx is
+// durable state in flows, reports, and checkpoints, so two independent
+// constructions of the same configuration must enumerate bit-identically.
+type PathProvider interface {
 	// appendPathLinks appends path i's switch-switch links to buf.
 	appendPathLinks(src, dst NodeID, i int, buf []LinkID) []LinkID
 	// pathVia returns path i's trace label.

@@ -4,9 +4,10 @@ import (
 	"testing"
 )
 
-// buildNetworks returns small instances of all three topology families,
-// large enough that inter-pod, intra-pod, and same-ToR cases all occur
-// and the index decodings are exercised beyond their smallest shapes.
+// buildNetworks returns small instances of all five topology families,
+// large enough that inter-pod, intra-pod, and same-switch cases all
+// occur and the index decodings are exercised beyond their smallest
+// shapes.
 func buildNetworks(t *testing.T) []Network {
 	t.Helper()
 	ft, err := NewFatTree(FatTreeConfig{P: 6})
@@ -21,7 +22,15 @@ func buildNetworks(t *testing.T) []Network {
 	if err != nil {
 		t.Fatalf("three-tier: %v", err)
 	}
-	return []Network{ft, cl, tt}
+	df, err := NewDragonfly(DragonflyConfig{D: 4, A: 3, P: 2})
+	if err != nil {
+		t.Fatalf("dragonfly: %v", err)
+	}
+	dc, err := NewDCell(DCellConfig{N: 3, Level: 1})
+	if err != nil {
+		t.Fatalf("dcell: %v", err)
+	}
+	return []Network{ft, cl, tt, df, dc}
 }
 
 // TestPathSetMatchesBuildPaths is the golden equivalence gate: over ALL
@@ -33,7 +42,7 @@ func buildNetworks(t *testing.T) []Network {
 func TestPathSetMatchesBuildPaths(t *testing.T) {
 	for _, net := range buildNetworks(t) {
 		t.Run(net.Name(), func(t *testing.T) {
-			tors := net.Graph().NodesOfKind(ToR)
+			tors := AttachSwitches(net)
 			var buf []LinkID
 			for _, a := range tors {
 				for _, b := range tors {
@@ -98,10 +107,10 @@ func TestPathSetAppendSemantics(t *testing.T) {
 func TestPathSetLinkResolutionAllocs(t *testing.T) {
 	for _, net := range buildNetworks(t) {
 		t.Run(net.Name(), func(t *testing.T) {
-			tors := net.Graph().NodesOfKind(ToR)
+			tors := AttachSwitches(net)
 			src, dst := tors[0], tors[len(tors)-1]
 			ps := net.PathSet(src, dst)
-			buf := make([]LinkID, 0, 8)
+			buf := make([]LinkID, 0, 32)
 			idx := 0
 			allocs := testing.AllocsPerRun(100, func() {
 				ps = net.PathSet(src, dst)

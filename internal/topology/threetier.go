@@ -63,10 +63,13 @@ func (c *ThreeTierConfig) applyDefaults() error {
 		c.LinkDelay = 0.1e-3
 	}
 	if c.NumCores < 1 || c.NumPods < 1 || c.AccessPerPod < 1 || c.HostsPerAccess < 0 {
-		return fmt.Errorf("three-tier config has non-positive dimension: %+v", *c)
+		return fmt.Errorf("%w: three-tier config has non-positive dimension: %+v", ErrConfig, *c)
+	}
+	if c.NumCores > 256 || c.NumPods > 256 || c.AccessPerPod > 256 || c.HostsPerAccess > 1024 {
+		return fmt.Errorf("%w: three-tier dimension exceeds cap: %+v", ErrConfig, *c)
 	}
 	if c.HostCapacity < 0 || c.AccessUplink < 0 || c.AggrUplink < 0 {
-		return fmt.Errorf("three-tier config has negative capacity: %+v", *c)
+		return fmt.Errorf("%w: three-tier config has negative capacity: %+v", ErrConfig, *c)
 	}
 	return nil
 }
@@ -188,7 +191,7 @@ func (tt *ThreeTier) PathSet(srcToR, dstToR NodeID) PathSet {
 	return PathSet{r: tt, src: srcToR, dst: dstToR, n: int32(n)}
 }
 
-// appendPathLinks implements pathResolver.
+// appendPathLinks implements PathProvider.
 func (tt *ThreeTier) appendPathLinks(src, dst NodeID, i int, buf []LinkID) []LinkID {
 	g := tt.g
 	sn, dn := g.Node(src), g.Node(dst)
@@ -207,7 +210,7 @@ func (tt *ThreeTier) appendPathLinks(src, dst NodeID, i int, buf []LinkID) []Lin
 		g.Reverse(tt.accAggrUp[dn.Index*2+k]))
 }
 
-// pathVia implements pathResolver. Cross-pod labels are joined on
+// pathVia implements PathProvider. Cross-pod labels are joined on
 // demand; they exist only for traces and display.
 func (tt *ThreeTier) pathVia(src, dst NodeID, i int) string {
 	g := tt.g

@@ -1,0 +1,34 @@
+package dard_test
+
+import (
+	"testing"
+
+	"dard"
+)
+
+func TestNewFamiliesPacketEngine(t *testing.T) {
+	for _, spec := range []dard.TopologySpec{
+		{Kind: dard.Dragonfly, D: 2, A: 2, HostsPerToR: 2},
+		{Kind: dard.DCell, N: 3, Level: 1},
+	} {
+		for _, sch := range []dard.Scheduler{dard.SchedulerECMP, dard.SchedulerDARD} {
+			s := dard.Scenario{
+				Topology:    spec,
+				Engine:      dard.EnginePacket,
+				Scheduler:   sch,
+				Pattern:     dard.PatternStride,
+				RatePerHost: 0.5,
+				Duration:    2,
+				FileSizeMB:  8,
+				Seed:        7,
+			}
+			rep, err := s.Run()
+			if err != nil {
+				t.Fatalf("%+v %s: %v", spec, sch, err)
+			}
+			if rep.Flows == 0 {
+				t.Errorf("%+v %s: no flows", spec, sch)
+			}
+		}
+	}
+}

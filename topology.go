@@ -10,7 +10,9 @@ import (
 	"dard/internal/workload"
 )
 
-// TopologyKind selects one of the paper's three topology families.
+// TopologyKind selects a topology family: the paper's three
+// multi-rooted trees, or one of the non-tree families the path-provider
+// abstraction added.
 type TopologyKind string
 
 // Supported topology kinds.
@@ -21,23 +23,42 @@ const (
 	Clos TopologyKind = "clos"
 	// ThreeTier is the oversubscribed 8-core-3-tier network (§4.3.2).
 	ThreeTier TopologyKind = "threetier"
+	// Dragonfly is a rail-aligned dragonfly: a+1 groups of d routers,
+	// full local meshes, d rails per group pair, minimal plus
+	// Valiant-style path sets. Beyond the paper's evaluation.
+	Dragonfly TopologyKind = "dragonfly"
+	// DCell is a recursively defined server-centric DCell_l with
+	// canonical plus proxy-detour path sets. Beyond the paper's
+	// evaluation.
+	DCell TopologyKind = "dcell"
 )
 
 // TopologySpec declares a topology to build. Zero fields take the
-// paper's defaults.
+// paper's defaults. New fields extend checkpointed session specs
+// backward-compatibly: absent fields decode as zero and keep their
+// defaults.
 type TopologySpec struct {
 	// Kind picks the family; defaults to FatTree.
 	Kind TopologyKind
 	// P is the fat-tree port count (default 8).
 	P int
-	// D is the Clos D_I = D_A parameter (default 8).
+	// D is the Clos D_I = D_A parameter (default 8), and the dragonfly
+	// routers-per-group (default 4).
 	D int
+	// A is the dragonfly global-link count per router, giving a+1 groups
+	// (default 3).
+	A int
+	// N is the DCell servers-per-cell parameter (default 3).
+	N int
+	// Level is the DCell recursion depth (default 1).
+	Level int
 	// HostsPerToR scales the edge down from the paper's full population
-	// (0 keeps the family default).
+	// (0 keeps the family default); on a dragonfly it is the host count
+	// per router (default 2).
 	HostsPerToR int
-	// LinkCapacity is the uniform link bandwidth in bits/s for fat-tree
-	// and Clos (default 1 Gbps; the three-tier family has fixed
-	// oversubscribed capacities).
+	// LinkCapacity is the uniform link bandwidth in bits/s for fat-tree,
+	// Clos, dragonfly, and DCell (default 1 Gbps; the three-tier family
+	// has fixed oversubscribed capacities).
 	LinkCapacity float64
 	// LinkDelay is the per-link propagation delay in seconds (default
 	// 0.1 ms).
@@ -95,6 +116,38 @@ func (spec TopologySpec) Build() (*Topology, error) {
 			HostsPerAccess: spec.HostsPerToR,
 			LinkDelay:      spec.LinkDelay,
 		})
+	case Dragonfly:
+		d, a, p := spec.D, spec.A, spec.HostsPerToR
+		if d == 0 {
+			d = 4
+		}
+		if a == 0 {
+			a = 3
+		}
+		if p == 0 {
+			p = 2
+		}
+		net, err = topology.NewDragonfly(topology.DragonflyConfig{
+			D:            d,
+			A:            a,
+			P:            p,
+			LinkCapacity: spec.LinkCapacity,
+			LinkDelay:    spec.LinkDelay,
+		})
+	case DCell:
+		n, level := spec.N, spec.Level
+		if n == 0 {
+			n = 3
+		}
+		if level == 0 {
+			level = 1
+		}
+		net, err = topology.NewDCell(topology.DCellConfig{
+			N:            n,
+			Level:        level,
+			LinkCapacity: spec.LinkCapacity,
+			LinkDelay:    spec.LinkDelay,
+		})
 	default:
 		return nil, fmt.Errorf("dard: unknown topology kind %q", spec.Kind)
 	}
@@ -127,7 +180,8 @@ func (t *Topology) NumHosts() int { return len(t.net.Hosts()) }
 // NumSwitches reports the number of switches.
 func (t *Topology) NumSwitches() int { return t.net.Graph().NumNodes() - t.NumHosts() }
 
-// NumPaths reports the number of equal-cost paths between the ToRs of two
+// NumPaths reports the number of equal-cost paths between the
+// attachment switches (ToRs, dragonfly routers, DCell servers) of two
 // hosts (by host name, e.g. "E1").
 func (t *Topology) NumPaths(srcHost, dstHost string) (int, error) {
 	s, err := t.host(srcHost)
@@ -225,8 +279,8 @@ func (t *Topology) TotalFlowRules() int {
 	return plan.TotalRules()
 }
 
-// PathsBetween describes the equal-cost paths between two hosts' ToRs as
-// hop sequences, one line per path.
+// PathsBetween describes the equal-cost paths between two hosts'
+// attachment switches as hop sequences, one line per path.
 func (t *Topology) PathsBetween(srcHost, dstHost string) (string, error) {
 	s, err := t.host(srcHost)
 	if err != nil {
@@ -256,8 +310,14 @@ func (t *Topology) PathsBetween(srcHost, dstHost string) (string, error) {
 
 func (t *Topology) host(name string) (topology.NodeID, error) {
 	n, ok := t.net.Graph().FindNode(name)
-	if !ok || n.Kind != topology.Host {
+	if !ok {
 		return 0, fmt.Errorf("dard: unknown host %q", name)
+	}
+	if n.Kind != topology.Host {
+		// Speak the family's language: paths run between ToRs on the tree
+		// families, routers on a dragonfly, servers on a DCell.
+		return 0, fmt.Errorf("dard: %q is a %s, not a host; paths run between the %ss hosts attach to",
+			name, n.Kind, t.net.AttachNoun())
 	}
 	return n.ID, nil
 }

@@ -43,7 +43,7 @@ func (s Scenario) Validate() error {
 	}
 	if s.Topo == nil {
 		switch s.Topology.Kind {
-		case FatTree, "", Clos, ThreeTier:
+		case FatTree, "", Clos, ThreeTier, Dragonfly, DCell:
 		default:
 			return invalid("Topology", "dard: unknown topology kind %q", s.Topology.Kind)
 		}
